@@ -1,0 +1,35 @@
+// Ablation — alpha-regularization strength sweep (the paper sweeps
+// alpha in {1e-6 ... 1e-12} and reports 1e-11 as generally best; our
+// reimplementation regularises the logit error against the quantized
+// teacher, so the sweep re-locates the useful range).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace axnn;
+  bench::print_header("Ablation — alpha-regularization sweep (ResNet20 + trunc5)");
+
+  const auto profile = core::BenchProfile::from_env();
+  core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
+  (void)wb.run_quantization_stage(/*use_kd=*/true);
+
+  const std::vector<double> alphas = profile.full
+                                         ? std::vector<double>{1e-11, 1e-6, 1e-3, 1e-2,
+                                                               1e-1, 1.0, 10.0}
+                                         : std::vector<double>{1e-11, 1e-2, 1.0};
+
+  core::Table table({"alpha", "final acc[%]", "best acc[%]"});
+  for (const double alpha : alphas) {
+    auto fc = wb.default_ft_config();
+    fc.alpha = alpha;
+    fc.epochs = profile.ablation_epochs;
+    const auto run = wb.run_approximation_stage("trunc5", train::Method::kAlpha, 1.0f, fc);
+    table.add_row({core::Table::num(alpha, alpha < 1e-3 ? 12 : 3),
+                   bench::pct(run.result.final_acc), bench::pct(run.result.best_acc)});
+    std::printf("  alpha=%g -> %.2f%%\n", alpha, 100.0 * run.result.final_acc);
+  }
+  std::printf("\n");
+  table.print();
+  std::printf("\nPaper observation: alpha-regularization roughly tracks normal fine-tuning\n"
+              "and underperforms when drastic approximations are applied.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Extension bench (paper outlook: "extended for lower bitwidth
+// quantization") — weight bit-width sweep.
+//
+// For W in {2, 3, 4, 6, 8} (activations fixed at 8 bits) this calibrates
+// the pre-trained ResNet20 at 8AxW and reports the zero-shot quantized
+// accuracy, plus — for widths that fit the 4-bit hardware operand — the
+// approximate accuracy under trunc3 before fine-tuning.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace axnn;
+  bench::print_header("Extension — weight bit-width sweep (8AxW, ResNet20)");
+
+  auto cfg = bench::workbench_config(core::ModelKind::kResNet20);
+  const approx::SignedMulTable trunc3(axmul::make_lut("trunc3"));
+
+  core::Table table({"weight bits", "8AxW acc before FT[%]", "trunc3 zero-shot[%]"});
+  for (const int wbits : {2, 3, 4, 6, 8}) {
+    core::Workbench wb(cfg);  // fresh FP weights (cached), fresh calibration
+    nn::set_bit_widths_recursive(wb.model(), wbits, 8);
+    train::calibrate_model(wb.model(), wb.data().train, cfg.calib_samples, 128,
+                           cfg.calibration);
+    const double qacc = train::evaluate_accuracy(wb.model(), wb.data().test,
+                                                 nn::ExecContext::quant_exact());
+    std::string approx_acc = "n/a (>4-bit operand)";
+    if (wbits <= 4) {
+      const double aacc = train::evaluate_accuracy(wb.model(), wb.data().test,
+                                                   nn::ExecContext::quant_approx(trunc3));
+      approx_acc = bench::pct(aacc);
+    }
+    table.add_row({std::to_string(wbits), bench::pct(qacc), approx_acc});
+    std::printf("  W=%d done\n", wbits);
+  }
+  std::printf("\n");
+  table.print();
+  std::printf("\nExpected shape: monotone accuracy loss as weight bits shrink; 4-bit is the\n"
+              "paper's operating point, 2-3 bits need the same fine-tuning flow to recover.\n");
+  return 0;
+}

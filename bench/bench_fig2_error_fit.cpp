@@ -1,0 +1,55 @@
+// Fig. 2 — estimation of the accumulated approximation error of truncated
+// multiplier 5: Monte-Carlo (y, eps) scatter summarised into bins, plus the
+// fitted piecewise-linear function f(y) = min(a, max(k*y + c, b)).
+//
+// Expected shape (paper): biased error, negative slope, clamped tails.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace axnn;
+  bench::print_header("Fig. 2 — error estimation, truncated multiplier 5");
+
+  const approx::SignedMulTable tab(axmul::make_lut("trunc5"));
+  ge::McConfig mc;  // 50 simulations, paper Sec. IV-B
+  const auto samples = ge::sample_accumulated_error(tab, mc);
+  const auto fit = ge::fit_piecewise_linear(samples);
+
+  std::printf("MC samples: %zu (50 simulated convolutions)\n", samples.size());
+  std::printf("fit: %s\n", fit.to_string().c_str());
+  std::printf("slope k = %.5f (paper: clearly negative, biased truncation error)\n\n", fit.k);
+
+  // Binned scatter + fit as a CSV series (plot-ready).
+  constexpr int kBins = 24;
+  double y_lo = samples.front().first, y_hi = y_lo;
+  for (const auto& [y, e] : samples) {
+    y_lo = std::min(y_lo, y);
+    y_hi = std::max(y_hi, y);
+  }
+  std::vector<double> sum(kBins, 0.0), mn(kBins, 1e300), mx(kBins, -1e300);
+  std::vector<int64_t> cnt(kBins, 0);
+  for (const auto& [y, e] : samples) {
+    int b = static_cast<int>((y - y_lo) / (y_hi - y_lo + 1e-9) * kBins);
+    b = std::min(std::max(b, 0), kBins - 1);
+    sum[static_cast<size_t>(b)] += e;
+    mn[static_cast<size_t>(b)] = std::min(mn[static_cast<size_t>(b)], e);
+    mx[static_cast<size_t>(b)] = std::max(mx[static_cast<size_t>(b)], e);
+    ++cnt[static_cast<size_t>(b)];
+  }
+
+  core::Table table({"y_center", "mean_eps", "min_eps", "max_eps", "f(y)", "count"});
+  for (int b = 0; b < kBins; ++b) {
+    if (cnt[static_cast<size_t>(b)] == 0) continue;
+    const double yc = y_lo + (b + 0.5) * (y_hi - y_lo) / kBins;
+    table.add_row({core::Table::num(yc, 0),
+                   core::Table::num(sum[static_cast<size_t>(b)] /
+                                        static_cast<double>(cnt[static_cast<size_t>(b)]),
+                                    1),
+                   core::Table::num(mn[static_cast<size_t>(b)], 1),
+                   core::Table::num(mx[static_cast<size_t>(b)], 1),
+                   core::Table::num(fit.eval(yc), 1),
+                   std::to_string(cnt[static_cast<size_t>(b)])});
+  }
+  table.print();
+  std::printf("\nCSV series (for plotting):\n%s", table.to_csv().c_str());
+  return 0;
+}

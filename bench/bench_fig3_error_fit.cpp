@@ -1,0 +1,57 @@
+// Fig. 3 — error of EvoApprox(-like) 228: the accumulated error is
+// unbiased in y, so the piecewise-linear estimate collapses to a constant
+// and GE degenerates to the plain STE (paper Sec. IV-B).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace axnn;
+  bench::print_header("Fig. 3 — error of EvoApprox-like 228");
+
+  const approx::SignedMulTable tab(axmul::make_lut("evoa228"));
+  ge::McConfig mc;
+  const auto samples = ge::sample_accumulated_error(tab, mc);
+  const auto fit = ge::fit_piecewise_linear(samples);
+
+  std::printf("MC samples: %zu\n", samples.size());
+  std::printf("fit: %s\n", fit.to_string().c_str());
+  std::printf("constant fit: %s  => df/dy = 0, ApproxKD and ApproxKD+GE coincide\n\n",
+              fit.is_constant() ? "YES" : "no");
+
+  constexpr int kBins = 24;
+  double y_lo = samples.front().first, y_hi = y_lo;
+  for (const auto& [y, e] : samples) {
+    y_lo = std::min(y_lo, y);
+    y_hi = std::max(y_hi, y);
+  }
+  std::vector<double> sum(kBins, 0.0);
+  std::vector<int64_t> cnt(kBins, 0);
+  for (const auto& [y, e] : samples) {
+    int b = static_cast<int>((y - y_lo) / (y_hi - y_lo + 1e-9) * kBins);
+    b = std::min(std::max(b, 0), kBins - 1);
+    sum[static_cast<size_t>(b)] += e;
+    ++cnt[static_cast<size_t>(b)];
+  }
+  core::Table table({"y_center", "mean_eps", "f(y)", "count"});
+  for (int b = 0; b < kBins; ++b) {
+    if (cnt[static_cast<size_t>(b)] == 0) continue;
+    const double yc = y_lo + (b + 0.5) * (y_hi - y_lo) / kBins;
+    table.add_row({core::Table::num(yc, 0),
+                   core::Table::num(sum[static_cast<size_t>(b)] /
+                                        static_cast<double>(cnt[static_cast<size_t>(b)]),
+                                    1),
+                   core::Table::num(fit.eval(yc), 1),
+                   std::to_string(cnt[static_cast<size_t>(b)])});
+  }
+  table.print();
+
+  // Full-domain conditional profile (exhaustive, not MC) for reference.
+  std::printf("\nExhaustive per-product error profile (E[eps | y] over the 256x16 domain):\n");
+  const auto profile = axmul::error_profile(axmul::make_lut("evoa228"), 12);
+  core::Table t2({"product_bin_center", "mean_eps", "count"});
+  for (const auto& bin : profile)
+    if (bin.count > 0)
+      t2.add_row({core::Table::num(bin.y_center, 0), core::Table::num(bin.mean_eps, 2),
+                  std::to_string(bin.count)});
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 4 — fine-tuning accuracy vs epoch of ResNet20 approximated with
+// truncated multiplier 5, for all five methods.
+//
+// Expected shape (paper): ApproxKD+GE and ApproxKD lead from the first
+// epoch, followed by GE; alpha tracks normal (slightly better early, then
+// indistinguishable — it underperforms under drastic approximation).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace axnn;
+  bench::print_header("Fig. 4 — accuracy vs epoch, ResNet20 + trunc5");
+
+  core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
+  (void)wb.run_quantization_stage(/*use_kd=*/true);
+
+  const std::vector<train::Method> methods = {
+      train::Method::kNormal, train::Method::kGE, train::Method::kAlpha,
+      train::Method::kApproxKD, train::Method::kApproxKD_GE};
+
+  std::vector<std::vector<double>> curves;
+  int epochs = 0;
+  for (const auto m : methods) {
+    const auto run = wb.run_approximation_stage("trunc5", m, /*t2=*/5.0f);
+    std::vector<double> curve = {run.initial_acc};
+    for (const auto& ep : run.result.history) curve.push_back(ep.test_acc);
+    epochs = static_cast<int>(curve.size());
+    curves.push_back(std::move(curve));
+    std::printf("  %-12s final %.2f%%\n", train::to_string(m).c_str(),
+                100.0 * run.result.final_acc);
+  }
+
+  std::printf("\n");
+  core::Table table({"epoch", "normal", "ge", "alpha", "approxkd", "approxkd+ge"});
+  for (int e = 0; e < epochs; ++e) {
+    std::vector<std::string> row = {e == 0 ? "init" : std::to_string(e - 1)};
+    for (const auto& c : curves) row.push_back(bench::pct(c[static_cast<size_t>(e)]));
+    table.add_row(row);
+  }
+  table.print();
+  std::printf("\nCSV series (for plotting):\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Kernel microbenchmarks (google-benchmark): float GEMM, approximate LUT
+// GEMM, im2col, fake-quant — the per-iteration costs behind Table IV's
+// overhead numbers.
+#include <benchmark/benchmark.h>
+
+#include "axnn/approx/approx_gemm.hpp"
+#include "axnn/axmul/registry.hpp"
+#include "axnn/ge/monte_carlo.hpp"
+#include "axnn/nn/im2col.hpp"
+#include "axnn/quant/quantizer.hpp"
+#include "axnn/tensor/gemm.hpp"
+#include "axnn/tensor/rng.hpp"
+
+namespace {
+
+using namespace axnn;
+
+void BM_GemmF32(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = randn(Shape{n, n}, rng);
+  const Tensor b = randn(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm_f32(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmF32)->Arg(32)->Arg(64)->Arg(128);
+
+TensorI8 random_i8(Shape shape, Rng& rng, int lo, int hi) {
+  TensorI8 t(shape);
+  for (int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<int8_t>(lo + rng.uniform_int(hi - lo + 1));
+  return t;
+}
+
+void BM_GemmApproxLut(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  const TensorI8 w = random_i8(Shape{n, n}, rng, -7, 7);
+  const TensorI8 x = random_i8(Shape{n, n}, rng, -127, 127);
+  TensorI32 c(Shape{n, n});
+  const approx::SignedMulTable tab(axmul::make_lut("trunc5"));
+  for (auto _ : state) {
+    approx::gemm_approx_i32(w.data(), x.data(), c.data(), n, n, n, tab);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmApproxLut)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GemmExactI32(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  const TensorI8 w = random_i8(Shape{n, n}, rng, -7, 7);
+  const TensorI8 x = random_i8(Shape{n, n}, rng, -127, 127);
+  TensorI32 c(Shape{n, n});
+  for (auto _ : state) {
+    approx::gemm_exact_i32(w.data(), x.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmExactI32)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Im2col(benchmark::State& state) {
+  const int64_t hw = state.range(0);
+  Rng rng(4);
+  const Tensor x = randn(Shape{8, 16, hw, hw}, rng);
+  const nn::ConvGeom g = nn::ConvGeom::of(x.shape(), 3, 1, 1);
+  for (auto _ : state) {
+    Tensor cols = nn::im2col(x, g);
+    benchmark::DoNotOptimize(cols.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.patch_rows() * g.out_cols());
+}
+BENCHMARK(BM_Im2col)->Arg(8)->Arg(16);
+
+void BM_FakeQuantize(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  const Tensor x = randn(Shape{n}, rng);
+  const quant::QuantParams p = quant::params_for_max_abs(3.0f, 8);
+  for (auto _ : state) {
+    Tensor q = quant::fake_quantize(x, p);
+    benchmark::DoNotOptimize(q.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FakeQuantize)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_LutCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    const approx::SignedMulTable tab(axmul::make_lut("trunc5"));
+    benchmark::DoNotOptimize(tab.data());
+  }
+}
+BENCHMARK(BM_LutCompile);
+
+void BM_ErrorFitMonteCarlo(benchmark::State& state) {
+  // The "<1 second" claim of paper Sec. IV-B for 50 MC simulations.
+  const approx::SignedMulTable tab(axmul::make_lut("trunc5"));
+  for (auto _ : state) {
+    const auto fit = ge::fit_multiplier_error(tab);
+    benchmark::DoNotOptimize(fit.k);
+  }
+}
+BENCHMARK(BM_ErrorFitMonteCarlo);
+
+}  // namespace
+
+BENCHMARK_MAIN();

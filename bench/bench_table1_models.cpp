@@ -1,0 +1,37 @@
+// Table I — Evaluated CNNs: #Params, #MAC ops, FP accuracy.
+//
+// Paper values (CIFAR10, 32x32): ResNet20 0.3M / 0.041G / 91.04%,
+// ResNet32 0.5M / 0.069G / 91.88%, MobileNetV2 2.2M / 0.296G / 94.89%.
+// The fast profile runs width-scaled models on the synthetic task, so the
+// absolute counts shrink accordingly; relative ordering must hold.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace axnn;
+  bench::print_header("Table I — evaluated CNNs");
+
+  struct PaperRow {
+    double params_m, gmacs, fp_acc;
+  };
+  const std::vector<std::pair<core::ModelKind, PaperRow>> models = {
+      {core::ModelKind::kResNet20, {0.3, 0.041, 91.04}},
+      {core::ModelKind::kResNet32, {0.5, 0.069, 91.88}},
+      {core::ModelKind::kMobileNetV2, {2.2, 0.296, 94.89}},
+  };
+
+  core::Table table({"CNN", "#Params(x10^6)", "#MAC Ops(x10^9)", "FP Acc.[%]",
+                     "paper Params", "paper MACs", "paper Acc.[%]"});
+  for (const auto& [kind, paper] : models) {
+    core::Workbench wb(bench::workbench_config(kind));
+    const auto info = wb.info();
+    table.add_row({info.name,
+                   core::Table::num(1e-6 * static_cast<double>(info.parameters), 4),
+                   core::Table::num(1e-9 * static_cast<double>(info.macs_per_sample), 5),
+                   bench::pct(wb.fp_accuracy()),
+                   core::Table::num(paper.params_m, 1),
+                   core::Table::num(paper.gmacs, 3),
+                   core::Table::num(paper.fp_acc, 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table II — 8A4W quantization results: accuracy before fine-tuning, after
+// normal fine-tuning, and after fine-tuning with KD (quantization stage,
+// T1 = 1).
+//
+// Paper: ResNet20 82.88 / 90.51 / 90.60; ResNet32 83.66 / 91.23 / 91.29;
+// MobileNetV2 10.01 / 93.70 / 93.81. Expected shape: a visible drop before
+// fine-tuning, near-FP recovery after, KD slightly ahead of normal.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace axnn;
+  bench::print_header("Table II — 8A4W quantization");
+
+  struct PaperRow {
+    double before, normal_ft, kd_ft;
+  };
+  const std::vector<std::pair<core::ModelKind, PaperRow>> models = {
+      {core::ModelKind::kResNet20, {82.88, 90.51, 90.60}},
+      {core::ModelKind::kResNet32, {83.66, 91.23, 91.29}},
+      {core::ModelKind::kMobileNetV2, {10.01, 93.70, 93.81}},
+  };
+
+  core::Table table({"CNN", "FP Acc[%]", "Acc before FT[%]", "after normal FT[%]",
+                     "after FT w/KD[%]", "paper before", "paper normal", "paper KD"});
+  for (const auto& [kind, paper] : models) {
+    // Two independent workbenches so normal and KD fine-tuning both start
+    // from the same calibrated FP model.
+    core::Workbench wb_normal(bench::workbench_config(kind));
+    const auto r_normal = wb_normal.run_quantization_stage(/*use_kd=*/false);
+
+    core::Workbench wb_kd(bench::workbench_config(kind));
+    const auto r_kd = wb_kd.run_quantization_stage(/*use_kd=*/true);
+
+    table.add_row({core::to_string(kind), bench::pct(wb_kd.fp_accuracy()),
+                   bench::pct(wb_kd.quant_acc_before_ft()), bench::pct(r_normal.final_acc),
+                   bench::pct(r_kd.final_acc), core::Table::num(paper.before, 2),
+                   core::Table::num(paper.normal_ft, 2), core::Table::num(paper.kd_ft, 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table IV — computational overhead of ApproxKD and GE relative to normal
+// fine-tuning.
+//
+// Paper: normal fine-tuning takes 2027 s for 30 epochs in ProxSim;
+// ApproxKD + GE adds only ~17%. The reproduction times the same four
+// configurations over identical epochs/batches and reports the relative
+// overhead (absolute seconds differ — CPU simulator vs their GPU).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace axnn;
+  bench::print_header("Table IV — fine-tuning overhead");
+
+  const auto profile = core::BenchProfile::from_env();
+  core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
+  (void)wb.run_quantization_stage(/*use_kd=*/true);
+
+  auto fc = wb.default_ft_config();
+  fc.epochs = profile.full ? 5 : 3;  // timing runs; accuracy is irrelevant
+  fc.eval_every_epoch = false;
+
+  struct Config {
+    const char* name;
+    train::Method method;
+    double paper_overhead_pct;  // vs normal, from Table IV
+  };
+  const std::vector<Config> configs = {
+      {"normal", train::Method::kNormal, 0.0},
+      {"GE", train::Method::kGE, 5.0},
+      {"ApproxKD", train::Method::kApproxKD, 13.0},
+      {"ApproxKD+GE", train::Method::kApproxKD_GE, 17.0},
+  };
+
+  double normal_seconds = 0.0;
+  core::Table table({"Method", "seconds", "overhead vs normal[%]", "paper overhead[%]"});
+  for (const auto& cfg : configs) {
+    const auto run = wb.run_approximation_stage("trunc5", cfg.method, 5.0f, fc);
+    if (cfg.method == train::Method::kNormal) normal_seconds = run.result.seconds;
+    const double overhead =
+        normal_seconds > 0.0 ? (run.result.seconds / normal_seconds - 1.0) * 100.0 : 0.0;
+    table.add_row({cfg.name, core::Table::num(run.result.seconds, 1),
+                   core::Table::num(overhead, 1), core::Table::num(cfg.paper_overhead_pct, 0)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table V — comparison of retraining methods for approximate ResNet20 with
+// 8A4W quantization: Normal [4] / GE (ours) / alpha [5] / ApproxKD (ours) /
+// ApproxKD+GE (ours), per multiplier.
+//
+// Expected shape (paper): ApproxKD+GE always best; ApproxKD next; GE beats
+// normal on truncated (biased) multipliers and coincides with it on
+// EvoApprox (unbiased); alpha ~ normal; evoa249 (48.8% MRE) stays at random
+// guessing regardless of method.
+#include <array>
+#include <map>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace axnn;
+  bench::print_header("Table V — retraining methods, approximate ResNet20");
+
+  const auto profile = core::BenchProfile::from_env();
+  core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
+  const auto s1 = wb.run_quantization_stage(/*use_kd=*/true);
+  std::printf("FP %.2f%% | 8A4W %.2f%% -> %.2f%% after KD quantization stage\n\n",
+              100.0 * wb.fp_accuracy(), 100.0 * wb.quant_acc_before_ft(),
+              100.0 * s1.final_acc);
+
+  // Paper final accuracies [normal, ge, alpha, approxkd, approxkd+ge]
+  // (Table V, "-" = not run / not applicable).
+  const std::map<std::string, std::array<double, 5>> paper = {
+      {"trunc2", {90.31, 90.35, 90.29, 90.39, 90.44}},
+      {"trunc3", {90.17, 90.23, 90.16, 90.39, 90.41}},
+      {"trunc4", {89.33, 89.45, 89.32, 89.44, 89.51}},
+      {"trunc5", {84.63, 86.25, 84.96, 87.56, 87.79}},
+      {"evoa470", {90.50, 0, 90.47, 90.55, 90.55}},
+      {"evoa29", {89.90, 0, 89.93, 89.99, 89.99}},
+      {"evoa228", {84.09, 0, 83.93, 85.65, 85.65}},
+      {"evoa249", {10.00, 0, 10.04, 10.02, 10.02}},
+  };
+
+  const double reference = s1.final_acc;
+  core::Table table({"Multiplier", "MRE[%]", "Savings[%]", "Initial[%]", "Normal", "GE",
+                     "alpha", "ApproxKD", "ApproxKD+GE", "paper N/KD+GE"});
+  for (const auto& mult : bench::table5_multipliers(profile.full)) {
+    const auto row = bench::run_comparison_row(wb, mult, reference);
+    std::string paper_ref = "-";
+    if (const auto it = paper.find(mult); it != paper.end())
+      paper_ref = core::Table::num(it->second[0], 2) + "/" +
+                  core::Table::num(it->second[4], 2);
+    if (!row.finetuned) {
+      table.add_row({row.multiplier, core::Table::num(100.0 * row.mre, 1),
+                     core::Table::num(row.savings_pct, 0), bench::pct(row.initial_acc), "-",
+                     "-", "-", "-", "-", paper_ref});
+      continue;
+    }
+    table.add_row({row.multiplier, core::Table::num(100.0 * row.mre, 1),
+                   core::Table::num(row.savings_pct, 0), bench::pct(row.initial_acc),
+                   bench::pct(row.normal), row.ge_distinct ? bench::pct(row.ge) : "(=N)",
+                   bench::pct(row.alpha), bench::pct(row.approxkd),
+                   row.ge_distinct ? bench::pct(row.approxkd_ge) : bench::pct(row.approxkd),
+                   paper_ref});
+    std::printf("  %-8s done: normal %.2f | kd+ge %.2f\n", mult.c_str(), 100.0 * row.normal,
+                100.0 * row.approxkd_ge);
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

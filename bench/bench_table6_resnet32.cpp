@@ -1,0 +1,54 @@
+// Table VI — retraining methods for approximate ResNet32 (same
+// hyperparameters as ResNet20).
+//
+// Expected shape (paper): same tendency as Table V — ApproxKD+GE
+// outperforms all other fine-tuning approaches.
+#include <map>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace axnn;
+  bench::print_header("Table VI — retraining methods, approximate ResNet32");
+
+  const auto profile = core::BenchProfile::from_env();
+  core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet32));
+  const auto s1 = wb.run_quantization_stage(/*use_kd=*/true);
+  std::printf("FP %.2f%% | 8A4W %.2f%% -> %.2f%% after KD quantization stage\n\n",
+              100.0 * wb.fp_accuracy(), 100.0 * wb.quant_acc_before_ft(),
+              100.0 * s1.final_acc);
+
+  // Paper final accuracies [normal, approxkd+ge] (Table VI).
+  const std::map<std::string, std::pair<double, double>> paper = {
+      {"trunc2", {91.19, 91.29}}, {"trunc3", {90.56, 90.96}}, {"trunc4", {89.54, 90.19}},
+      {"trunc5", {86.77, 88.93}}, {"evoa29", {89.73, 90.32}}, {"evoa111", {88.13, 89.05}},
+      {"evoa104", {82.29, 86.11}}, {"evoa469", {81.67, 84.57}}, {"evoa228", {81.61, 84.29}},
+      {"evoa145", {80.75, 84.19}},
+  };
+
+  const double reference = s1.final_acc;
+  core::Table table({"Multiplier", "Initial[%]", "Normal", "GE", "alpha", "ApproxKD",
+                     "ApproxKD+GE", "paper N/KD+GE"});
+  for (const auto& mult : bench::table6_multipliers(profile.full)) {
+    const auto row = bench::run_comparison_row(wb, mult, reference);
+    std::string paper_ref = "-";
+    if (const auto it = paper.find(mult); it != paper.end())
+      paper_ref = core::Table::num(it->second.first, 2) + "/" +
+                  core::Table::num(it->second.second, 2);
+    if (!row.finetuned) {
+      table.add_row({row.multiplier, bench::pct(row.initial_acc), "-", "-", "-", "-", "-",
+                     paper_ref});
+      continue;
+    }
+    table.add_row({row.multiplier, bench::pct(row.initial_acc), bench::pct(row.normal),
+                   row.ge_distinct ? bench::pct(row.ge) : "(=N)", bench::pct(row.alpha),
+                   bench::pct(row.approxkd),
+                   row.ge_distinct ? bench::pct(row.approxkd_ge) : bench::pct(row.approxkd),
+                   paper_ref});
+    std::printf("  %-8s done: normal %.2f | kd+ge %.2f\n", mult.c_str(), 100.0 * row.normal,
+                100.0 * row.approxkd_ge);
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// axnn example — the accuracy/energy Pareto sweep a deployment would run:
+// for each truncated multiplier depth, execute the full Algorithm-1 flow
+// (ApproxKD + GE) and report the energy savings against the accuracy loss
+// w.r.t. the full-precision model.
+//
+// This regenerates the paper's headline claim: ~38% energy savings (trunc5)
+// at a small accuracy loss after fine-tuning.
+//
+// Usage: energy_tradeoff [max_trunc=5]
+#include <cstdio>
+#include <cstdlib>
+
+#include "axnn/axnn.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axnn;
+
+  const int max_trunc = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  core::WorkbenchConfig cfg;
+  cfg.model = core::ModelKind::kResNet20;
+  cfg.profile = core::BenchProfile::from_env();
+  core::Workbench wb(cfg);
+  const auto s1 = wb.run_quantization_stage(/*use_kd=*/true);
+  const auto info = wb.info();
+
+  std::printf("ResNet20 FP accuracy %.2f%%, 8A4W accuracy %.2f%%\n\n",
+              100.0 * wb.fp_accuracy(), 100.0 * s1.final_acc);
+
+  core::Table table({"Multiplier", "energy savings[%]", "initial acc[%]",
+                     "acc after ApproxKD+GE[%]", "loss vs FP[%]"});
+  for (int t = 1; t <= max_trunc; ++t) {
+    const std::string mult = "trunc" + std::to_string(t);
+    const auto spec = axmul::find_spec(mult).value();
+    const auto energy = energy::estimate(info.macs_per_sample, spec);
+
+    const double initial = wb.approx_initial_accuracy(mult);
+    double final_acc = initial;
+    if (s1.final_acc - initial > 0.01) {
+      const float t2 = spec.paper_mre < 0.03 ? 2.0f : (spec.paper_mre < 0.13 ? 5.0f : 10.0f);
+      final_acc = wb.run_approximation_stage(mult, train::Method::kApproxKD_GE, t2)
+                      .result.final_acc;
+    }
+    table.add_row({mult, core::Table::num(energy.savings_pct, 0),
+                   core::Table::num(100.0 * initial, 2), core::Table::num(100.0 * final_acc, 2),
+                   core::Table::num(100.0 * (wb.fp_accuracy() - final_acc), 2)});
+    std::printf("  %s done (%.0f%% savings -> %.2f%% accuracy)\n", mult.c_str(),
+                energy.savings_pct, 100.0 * final_acc);
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

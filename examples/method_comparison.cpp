@@ -1,0 +1,64 @@
+// axnn example — compare the five fine-tuning methods on one multiplier
+// (the experiment behind Table V / Fig. 4 of the paper).
+//
+// Usage: method_comparison [multiplier=trunc5] [epochs=profile] [t2=5]
+//
+// Prints the per-epoch accuracy of normal / GE / alpha / ApproxKD /
+// ApproxKD+GE fine-tuning of an approximate ResNet20, plus a summary row
+// per method.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "axnn/axnn.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axnn;
+
+  const std::string mult = argc > 1 ? argv[1] : "trunc5";
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 0;
+  const float t2 = argc > 3 ? static_cast<float>(std::atof(argv[3])) : 5.0f;
+
+  if (!axmul::find_spec(mult)) {
+    std::fprintf(stderr, "unknown multiplier '%s'\n", mult.c_str());
+    return 1;
+  }
+
+  core::WorkbenchConfig cfg;
+  cfg.model = core::ModelKind::kResNet20;
+  cfg.profile = core::BenchProfile::from_env();
+  core::Workbench wb(cfg);
+
+  const auto s1 = wb.run_quantization_stage(/*use_kd=*/true);
+  std::printf("FP %.2f%% | 8A4W %.2f%% -> %.2f%% | multiplier %s, T2=%.0f\n",
+              100.0 * wb.fp_accuracy(), 100.0 * wb.quant_acc_before_ft(),
+              100.0 * s1.final_acc, mult.c_str(), t2);
+
+  const std::vector<train::Method> methods = {
+      train::Method::kNormal, train::Method::kGE, train::Method::kAlpha,
+      train::Method::kApproxKD, train::Method::kApproxKD_GE};
+
+  core::Table curves({"method", "epoch", "test_acc[%]"});
+  core::Table summary({"method", "initial[%]", "final[%]", "best[%]", "seconds"});
+  for (const auto m : methods) {
+    auto fc = wb.default_ft_config();
+    if (epochs > 0) fc.epochs = epochs;
+    const auto run = wb.run_approximation_stage(mult, m, t2, fc);
+    for (const auto& ep : run.result.history)
+      curves.add_row({train::to_string(m), std::to_string(ep.epoch),
+                      core::Table::pct(ep.test_acc)});
+    summary.add_row({train::to_string(m), core::Table::pct(run.initial_acc),
+                     core::Table::pct(run.result.final_acc),
+                     core::Table::pct(run.result.best_acc),
+                     core::Table::num(run.result.seconds, 1)});
+    std::printf("%-12s -> final %.2f%%\n", train::to_string(m).c_str(),
+                100.0 * run.result.final_acc);
+  }
+
+  std::printf("\nPer-epoch curves (Fig. 4 series):\n");
+  curves.print();
+  std::printf("\nSummary:\n");
+  summary.print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// axnn quickstart — the paper's full flow (Algorithm 1) on a small ResNet20.
+//
+//   1. Pre-train a full-precision ResNet20 on the synthetic CIFAR10-like
+//      task (cached under .axnn_cache).
+//   2. Fold BatchNorm, calibrate 8A4W quantization (MinPropQE, power-of-two
+//      steps), and run the quantization stage with KD (teacher = FP model).
+//   3. Approximate all conv/FC multiplications with the trunc5 multiplier
+//      (38% energy savings, ~20% MRE) and recover accuracy with
+//      ApproxKD + Gradient Estimation.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "axnn/axnn.hpp"
+
+int main() {
+  using namespace axnn;
+
+  core::WorkbenchConfig cfg;
+  cfg.model = core::ModelKind::kResNet20;
+  cfg.profile = core::BenchProfile::from_env();
+  cfg.verbose = true;
+
+  std::printf("== axnn quickstart: ResNet20, synthetic CIFAR10-like, %s profile ==\n",
+              cfg.profile.full ? "FULL" : "fast");
+
+  core::Workbench wb(cfg);
+  const auto info = wb.info();
+  std::printf("model %s: %.3fM params, %.1fM MACs/sample, FP accuracy %.2f%%\n",
+              info.name.c_str(), 1e-6 * static_cast<double>(info.parameters),
+              1e-6 * static_cast<double>(info.macs_per_sample), 100.0 * wb.fp_accuracy());
+
+  const auto s1 = wb.run_quantization_stage(/*use_kd=*/true, /*t1=*/1.0f);
+  std::printf("8A4W: %.2f%% before FT -> %.2f%% after KD fine-tuning\n",
+              100.0 * wb.quant_acc_before_ft(), 100.0 * s1.final_acc);
+
+  const char* mult = "trunc5";
+  const auto spec = axmul::find_spec(mult).value();
+  std::printf("approximating with %s (MRE %.1f%%, savings %.0f%%)\n", mult,
+              100.0 * spec.paper_mre, spec.energy_savings_pct);
+  std::printf("initial approximate accuracy: %.2f%%\n",
+              100.0 * wb.approx_initial_accuracy(mult));
+
+  const auto run =
+      wb.run_approximation_stage(mult, train::Method::kApproxKD_GE, /*t2=*/5.0f);
+  std::printf("error fit: %s\n", run.fit.to_string().c_str());
+  std::printf("ApproxKD+GE: %.2f%% -> %.2f%% (best %.2f%%) in %.1fs\n",
+              100.0 * run.initial_acc, 100.0 * run.result.final_acc,
+              100.0 * run.result.best_acc, run.result.seconds);
+
+  const auto energy = energy::estimate(info.macs_per_sample, spec);
+  std::printf("energy: %.0f exact-MAC units -> %.0f (%.0f%% savings)\n", energy.exact_energy,
+              energy.approx_energy, energy.savings_pct);
+  std::printf("accuracy loss vs FP: %.2f%%\n",
+              100.0 * (wb.fp_accuracy() - run.result.final_acc));
+  return 0;
+}

@@ -1,0 +1,38 @@
+// axnn — approximate integer GEMM (Eq. 4 of the paper).
+//
+// Computes y~[i,j] = sum_k g~(X[k,j], W[i,k]) where g~ is an approximate
+// multiplication realised as a SignedMulTable lookup. This is the single
+// choke point through which every approximated conv / FC layer executes.
+#pragma once
+
+#include <cstdint>
+
+#include "axnn/approx/signed_lut.hpp"
+#include "axnn/axmul/adder.hpp"
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn::approx {
+
+/// C[M,N] = W[M,K] ·~ X[K,N] with int8 operands and int32 accumulators.
+/// W holds int4-range weights (the 4-bit operand), X holds int8-range
+/// activations (the 8-bit operand). C is overwritten.
+void gemm_approx_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_t k,
+                     int64_t n, const SignedMulTable& tab);
+
+/// Tensor-level convenience for tests: returns int32 accumulators.
+TensorI32 matmul_approx(const TensorI8& w, const TensorI8& x, const SignedMulTable& tab);
+
+/// Reference exact int GEMM (for error measurements in tests/benches).
+void gemm_exact_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_t k,
+                    int64_t n);
+
+/// Approximate GEMM with an approximate *accumulator* as well: partial sums
+/// are combined through the given adder model (paper outlook — multiple
+/// approximation techniques in one computation). Slower than
+/// gemm_approx_i32 (one virtual call per MAC); intended for evaluation
+/// passes rather than the fine-tuning hot loop.
+void gemm_approx_accum_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m,
+                           int64_t k, int64_t n, const SignedMulTable& tab,
+                           const axmul::Adder& adder);
+
+}  // namespace axnn::approx

@@ -1,0 +1,24 @@
+#include "axnn/approx/signed_lut.hpp"
+
+#include <cstdlib>
+
+namespace axnn::approx {
+
+SignedMulTable::SignedMulTable() : SignedMulTable(axmul::MultiplierLut{}) {}
+
+SignedMulTable::SignedMulTable(const axmul::MultiplierLut& lut) : name_(lut.name()) {
+  for (int qa = -128; qa <= 127; ++qa) {
+    for (int qw = -8; qw <= 7; ++qw) {
+      // Sign-magnitude wrapping. |qa|=128 and |qw|=8 exceed the unsigned
+      // operand domain; symmetric quantization never produces them (ranges
+      // are [-127,127] / [-7,7]), but the table stays total by saturating
+      // the magnitude.
+      const uint32_t ua = static_cast<uint32_t>(std::min(std::abs(qa), 255));
+      const uint32_t uw = static_cast<uint32_t>(std::min(std::abs(qw), 15));
+      const int32_t p = lut(static_cast<uint8_t>(ua), static_cast<uint8_t>(uw));
+      tab_[index(qa, qw)] = ((qa < 0) != (qw < 0)) ? -p : p;
+    }
+  }
+}
+
+}  // namespace axnn::approx

@@ -1,0 +1,88 @@
+// axnn — approximate adder behavioural models.
+//
+// The paper's outlook names "the incorporation of more than one
+// approximation technique into the CNN computation"; the EvoApprox8b
+// library it draws multipliers from is a combined adder+multiplier library.
+// This module provides behavioural models of the classic low-power adder
+// approximations applied to the GEMM accumulation path:
+//
+//   * TruncatedAdder  — the k LSBs of both operands are dropped (their sum
+//     contributes nothing): cheapest, biased toward zero.
+//   * LoaAdder        — Lower-part-OR Adder (Mahdiani et al.): the k LSBs
+//     are OR-ed instead of added (no carry chain in the lower part), the
+//     upper part adds exactly. Error is bounded by 2^k and mildly biased.
+//
+// Models operate on 32-bit two's-complement accumulators; the approximation
+// acts on the low k bits of the binary representation, exactly as the
+// hardware would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace axnn::axmul {
+
+class Adder {
+public:
+  virtual ~Adder() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Approximate sum of two accumulator values.
+  virtual int32_t add(int32_t a, int32_t b) const = 0;
+
+  static int32_t exact(int32_t a, int32_t b) { return a + b; }
+};
+
+/// Exact reference adder ("approximation off").
+class ExactAdder final : public Adder {
+public:
+  std::string name() const override { return "exact_add"; }
+  int32_t add(int32_t a, int32_t b) const override { return a + b; }
+};
+
+/// Drops the k least-significant bits of both operands before adding.
+class TruncatedAdder final : public Adder {
+public:
+  explicit TruncatedAdder(int truncated_lsbs);
+  std::string name() const override;
+  int32_t add(int32_t a, int32_t b) const override;
+  int truncated_lsbs() const { return k_; }
+
+private:
+  int32_t mask_;
+  int k_;
+};
+
+/// Lower-part-OR Adder: low k bits are OR-ed (no carry), upper bits add
+/// exactly with no carry-in from the lower part.
+class LoaAdder final : public Adder {
+public:
+  explicit LoaAdder(int lower_bits);
+  std::string name() const override;
+  int32_t add(int32_t a, int32_t b) const override;
+  int lower_bits() const { return k_; }
+
+private:
+  int32_t low_mask_;
+  int k_;
+};
+
+/// Adder statistics over random accumulation workloads (adders cannot be
+/// swept exhaustively like 8x4 multipliers).
+struct AdderStats {
+  double mean_error = 0.0;     ///< signed bias per addition
+  double rms_error = 0.0;
+  double max_abs_error = 0.0;
+  double mre = 0.0;            ///< |err| / max(|exact|, 1), averaged
+};
+
+/// Monte-Carlo sweep with operands drawn uniformly from [-range, range].
+AdderStats compute_adder_stats(const Adder& adder, int32_t operand_range = 1 << 12,
+                               int64_t samples = 200000, uint64_t seed = 0xADD5EED);
+
+/// Factory by id: "exact_add", "truncaddK", "loaK" (K = bits).
+std::unique_ptr<Adder> make_adder(const std::string& id);
+
+}  // namespace axnn::axmul

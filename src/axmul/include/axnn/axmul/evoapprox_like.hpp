@@ -1,0 +1,55 @@
+// axnn — EvoApprox-like behavioural multipliers.
+//
+// The paper uses multipliers from the EvoApprox8b library (mul8u_470, _29,
+// _111, _104, _469, _228, _145, _249) adapted to 8x4-bit operands. The exact
+// evolved netlists are not available offline, so this module synthesises
+// behavioural equivalents that preserve the two properties the paper's
+// results depend on (see DESIGN.md §2):
+//
+//   1. The Mean Relative Error over the full operand domain (Eq. 14) matches
+//      the published value — calibrated by bisection over the 256x16 table.
+//   2. The error is (approximately) *unbiased* as a function of the exact
+//      product y: E[eps | y] ≈ 0. This is the property that makes the
+//      paper's gradient-estimation fit a constant for EvoApprox multipliers
+//      (Fig. 3), collapsing GE to a plain STE for this family.
+//
+// Construction: g~(a, w) = clamp(a*w + e(a, w)) with
+//   e(a, w) = round(s * max(a*w, 1) * u(a, w)),
+// where u(a, w) in [-1, 1) is a deterministic hash of (a, w, id) with zero
+// mean, and s is the calibrated relative-error scale.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "axnn/axmul/multiplier.hpp"
+
+namespace axnn::axmul {
+
+class EvoApproxLikeMultiplier final : public Multiplier {
+public:
+  /// `variant_id` selects the (deterministic) error surface; `target_mre`
+  /// is the Eq.-14 MRE to calibrate to, in [0, 1).
+  EvoApproxLikeMultiplier(int variant_id, double target_mre);
+
+  std::string name() const override;
+  int32_t multiply(uint8_t a, uint8_t w) const override;
+
+  int variant_id() const { return id_; }
+  double target_mre() const { return target_mre_; }
+  /// Relative-error scale found by calibration.
+  double calibrated_scale() const { return scale_; }
+
+private:
+  /// Zero-mean deterministic relative perturbation in [-1, 1).
+  double unit_error(uint8_t a, uint8_t w) const;
+  /// Eq.-14 MRE of the surface at relative scale s.
+  double mre_at_scale(double s) const;
+  int32_t product_at_scale(uint8_t a, uint8_t w, double s) const;
+
+  int id_;
+  double target_mre_;
+  double scale_ = 0.0;
+};
+
+}  // namespace axnn::axmul

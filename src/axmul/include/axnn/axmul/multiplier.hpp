@@ -1,0 +1,83 @@
+// axnn — approximate multiplier behavioural models.
+//
+// All hardware multipliers in this library are unsigned 8x4 units, matching
+// the paper's configuration (8-bit activations x 4-bit weights, "adapted for
+// 8x4 bit multiplication"). Signed operands are handled by the GEMM layer
+// with a sign-magnitude wrapper: magnitudes are multiplied by the hardware
+// model and the product sign is reapplied. This mirrors how AxDNN
+// accelerators deploy unsigned EvoApprox cores.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace axnn::axmul {
+
+/// Operand domain of the behavioural models.
+inline constexpr int kActBits = 8;   ///< unsigned activation magnitude bits
+inline constexpr int kWgtBits = 4;   ///< unsigned weight magnitude bits
+inline constexpr int kActValues = 1 << kActBits;  ///< 256
+inline constexpr int kWgtValues = 1 << kWgtBits;  ///< 16
+inline constexpr int kLutSize = kActValues * kWgtValues;  ///< 4096
+
+/// Behavioural model of an unsigned AxB multiplier.
+///
+/// Implementations must be pure functions of (a, w): the same operands always
+/// produce the same product. This is what makes LUT compilation valid.
+class Multiplier {
+public:
+  virtual ~Multiplier() = default;
+
+  /// Human-readable identifier, e.g. "trunc5" or "evoalike228".
+  virtual std::string name() const = 0;
+
+  /// Approximate product of a in [0, 256) and w in [0, 16).
+  virtual int32_t multiply(uint8_t a, uint8_t w) const = 0;
+
+  /// Exact product (for error computations).
+  static int32_t exact(uint8_t a, uint8_t w) {
+    return static_cast<int32_t>(a) * static_cast<int32_t>(w);
+  }
+};
+
+/// The accurate multiplier — reference and "approximation off" mode.
+class ExactMultiplier final : public Multiplier {
+public:
+  std::string name() const override { return "exact"; }
+  int32_t multiply(uint8_t a, uint8_t w) const override { return exact(a, w); }
+};
+
+/// Fully-enumerated lookup table for a multiplier, the execution form used by
+/// the approximate GEMM kernels (one load replaces the hardware model).
+class MultiplierLut {
+public:
+  MultiplierLut();  ///< exact multiplier LUT
+  explicit MultiplierLut(const Multiplier& m);
+
+  const std::string& name() const { return name_; }
+
+  /// Unsigned product lookup.
+  int32_t operator()(uint8_t a, uint8_t w) const {
+    return lut_[(static_cast<size_t>(a) << kWgtBits) | w];
+  }
+
+  /// Signed product via sign-magnitude wrapping. |a| must fit 8 bits and
+  /// |w| must fit 4 bits.
+  int32_t signed_mul(int32_t a, int32_t w) const {
+    const uint32_t ua = static_cast<uint32_t>(a < 0 ? -a : a);
+    const uint32_t uw = static_cast<uint32_t>(w < 0 ? -w : w);
+    const int32_t p = lut_[(ua << kWgtBits) | uw];
+    return ((a < 0) != (w < 0)) ? -p : p;
+  }
+
+  /// Raw table (row-major over a, then w) for kernels that index directly.
+  const int32_t* data() const { return lut_.data(); }
+
+private:
+  std::array<int32_t, kLutSize> lut_;
+  std::string name_;
+};
+
+}  // namespace axnn::axmul

@@ -1,0 +1,45 @@
+// axnn — registry of the multipliers evaluated in the paper, with their
+// published metadata (MRE target, estimated energy savings).
+//
+// Energy-savings percentages are the per-MAC estimates the paper carries
+// from the EvoApprox8b library [20] and Kidambi et al. [21] (Tables III/V).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "axnn/axmul/multiplier.hpp"
+
+namespace axnn::axmul {
+
+enum class MultiplierKind { kExact, kTruncated, kEvoApproxLike };
+
+/// Static description of one registry entry.
+struct MultiplierSpec {
+  std::string id;             ///< canonical name, e.g. "trunc5", "evoa228"
+  MultiplierKind kind = MultiplierKind::kExact;
+  int param = 0;              ///< truncated LSBs, or EvoApprox variant number
+  double paper_mre = 0.0;     ///< MRE reported in the paper (fraction)
+  double energy_savings_pct = 0.0;  ///< per-MAC energy savings vs exact [%]
+};
+
+/// All multipliers used in the paper's evaluation, in table order:
+/// trunc1..trunc5, then EvoApprox-like 470, 29, 111, 104, 469, 228, 145, 249.
+const std::vector<MultiplierSpec>& paper_multipliers();
+
+/// Look up a spec by id ("exact", "truncN", "evoaNNN"). Truncated variants
+/// beyond the paper's range (trunc6..trunc8) are synthesised on demand.
+std::optional<MultiplierSpec> find_spec(const std::string& id);
+
+/// Instantiate the behavioural model for a spec.
+std::unique_ptr<Multiplier> make_multiplier(const MultiplierSpec& spec);
+
+/// Convenience: instantiate by id; throws std::invalid_argument if unknown.
+std::unique_ptr<Multiplier> make_multiplier(const std::string& id);
+
+/// Compile a LUT by id (throws on unknown id).
+MultiplierLut make_lut(const std::string& id);
+
+}  // namespace axnn::axmul

@@ -1,0 +1,39 @@
+// axnn — error statistics of approximate multipliers (Eq. 14 and the error
+// surfaces behind Figs. 2/3 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "axnn/axmul/multiplier.hpp"
+
+namespace axnn::axmul {
+
+/// Full-domain error statistics of a multiplier vs the exact product.
+struct ErrorStats {
+  double mre = 0.0;        ///< Mean Relative Error, Eq. 14
+  double mean_error = 0.0; ///< E[g~ - g] over the domain (signed; bias)
+  double max_abs_error = 0.0;
+  double rms_error = 0.0;
+  double zero_error_fraction = 0.0;  ///< fraction of exact products
+};
+
+/// Exhaustive sweep over the 256x16 operand domain.
+ErrorStats compute_error_stats(const Multiplier& m);
+ErrorStats compute_error_stats(const MultiplierLut& lut);
+
+/// One bin of the conditional error profile E[eps | y in bin].
+struct ErrorBin {
+  double y_center = 0.0;   ///< mid-point of the exact-product bin
+  double mean_eps = 0.0;   ///< mean signed error of products in the bin
+  double min_eps = 0.0;
+  double max_eps = 0.0;
+  int64_t count = 0;
+};
+
+/// Conditional error profile eps(y) = g~ - g binned over the exact product
+/// range, computed over the full operand domain. This is the raw material
+/// for the piecewise-linear error fit (paper Sec. III-B, Figs. 2-3).
+std::vector<ErrorBin> error_profile(const MultiplierLut& lut, int bins = 32);
+
+}  // namespace axnn::axmul

@@ -1,0 +1,30 @@
+// axnn — truncated array multipliers (Kidambi et al., TCAS-II 1996).
+//
+// A truncated multiplier drops the `t` least-significant columns of the
+// partial-product array and applies no correction term, saving the adder
+// cells of those columns. The resulting error is *biased*: the true product
+// is always under-estimated, and the expected error grows with the number of
+// active partial products — which is exactly the structure the paper's
+// gradient-estimation method (Sec. III-B, Fig. 2) exploits.
+#pragma once
+
+#include "axnn/axmul/multiplier.hpp"
+
+namespace axnn::axmul {
+
+class TruncatedMultiplier final : public Multiplier {
+public:
+  /// `truncated_lsbs` = number of least-significant product columns dropped.
+  /// Valid range [0, kActBits + kWgtBits); 0 is the exact multiplier.
+  explicit TruncatedMultiplier(int truncated_lsbs);
+
+  std::string name() const override;
+  int32_t multiply(uint8_t a, uint8_t w) const override;
+
+  int truncated_lsbs() const { return t_; }
+
+private:
+  int t_;
+};
+
+}  // namespace axnn::axmul

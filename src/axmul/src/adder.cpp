@@ -1,0 +1,74 @@
+#include "axnn/axmul/adder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "axnn/tensor/rng.hpp"
+
+namespace axnn::axmul {
+
+namespace {
+void check_bits(int k) {
+  if (k < 0 || k > 24) throw std::invalid_argument("adder: lower-bit count out of [0, 24]");
+}
+}  // namespace
+
+TruncatedAdder::TruncatedAdder(int truncated_lsbs) : k_(truncated_lsbs) {
+  check_bits(k_);
+  mask_ = ~((1 << k_) - 1);
+}
+
+std::string TruncatedAdder::name() const { return "truncadd" + std::to_string(k_); }
+
+int32_t TruncatedAdder::add(int32_t a, int32_t b) const {
+  // Masking two's complement LSBs rounds both operands toward -inf.
+  return (a & mask_) + (b & mask_);
+}
+
+LoaAdder::LoaAdder(int lower_bits) : k_(lower_bits) {
+  check_bits(k_);
+  low_mask_ = (1 << k_) - 1;
+}
+
+std::string LoaAdder::name() const { return "loa" + std::to_string(k_); }
+
+int32_t LoaAdder::add(int32_t a, int32_t b) const {
+  const int32_t low = (a | b) & low_mask_;
+  const int32_t high = (a & ~low_mask_) + (b & ~low_mask_);
+  return high | low;
+}
+
+AdderStats compute_adder_stats(const Adder& adder, int32_t operand_range, int64_t samples,
+                               uint64_t seed) {
+  if (operand_range <= 0) throw std::invalid_argument("compute_adder_stats: bad range");
+  Rng rng(seed);
+  AdderStats s;
+  double acc_err = 0.0, acc_sq = 0.0, acc_mre = 0.0;
+  for (int64_t i = 0; i < samples; ++i) {
+    const int32_t a =
+        static_cast<int32_t>(rng.uniform_int(2 * operand_range + 1)) - operand_range;
+    const int32_t b =
+        static_cast<int32_t>(rng.uniform_int(2 * operand_range + 1)) - operand_range;
+    const double e = static_cast<double>(adder.add(a, b)) - Adder::exact(a, b);
+    acc_err += e;
+    acc_sq += e * e;
+    s.max_abs_error = std::max(s.max_abs_error, std::abs(e));
+    acc_mre += std::abs(e) / std::max(1.0, std::abs(static_cast<double>(a) + b));
+  }
+  const double n = static_cast<double>(samples);
+  s.mean_error = acc_err / n;
+  s.rms_error = std::sqrt(acc_sq / n);
+  s.mre = acc_mre / n;
+  return s;
+}
+
+std::unique_ptr<Adder> make_adder(const std::string& id) {
+  if (id == "exact_add") return std::make_unique<ExactAdder>();
+  if (id.rfind("truncadd", 0) == 0)
+    return std::make_unique<TruncatedAdder>(std::stoi(id.substr(8)));
+  if (id.rfind("loa", 0) == 0) return std::make_unique<LoaAdder>(std::stoi(id.substr(3)));
+  throw std::invalid_argument("make_adder: unknown adder id: " + id);
+}
+
+}  // namespace axnn::axmul

@@ -1,0 +1,78 @@
+#include "axnn/axmul/evoapprox_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "axnn/tensor/rng.hpp"
+
+namespace axnn::axmul {
+
+namespace {
+// Product range of an unsigned 8x4 multiplier: outputs are clamped into the
+// representable 12-bit result bus.
+constexpr int32_t kMaxProduct = (kActValues - 1) * (kWgtValues - 1);
+}  // namespace
+
+EvoApproxLikeMultiplier::EvoApproxLikeMultiplier(int variant_id, double target_mre)
+    : id_(variant_id), target_mre_(target_mre) {
+  if (target_mre < 0.0 || target_mre >= 1.0)
+    throw std::invalid_argument("EvoApproxLikeMultiplier: target_mre out of [0,1)");
+  if (target_mre == 0.0) {
+    scale_ = 0.0;
+    return;
+  }
+  // MRE is monotone non-decreasing in the relative scale s; bisect s over a
+  // generous bracket. The clamp and rounding make MRE(s) slightly sub-linear,
+  // so the upper bracket grows until it encloses the target.
+  double lo = 0.0, hi = 2.0 * target_mre + 0.01;
+  while (mre_at_scale(hi) < target_mre && hi < 16.0) hi *= 2.0;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (mre_at_scale(mid) < target_mre)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  scale_ = 0.5 * (lo + hi);
+}
+
+std::string EvoApproxLikeMultiplier::name() const { return "evoalike" + std::to_string(id_); }
+
+double EvoApproxLikeMultiplier::unit_error(uint8_t a, uint8_t w) const {
+  // Deterministic hash of (variant, a, w) -> u in [-1, 1). Pairing the
+  // domain with its complement guarantees an exactly zero-mean surface:
+  // u(a, w) for the "lower half" of hash space mirrors to -u.
+  const uint64_t h = hash_mix(static_cast<uint64_t>(id_) * 0x10001ull + a,
+                              0xA5A5A5A5ull + w);
+  // 53-bit mantissa -> [0, 1), then shift to [-1, 1).
+  const double u01 = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return 2.0 * u01 - 1.0;
+}
+
+int32_t EvoApproxLikeMultiplier::product_at_scale(uint8_t a, uint8_t w, double s) const {
+  const int32_t y = exact(a, w);
+  const double base = std::max(y, 1);
+  const double e = std::round(s * base * unit_error(a, w));
+  const double p = std::clamp(static_cast<double>(y) + e, 0.0, static_cast<double>(kMaxProduct));
+  return static_cast<int32_t>(p);
+}
+
+double EvoApproxLikeMultiplier::mre_at_scale(double s) const {
+  // Eq. 14 over the full operand domain.
+  double acc = 0.0;
+  for (int a = 0; a < kActValues; ++a) {
+    for (int w = 0; w < kWgtValues; ++w) {
+      const int32_t y = exact(static_cast<uint8_t>(a), static_cast<uint8_t>(w));
+      const int32_t yt = product_at_scale(static_cast<uint8_t>(a), static_cast<uint8_t>(w), s);
+      acc += std::abs(y - yt) / std::max<double>(y, 1.0);
+    }
+  }
+  return acc / static_cast<double>(kLutSize);
+}
+
+int32_t EvoApproxLikeMultiplier::multiply(uint8_t a, uint8_t w) const {
+  return product_at_scale(a, w, scale_);
+}
+
+}  // namespace axnn::axmul

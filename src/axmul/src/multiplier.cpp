@@ -1,0 +1,14 @@
+#include "axnn/axmul/multiplier.hpp"
+
+namespace axnn::axmul {
+
+MultiplierLut::MultiplierLut() : MultiplierLut(ExactMultiplier{}) {}
+
+MultiplierLut::MultiplierLut(const Multiplier& m) : name_(m.name()) {
+  for (int a = 0; a < kActValues; ++a)
+    for (int w = 0; w < kWgtValues; ++w)
+      lut_[(static_cast<size_t>(a) << kWgtBits) | static_cast<size_t>(w)] =
+          m.multiply(static_cast<uint8_t>(a), static_cast<uint8_t>(w));
+}
+
+}  // namespace axnn::axmul

@@ -1,0 +1,74 @@
+#include "axnn/axmul/registry.hpp"
+
+#include <stdexcept>
+
+#include "axnn/axmul/evoapprox_like.hpp"
+#include "axnn/axmul/truncated.hpp"
+
+namespace axnn::axmul {
+
+const std::vector<MultiplierSpec>& paper_multipliers() {
+  // MRE / savings from Table V (Table III values used where V omits them).
+  static const std::vector<MultiplierSpec> specs = {
+      {"exact", MultiplierKind::kExact, 0, 0.0, 0.0},
+      {"trunc1", MultiplierKind::kTruncated, 1, 0.005, 2.0},
+      {"trunc2", MultiplierKind::kTruncated, 2, 0.021, 8.0},
+      {"trunc3", MultiplierKind::kTruncated, 3, 0.055, 16.0},
+      {"trunc4", MultiplierKind::kTruncated, 4, 0.110, 28.0},
+      {"trunc5", MultiplierKind::kTruncated, 5, 0.198, 38.0},
+      {"evoa470", MultiplierKind::kEvoApproxLike, 470, 0.021, 1.0},
+      {"evoa29", MultiplierKind::kEvoApproxLike, 29, 0.079, 9.0},
+      {"evoa111", MultiplierKind::kEvoApproxLike, 111, 0.116, 12.0},
+      {"evoa104", MultiplierKind::kEvoApproxLike, 104, 0.192, 18.0},
+      {"evoa469", MultiplierKind::kEvoApproxLike, 469, 0.205, 18.0},
+      {"evoa228", MultiplierKind::kEvoApproxLike, 228, 0.189, 19.0},
+      {"evoa145", MultiplierKind::kEvoApproxLike, 145, 0.205, 21.0},
+      {"evoa249", MultiplierKind::kEvoApproxLike, 249, 0.488, 61.0},
+  };
+  return specs;
+}
+
+std::optional<MultiplierSpec> find_spec(const std::string& id) {
+  for (const auto& s : paper_multipliers())
+    if (s.id == id) return s;
+  // Extension multipliers outside the paper's tables: deeper truncation.
+  if (id.rfind("trunc", 0) == 0) {
+    const int t = std::stoi(id.substr(5));
+    if (t >= 0 && t < kActBits + kWgtBits) {
+      MultiplierSpec s;
+      s.id = id;
+      s.kind = MultiplierKind::kTruncated;
+      s.param = t;
+      s.paper_mre = 0.0;  // not published
+      // Rough linear extrapolation of [21]'s savings trend (~10%/column).
+      s.energy_savings_pct = 38.0 + 10.0 * (t - 5);
+      return s;
+    }
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Multiplier> make_multiplier(const MultiplierSpec& spec) {
+  switch (spec.kind) {
+    case MultiplierKind::kExact:
+      return std::make_unique<ExactMultiplier>();
+    case MultiplierKind::kTruncated:
+      return std::make_unique<TruncatedMultiplier>(spec.param);
+    case MultiplierKind::kEvoApproxLike:
+      return std::make_unique<EvoApproxLikeMultiplier>(spec.param, spec.paper_mre);
+  }
+  throw std::logic_error("make_multiplier: unknown kind");
+}
+
+std::unique_ptr<Multiplier> make_multiplier(const std::string& id) {
+  const auto spec = find_spec(id);
+  if (!spec) throw std::invalid_argument("make_multiplier: unknown multiplier id: " + id);
+  return make_multiplier(*spec);
+}
+
+MultiplierLut make_lut(const std::string& id) {
+  const auto m = make_multiplier(id);
+  return MultiplierLut(*m);
+}
+
+}  // namespace axnn::axmul

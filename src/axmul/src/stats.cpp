@@ -1,0 +1,77 @@
+#include "axnn/axmul/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace axnn::axmul {
+
+namespace {
+
+template <typename ProductFn>
+ErrorStats stats_impl(ProductFn&& product) {
+  ErrorStats s;
+  double acc_mre = 0.0, acc_err = 0.0, acc_sq = 0.0;
+  int64_t zero_err = 0;
+  for (int a = 0; a < kActValues; ++a) {
+    for (int w = 0; w < kWgtValues; ++w) {
+      const int32_t y = Multiplier::exact(static_cast<uint8_t>(a), static_cast<uint8_t>(w));
+      const int32_t yt = product(static_cast<uint8_t>(a), static_cast<uint8_t>(w));
+      const double e = static_cast<double>(yt) - y;
+      acc_mre += std::abs(e) / std::max<double>(y, 1.0);
+      acc_err += e;
+      acc_sq += e * e;
+      s.max_abs_error = std::max(s.max_abs_error, std::abs(e));
+      zero_err += (e == 0.0);
+    }
+  }
+  const double n = static_cast<double>(kLutSize);
+  s.mre = acc_mre / n;
+  s.mean_error = acc_err / n;
+  s.rms_error = std::sqrt(acc_sq / n);
+  s.zero_error_fraction = static_cast<double>(zero_err) / n;
+  return s;
+}
+
+}  // namespace
+
+ErrorStats compute_error_stats(const Multiplier& m) {
+  return stats_impl([&](uint8_t a, uint8_t w) { return m.multiply(a, w); });
+}
+
+ErrorStats compute_error_stats(const MultiplierLut& lut) {
+  return stats_impl([&](uint8_t a, uint8_t w) { return lut(a, w); });
+}
+
+std::vector<ErrorBin> error_profile(const MultiplierLut& lut, int bins) {
+  const double y_max = static_cast<double>((kActValues - 1) * (kWgtValues - 1));
+  std::vector<ErrorBin> out(static_cast<size_t>(bins));
+  for (int b = 0; b < bins; ++b) {
+    out[static_cast<size_t>(b)].y_center = (b + 0.5) * y_max / bins;
+    out[static_cast<size_t>(b)].min_eps = std::numeric_limits<double>::infinity();
+    out[static_cast<size_t>(b)].max_eps = -std::numeric_limits<double>::infinity();
+  }
+  for (int a = 0; a < kActValues; ++a) {
+    for (int w = 0; w < kWgtValues; ++w) {
+      const int32_t y = Multiplier::exact(static_cast<uint8_t>(a), static_cast<uint8_t>(w));
+      const double e = static_cast<double>(lut(static_cast<uint8_t>(a), static_cast<uint8_t>(w))) - y;
+      int b = static_cast<int>(static_cast<double>(y) / y_max * bins);
+      b = std::clamp(b, 0, bins - 1);
+      auto& bin = out[static_cast<size_t>(b)];
+      bin.mean_eps += e;
+      bin.min_eps = std::min(bin.min_eps, e);
+      bin.max_eps = std::max(bin.max_eps, e);
+      ++bin.count;
+    }
+  }
+  for (auto& bin : out) {
+    if (bin.count > 0) {
+      bin.mean_eps /= static_cast<double>(bin.count);
+    } else {
+      bin.min_eps = bin.max_eps = 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace axnn::axmul

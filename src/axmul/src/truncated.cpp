@@ -1,0 +1,28 @@
+#include "axnn/axmul/truncated.hpp"
+
+#include <stdexcept>
+
+namespace axnn::axmul {
+
+TruncatedMultiplier::TruncatedMultiplier(int truncated_lsbs) : t_(truncated_lsbs) {
+  if (t_ < 0 || t_ >= kActBits + kWgtBits)
+    throw std::invalid_argument("TruncatedMultiplier: truncated_lsbs out of range");
+}
+
+std::string TruncatedMultiplier::name() const { return "trunc" + std::to_string(t_); }
+
+int32_t TruncatedMultiplier::multiply(uint8_t a, uint8_t w) const {
+  // Sum the partial-product array keeping only columns with weight >= 2^t:
+  //   P = sum_{i<8, j<4, i+j>=t} a_i * w_j * 2^(i+j)
+  int32_t p = 0;
+  for (int j = 0; j < kWgtBits; ++j) {
+    if (!((w >> j) & 1)) continue;
+    for (int i = 0; i < kActBits; ++i) {
+      if (!((a >> i) & 1)) continue;
+      if (i + j >= t_) p += 1 << (i + j);
+    }
+  }
+  return p;
+}
+
+}  // namespace axnn::axmul

@@ -1,0 +1,56 @@
+// axnn — umbrella header.
+//
+// Reproduction of "Knowledge Distillation and Gradient Estimation for Active
+// Error Compensation in Approximate Neural Networks" (DATE 2021).
+//
+// Quickstart:
+//   axnn::core::Workbench wb({.model = axnn::core::ModelKind::kResNet20,
+//                             .profile = axnn::core::BenchProfile::from_env()});
+//   wb.run_quantization_stage(/*use_kd=*/true);
+//   auto run = wb.run_approximation_stage("trunc5",
+//                                         axnn::train::Method::kApproxKD_GE,
+//                                         /*t2=*/5.0f);
+#pragma once
+
+#include "axnn/approx/approx_gemm.hpp"
+#include "axnn/approx/signed_lut.hpp"
+#include "axnn/axmul/adder.hpp"
+#include "axnn/axmul/evoapprox_like.hpp"
+#include "axnn/axmul/multiplier.hpp"
+#include "axnn/axmul/registry.hpp"
+#include "axnn/axmul/stats.hpp"
+#include "axnn/axmul/truncated.hpp"
+#include "axnn/core/pipeline.hpp"
+#include "axnn/core/profile.hpp"
+#include "axnn/core/table.hpp"
+#include "axnn/data/dataset.hpp"
+#include "axnn/data/synthetic.hpp"
+#include "axnn/energy/energy.hpp"
+#include "axnn/ge/error_fit.hpp"
+#include "axnn/ge/monte_carlo.hpp"
+#include "axnn/kd/distill.hpp"
+#include "axnn/models/blocks.hpp"
+#include "axnn/models/mobilenetv2.hpp"
+#include "axnn/models/model_info.hpp"
+#include "axnn/models/resnet.hpp"
+#include "axnn/nn/activations.hpp"
+#include "axnn/nn/batchnorm.hpp"
+#include "axnn/nn/conv2d.hpp"
+#include "axnn/nn/layer.hpp"
+#include "axnn/nn/linear.hpp"
+#include "axnn/nn/loss.hpp"
+#include "axnn/nn/pooling.hpp"
+#include "axnn/nn/sequential.hpp"
+#include "axnn/nn/serialize.hpp"
+#include "axnn/nn/sgd.hpp"
+#include "axnn/quant/calibration.hpp"
+#include "axnn/quant/quantizer.hpp"
+#include "axnn/tensor/gemm.hpp"
+#include "axnn/tensor/ops.hpp"
+#include "axnn/tensor/rng.hpp"
+#include "axnn/tensor/shape.hpp"
+#include "axnn/tensor/tensor.hpp"
+#include "axnn/tensor/threadpool.hpp"
+#include "axnn/train/evaluate.hpp"
+#include "axnn/train/finetune.hpp"
+#include "axnn/train/trainer.hpp"

@@ -1,0 +1,121 @@
+// axnn — experiment pipeline glue (the public façade used by the examples
+// and by every bench).
+//
+// A Workbench owns one model + dataset instance and drives the paper's
+// optimization flow (Algorithm 1):
+//
+//   FP pre-training  ->  (BN folding for ResNets)  ->  8A4W calibration
+//   -> quantization-stage fine-tuning (normal or KD, T1)
+//   -> per-multiplier approximation-stage fine-tuning
+//      (normal / GE / alpha / ApproxKD / ApproxKD+GE, T2)
+//
+// Trained FP and stage-1 weights are cached on disk keyed by the full
+// configuration, so bench binaries share work across runs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "axnn/core/profile.hpp"
+#include "axnn/data/synthetic.hpp"
+#include "axnn/ge/monte_carlo.hpp"
+#include "axnn/models/model_info.hpp"
+#include "axnn/train/finetune.hpp"
+
+namespace axnn::core {
+
+enum class ModelKind { kResNet20, kResNet32, kMobileNetV2 };
+
+std::string to_string(ModelKind kind);
+
+struct WorkbenchConfig {
+  ModelKind model = ModelKind::kResNet20;
+  BenchProfile profile;
+  uint64_t data_seed = 0x51CA7;
+  uint64_t model_seed = 42;
+  quant::Calibration calibration = quant::Calibration::kMinPropQE;
+  int64_t calib_samples = 256;
+  bool use_cache = true;
+  bool verbose = false;
+};
+
+/// Copy the quantization parameters of every conv/FC layer from one layer
+/// tree to a structurally identical one.
+void copy_quant_state(nn::Layer& src, nn::Layer& dst);
+
+class Workbench {
+public:
+  explicit Workbench(WorkbenchConfig cfg);
+
+  const WorkbenchConfig& config() const { return cfg_; }
+  const data::SyntheticCifar& data() const { return data_; }
+  nn::Sequential& model() { return *model_; }
+
+  /// FP test accuracy of the pre-trained model.
+  double fp_accuracy() const { return fp_acc_; }
+
+  /// Parameter / MAC summary of the working model (Table I).
+  models::ModelInfo info();
+
+  /// Structurally identical copy of the working model with parameters,
+  /// buffers and quantization parameters copied.
+  std::unique_ptr<nn::Sequential> clone();
+
+  /// Calibrate (once) and run the quantization stage. `use_kd` selects
+  /// C_s1 distillation from the frozen FP teacher vs plain fine-tuning.
+  /// Call once per Workbench (a second call would continue from the stage-1
+  /// weights); use separate Workbench instances to compare stage-1 variants.
+  /// Results are cached on disk keyed by the full configuration.
+  train::FineTuneResult run_quantization_stage(bool use_kd, float t1 = 1.0f);
+
+  /// 8A4W accuracy right after calibration, before any fine-tuning
+  /// (valid after run_quantization_stage).
+  double quant_acc_before_ft() const { return quant_acc_before_ft_; }
+
+  /// One approximation-stage experiment.
+  struct ApproxRun {
+    std::string multiplier;
+    train::Method method = train::Method::kNormal;
+    float t2 = 1.0f;
+    double initial_acc = 0.0;   ///< approximate accuracy before fine-tuning
+    ge::ErrorFit fit;           ///< error fit used (GE methods)
+    train::FineTuneResult result;
+  };
+
+  /// Fine-tune the approximate model with the given multiplier and method,
+  /// starting from the stage-1 weights (restores them first, so runs are
+  /// independent). Requires run_quantization_stage() to have been called.
+  ApproxRun run_approximation_stage(const std::string& multiplier_id, train::Method method,
+                                    float t2, std::optional<train::FineTuneConfig> override_cfg =
+                                                  std::nullopt);
+
+  /// Approximate accuracy of the stage-1 model under a multiplier, without
+  /// any fine-tuning ("Initial Acc." columns).
+  double approx_initial_accuracy(const std::string& multiplier_id);
+
+  /// Default fine-tuning schedule from the profile (lr 1e-4, decay 0.1).
+  train::FineTuneConfig default_ft_config() const;
+
+  /// Monte-Carlo error fit for a multiplier (50 sims, paper Sec. IV-B).
+  ge::ErrorFit fit_error(const std::string& multiplier_id) const;
+
+private:
+  std::unique_ptr<nn::Sequential> build_model() const;
+  void prepare_fp_model();
+  void calibrate_once();
+  std::string fp_cache_path() const;
+  std::string stage1_cache_path(bool use_kd, float t1) const;
+
+  WorkbenchConfig cfg_;
+  data::SyntheticCifar data_;
+  std::unique_ptr<nn::Sequential> model_;       ///< working model
+  std::unique_ptr<nn::Sequential> stage1_;      ///< frozen stage-1 snapshot
+  std::unique_ptr<nn::Sequential> teacher_q_;   ///< frozen quantized teacher
+  double fp_acc_ = 0.0;
+  double quant_acc_before_ft_ = 0.0;
+  bool calibrated_ = false;
+  bool folded_ = false;
+};
+
+}  // namespace axnn::core

@@ -1,0 +1,43 @@
+// axnn — bench execution profiles.
+//
+// The benches default to a fast profile so the full suite stays tractable
+// on CPU; AXNN_REPRO_FULL=1 switches to paper-scale epochs and sweeps (see
+// DESIGN.md §2). AXNN_THREADS pins the compute thread pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace axnn::core {
+
+struct BenchProfile {
+  bool full = false;
+
+  // Dataset scale.
+  int64_t image_size = 16;
+  int64_t train_size = 1024;
+  int64_t test_size = 512;
+
+  // Model scale.
+  float resnet_width = 0.25f;
+  float mobilenet_width = 0.25f;
+
+  // Schedules. The fast profile compensates for the small dataset with
+  // smaller minibatches (more SGD steps per epoch) — recovery from drastic
+  // approximation needs step count, not wall-clock (see DESIGN.md §2).
+  int fp_epochs = 15;
+  int ft_epochs = 8;          ///< approximation-stage fine-tuning epochs
+  int64_t ft_batch = 32;      ///< approximation/quantization-stage batch size
+  int quant_epochs = 4;       ///< quantization-stage fine-tuning epochs
+  int ablation_epochs = 5;    ///< Table III temperature sweep
+  int decay_every = 4;        ///< lr step-decay interval (15 in the paper)
+
+  /// Where cached trained models are stored.
+  std::string cache_dir = ".axnn_cache";
+
+  /// Reads AXNN_REPRO_FULL / AXNN_THREADS / AXNN_CACHE_DIR; also pins the
+  /// global thread pool on first call.
+  static BenchProfile from_env();
+};
+
+}  // namespace axnn::core

@@ -1,0 +1,34 @@
+// axnn — plain-text table emission for benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace axnn::core {
+
+/// Column-aligned table with a markdown-style header rule. Cells are
+/// strings; numeric helpers format with fixed precision.
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with padded columns: `| a | b |` rows plus a `---` rule.
+  std::string to_string() const;
+
+  /// Print to stdout.
+  void print() const;
+
+  /// Render as CSV (for plotting Fig. data series).
+  std::string to_csv() const;
+
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 2);  ///< 0.905 -> "90.50"
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace axnn::core

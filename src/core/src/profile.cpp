@@ -1,0 +1,35 @@
+#include "axnn/core/profile.hpp"
+
+#include <cstdlib>
+
+#include "axnn/tensor/threadpool.hpp"
+
+namespace axnn::core {
+
+BenchProfile BenchProfile::from_env() {
+  BenchProfile p;
+  const char* full = std::getenv("AXNN_REPRO_FULL");
+  p.full = (full != nullptr && full[0] != '\0' && full[0] != '0');
+  if (p.full) {
+    // Paper-scale schedules (CIFAR-sized inputs, 30 fine-tuning epochs with
+    // decay every 15, 60-epoch ablation).
+    p.image_size = 32;
+    p.train_size = 8192;
+    p.test_size = 2048;
+    p.resnet_width = 1.0f;
+    p.mobilenet_width = 1.0f;
+    p.fp_epochs = 40;
+    p.ft_epochs = 30;
+    p.ft_batch = 128;
+    p.quant_epochs = 10;
+    p.ablation_epochs = 60;
+    p.decay_every = 15;
+  }
+  if (const char* cache = std::getenv("AXNN_CACHE_DIR"); cache != nullptr && cache[0] != '\0')
+    p.cache_dir = cache;
+  if (const char* threads = std::getenv("AXNN_THREADS"); threads != nullptr)
+    ThreadPool::set_global_threads(std::atoi(threads));
+  return p;
+}
+
+}  // namespace axnn::core

@@ -1,0 +1,52 @@
+// axnn — in-memory labelled image dataset and minibatch iteration.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "axnn/tensor/rng.hpp"
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn::data {
+
+struct Dataset {
+  Tensor images;            ///< [N, C, H, W]
+  std::vector<int> labels;  ///< N entries in [0, num_classes)
+
+  int64_t size() const { return static_cast<int64_t>(labels.size()); }
+  int64_t channels() const { return images.shape()[1]; }
+  int64_t height() const { return images.shape()[2]; }
+  int64_t width() const { return images.shape()[3]; }
+
+  /// Gather the samples at `indices[begin, begin+count)` into a contiguous
+  /// minibatch.
+  std::pair<Tensor, std::vector<int>> gather(const std::vector<int64_t>& indices, int64_t begin,
+                                             int64_t count) const;
+
+  /// Contiguous slice [begin, begin+count).
+  std::pair<Tensor, std::vector<int>> slice(int64_t begin, int64_t count) const;
+};
+
+/// Epoch-shuffled minibatch iterator.
+class BatchIterator {
+public:
+  BatchIterator(const Dataset& ds, int64_t batch_size, Rng& rng, bool shuffle = true);
+
+  /// Next minibatch, or false at epoch end. Call reset() to start the next
+  /// epoch (reshuffles).
+  bool next(Tensor& images, std::vector<int>& labels);
+  void reset();
+
+  int64_t batches_per_epoch() const;
+
+private:
+  const Dataset& ds_;
+  int64_t batch_size_;
+  Rng& rng_;
+  bool shuffle_;
+  std::vector<int64_t> order_;
+  int64_t pos_ = 0;
+};
+
+}  // namespace axnn::data

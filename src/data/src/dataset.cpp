@@ -1,0 +1,60 @@
+#include "axnn/data/dataset.hpp"
+
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace axnn::data {
+
+std::pair<Tensor, std::vector<int>> Dataset::gather(const std::vector<int64_t>& indices,
+                                                    int64_t begin, int64_t count) const {
+  if (begin < 0 || begin + count > static_cast<int64_t>(indices.size()))
+    throw std::out_of_range("Dataset::gather: range out of bounds");
+  const int64_t c = channels(), h = height(), w = width();
+  const int64_t stride = c * h * w;
+  Tensor out(Shape{count, c, h, w});
+  std::vector<int> lab(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t src = indices[static_cast<size_t>(begin + i)];
+    if (src < 0 || src >= size()) throw std::out_of_range("Dataset::gather: bad index");
+    std::memcpy(out.data() + i * stride, images.data() + src * stride,
+                static_cast<size_t>(stride) * sizeof(float));
+    lab[static_cast<size_t>(i)] = labels[static_cast<size_t>(src)];
+  }
+  return {std::move(out), std::move(lab)};
+}
+
+std::pair<Tensor, std::vector<int>> Dataset::slice(int64_t begin, int64_t count) const {
+  std::vector<int64_t> idx(static_cast<size_t>(count));
+  std::iota(idx.begin(), idx.end(), begin);
+  return gather(idx, 0, count);
+}
+
+BatchIterator::BatchIterator(const Dataset& ds, int64_t batch_size, Rng& rng, bool shuffle)
+    : ds_(ds), batch_size_(batch_size), rng_(rng), shuffle_(shuffle) {
+  if (batch_size_ <= 0) throw std::invalid_argument("BatchIterator: batch_size must be > 0");
+  order_.resize(static_cast<size_t>(ds.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  reset();
+}
+
+void BatchIterator::reset() {
+  pos_ = 0;
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+int64_t BatchIterator::batches_per_epoch() const {
+  return (ds_.size() + batch_size_ - 1) / batch_size_;
+}
+
+bool BatchIterator::next(Tensor& images, std::vector<int>& labels) {
+  if (pos_ >= ds_.size()) return false;
+  const int64_t count = std::min(batch_size_, ds_.size() - pos_);
+  auto [imgs, labs] = ds_.gather(order_, pos_, count);
+  images = std::move(imgs);
+  labels = std::move(labs);
+  pos_ += count;
+  return true;
+}
+
+}  // namespace axnn::data

@@ -1,0 +1,147 @@
+#include "axnn/data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace axnn::data {
+
+namespace {
+
+struct BlobProto {
+  float cx, cy, sigma, amp;  // centre (fractional), spread, signed amplitude
+  int channel;
+};
+
+struct TextureProto {
+  float fx, fy, phase, amp;  // spatial frequency (cycles/image), phase, amp
+  int channel;
+};
+
+struct ClassProto {
+  std::vector<TextureProto> textures;
+  std::vector<BlobProto> blobs;
+};
+
+std::vector<ClassProto> make_prototypes(const SyntheticConfig& cfg, Rng& rng) {
+  std::vector<ClassProto> protos(static_cast<size_t>(cfg.num_classes));
+  for (auto& p : protos) {
+    // Two textures and two blobs per class, on random channels.
+    for (int t = 0; t < 2; ++t) {
+      TextureProto tx;
+      tx.fx = static_cast<float>(rng.uniform(0.5, 3.5));
+      tx.fy = static_cast<float>(rng.uniform(0.5, 3.5));
+      tx.phase = static_cast<float>(rng.uniform(0.0, 2.0 * M_PI));
+      tx.amp = cfg.texture_amp * static_cast<float>(rng.uniform(0.7, 1.3));
+      tx.channel = static_cast<int>(rng.uniform_int(cfg.channels));
+      p.textures.push_back(tx);
+    }
+    for (int b = 0; b < 2; ++b) {
+      BlobProto bl;
+      bl.cx = static_cast<float>(rng.uniform(0.2, 0.8));
+      bl.cy = static_cast<float>(rng.uniform(0.2, 0.8));
+      bl.sigma = static_cast<float>(rng.uniform(0.08, 0.2));
+      bl.amp = cfg.blob_amp * static_cast<float>(rng.uniform(0.0, 1.0) < 0.5 ? -1.0 : 1.0) *
+               static_cast<float>(rng.uniform(0.7, 1.3));
+      bl.channel = static_cast<int>(rng.uniform_int(cfg.channels));
+      p.blobs.push_back(bl);
+    }
+  }
+  return protos;
+}
+
+void render_texture(float* img, const SyntheticConfig& cfg, const TextureProto& tx,
+                    float phase_shift_x, float phase_shift_y, float gain) {
+  const int64_t s = cfg.image_size;
+  float* plane = img + tx.channel * s * s;
+  const float kx = 2.0f * static_cast<float>(M_PI) * tx.fx / static_cast<float>(s);
+  const float ky = 2.0f * static_cast<float>(M_PI) * tx.fy / static_cast<float>(s);
+  for (int64_t y = 0; y < s; ++y)
+    for (int64_t x = 0; x < s; ++x)
+      plane[y * s + x] += gain * tx.amp *
+                          std::sin(kx * (static_cast<float>(x) + phase_shift_x) +
+                                   ky * (static_cast<float>(y) + phase_shift_y) + tx.phase);
+}
+
+void render_blob(float* img, const SyntheticConfig& cfg, const BlobProto& bl, float jx,
+                 float jy) {
+  const int64_t s = cfg.image_size;
+  float* plane = img + bl.channel * s * s;
+  const float cx = (bl.cx + jx) * static_cast<float>(s);
+  const float cy = (bl.cy + jy) * static_cast<float>(s);
+  const float inv2s2 = 1.0f / (2.0f * bl.sigma * bl.sigma * static_cast<float>(s * s));
+  for (int64_t y = 0; y < s; ++y)
+    for (int64_t x = 0; x < s; ++x) {
+      const float dx = static_cast<float>(x) - cx;
+      const float dy = static_cast<float>(y) - cy;
+      plane[y * s + x] += bl.amp * std::exp(-(dx * dx + dy * dy) * inv2s2);
+    }
+}
+
+void render_sample(float* img, const SyntheticConfig& cfg,
+                   const std::vector<ClassProto>& protos, int label, Rng& rng) {
+  const int64_t s = cfg.image_size;
+  const int64_t total = cfg.channels * s * s;
+  std::fill(img, img + total, 0.0f);
+
+  const ClassProto& p = protos[static_cast<size_t>(label)];
+  const float shift_x = static_cast<float>(rng.uniform(0.0, static_cast<double>(s)));
+  const float shift_y = static_cast<float>(rng.uniform(0.0, static_cast<double>(s)));
+  for (auto tx : p.textures) {
+    // Per-sample frequency jitter blurs class boundaries (intra-class
+    // variation the model has to generalise over).
+    tx.fx *= 1.0f + cfg.freq_jitter * static_cast<float>(rng.normal(0.0, 1.0)) * 0.3f;
+    tx.fy *= 1.0f + cfg.freq_jitter * static_cast<float>(rng.normal(0.0, 1.0)) * 0.3f;
+    render_texture(img, cfg, tx, shift_x, shift_y, 1.0f);
+  }
+  for (const auto& bl : p.blobs)
+    render_blob(img, cfg, bl, static_cast<float>(rng.uniform(-0.08, 0.08)),
+                static_cast<float>(rng.uniform(-0.08, 0.08)));
+
+  // Cross-class bleed-through: a weak copy of another class's texture makes
+  // classes overlap, keeping the task non-trivial.
+  if (rng.uniform() < cfg.bleed_prob) {
+    const int other =
+        static_cast<int>(rng.uniform_int(cfg.num_classes - 1));
+    const int confuser = other >= label ? other + 1 : other;
+    const auto& q = protos[static_cast<size_t>(confuser)];
+    for (const auto& tx : q.textures)
+      render_texture(img, cfg, tx, shift_x, shift_y, cfg.bleed_amp / cfg.texture_amp * 0.5f);
+  }
+
+  const float brightness = 1.0f + static_cast<float>(rng.normal(0.0, cfg.brightness_sigma));
+  for (int64_t i = 0; i < total; ++i) {
+    img[i] = img[i] * brightness + static_cast<float>(rng.normal(0.0, cfg.noise_sigma));
+    img[i] = std::clamp(img[i], -2.0f, 2.0f);
+  }
+}
+
+Dataset make_split(const SyntheticConfig& cfg, const std::vector<ClassProto>& protos,
+                   int64_t count, Rng& rng) {
+  Dataset ds;
+  ds.images = Tensor(Shape{count, cfg.channels, cfg.image_size, cfg.image_size});
+  ds.labels.resize(static_cast<size_t>(count));
+  const int64_t stride = cfg.channels * cfg.image_size * cfg.image_size;
+  for (int64_t i = 0; i < count; ++i) {
+    const int label = static_cast<int>(i % cfg.num_classes);  // balanced classes
+    ds.labels[static_cast<size_t>(i)] = label;
+    render_sample(ds.images.data() + i * stride, cfg, protos, label, rng);
+  }
+  return ds;
+}
+
+}  // namespace
+
+SyntheticCifar make_synthetic_cifar(const SyntheticConfig& cfg) {
+  Rng proto_rng(cfg.seed);
+  const auto protos = make_prototypes(cfg, proto_rng);
+  Rng train_rng(cfg.seed ^ 0x7221A1Full);
+  Rng test_rng(cfg.seed ^ 0x7E57DA7Aull);
+  SyntheticCifar out;
+  out.config = cfg;
+  out.train = make_split(cfg, protos, cfg.train_size, train_rng);
+  out.test = make_split(cfg, protos, cfg.test_size, test_rng);
+  return out;
+}
+
+}  // namespace axnn::data

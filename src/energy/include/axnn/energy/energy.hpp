@@ -1,0 +1,35 @@
+// axnn — MAC-level energy model.
+//
+// The paper carries per-multiplier energy-savings estimates from the
+// EvoApprox8b library [20] and Kidambi et al. [21] and reports network-level
+// savings equal to the multiplier savings (all conv/FC MACs are uniformly
+// approximated). This module reproduces that accounting and optionally
+// splits the MAC into multiplier + adder shares for sensitivity analysis.
+#pragma once
+
+#include <cstdint>
+
+#include "axnn/axmul/registry.hpp"
+
+namespace axnn::energy {
+
+struct EnergyModel {
+  /// Fraction of a MAC's energy spent in the multiplier (the paper's
+  /// accounting implicitly uses 1.0; the accumulator share is untouched by
+  /// approximate multipliers).
+  double multiplier_fraction = 1.0;
+};
+
+struct EnergyEstimate {
+  int64_t macs = 0;
+  double exact_energy = 0.0;   ///< relative units (1.0 per exact MAC)
+  double approx_energy = 0.0;
+  double savings_pct = 0.0;    ///< (1 - approx/exact) * 100
+};
+
+/// Energy of running `macs` multiply-accumulates through the multiplier
+/// described by `spec`.
+EnergyEstimate estimate(int64_t macs, const axmul::MultiplierSpec& spec,
+                        const EnergyModel& model = {});
+
+}  // namespace axnn::energy

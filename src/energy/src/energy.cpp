@@ -1,0 +1,24 @@
+#include "axnn/energy/energy.hpp"
+
+#include <stdexcept>
+
+namespace axnn::energy {
+
+EnergyEstimate estimate(int64_t macs, const axmul::MultiplierSpec& spec,
+                        const EnergyModel& model) {
+  if (macs < 0) throw std::invalid_argument("energy::estimate: negative MAC count");
+  if (model.multiplier_fraction < 0.0 || model.multiplier_fraction > 1.0)
+    throw std::invalid_argument("energy::estimate: multiplier_fraction out of [0,1]");
+  EnergyEstimate e;
+  e.macs = macs;
+  e.exact_energy = static_cast<double>(macs);
+  const double mult_savings = spec.energy_savings_pct / 100.0;
+  const double per_mac = 1.0 - model.multiplier_fraction * mult_savings;
+  e.approx_energy = static_cast<double>(macs) * per_mac;
+  e.savings_pct = e.exact_energy > 0.0
+                      ? (1.0 - e.approx_energy / e.exact_energy) * 100.0
+                      : 0.0;
+  return e;
+}
+
+}  // namespace axnn::energy

@@ -1,0 +1,79 @@
+#include "axnn/ge/error_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace axnn::ge {
+
+std::string ErrorFit::to_string() const {
+  std::ostringstream os;
+  os << "f(y) = min(" << a << ", max(" << k << "*y + " << c << ", " << b << "))";
+  return os.str();
+}
+
+ErrorFit fit_piecewise_linear(const std::vector<std::pair<double, double>>& samples,
+                              double slope_significance) {
+  if (samples.size() < 2)
+    throw std::invalid_argument("fit_piecewise_linear: need at least 2 samples");
+
+  const double n = static_cast<double>(samples.size());
+  double sy = 0.0, se = 0.0, syy = 0.0, sye = 0.0;
+  for (const auto& [y, e] : samples) {
+    sy += y;
+    se += e;
+    syy += y * y;
+    sye += y * e;
+  }
+  const double denom = n * syy - sy * sy;
+
+  ErrorFit fit;
+  if (std::abs(denom) < 1e-12) {
+    // Degenerate y spread: constant fit.
+    fit.k = 0.0;
+    fit.c = se / n;
+  } else {
+    fit.k = (n * sye - sy * se) / denom;
+    fit.c = (se - fit.k * sy) / n;
+  }
+
+  // Residual spread and y-range for the significance test.
+  double ss_res = 0.0;
+  double y_lo = samples.front().first, y_hi = y_lo;
+  for (const auto& [y, e] : samples) {
+    const double r = e - (fit.k * y + fit.c);
+    ss_res += r * r;
+    y_lo = std::min(y_lo, y);
+    y_hi = std::max(y_hi, y);
+  }
+  const double resid_sd = std::sqrt(ss_res / n);
+  const double slope_effect = std::abs(fit.k) * (y_hi - y_lo);
+  if (slope_effect < slope_significance * std::max(resid_sd, 1e-12)) {
+    // Unbiased (EvoApprox-like) error: the line explains nothing beyond the
+    // constant -> GE collapses to STE.
+    fit.k = 0.0;
+    fit.c = se / n;
+  }
+
+  // Clamp levels from the 2.5 / 97.5 percentiles of the observed error.
+  std::vector<double> eps;
+  eps.reserve(samples.size());
+  for (const auto& [y, e] : samples) eps.push_back(e);
+  std::sort(eps.begin(), eps.end());
+  const auto pct = [&](double q) {
+    const double idx = q * (static_cast<double>(eps.size()) - 1.0);
+    const size_t i0 = static_cast<size_t>(idx);
+    const size_t i1 = std::min(i0 + 1, eps.size() - 1);
+    const double frac = idx - static_cast<double>(i0);
+    return eps[i0] * (1.0 - frac) + eps[i1] * frac;
+  };
+  fit.b = pct(0.025);
+  fit.a = pct(0.975);
+  if (fit.a < fit.b) std::swap(fit.a, fit.b);
+  // Ensure the constant fit's level stays inside the clamps.
+  if (fit.k == 0.0) fit.c = std::clamp(fit.c, fit.b, fit.a);
+  return fit;
+}
+
+}  // namespace axnn::ge

@@ -1,0 +1,47 @@
+#include "axnn/ge/monte_carlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "axnn/tensor/rng.hpp"
+
+namespace axnn::ge {
+
+std::vector<std::pair<double, double>> sample_accumulated_error(const approx::SignedMulTable& tab,
+                                                                const McConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<std::pair<double, double>> samples;
+  samples.reserve(static_cast<size_t>(cfg.num_sims) * cfg.outputs_per_sim);
+
+  std::vector<int8_t> w(static_cast<size_t>(cfg.dot_length));
+  std::vector<int8_t> x(static_cast<size_t>(cfg.dot_length));
+
+  for (int s = 0; s < cfg.num_sims; ++s) {
+    // One simulated convolution = one weight vector reused across outputs,
+    // like a conv filter sliding over a feature map.
+    for (auto& qw : w) {
+      const int v = static_cast<int>(std::lround(rng.normal(0.0, cfg.wgt_sigma)));
+      qw = static_cast<int8_t>(std::clamp(v, -7, 7));
+    }
+    for (int o = 0; o < cfg.outputs_per_sim; ++o) {
+      for (auto& qa : x) {
+        int v = static_cast<int>(std::lround(rng.normal(0.0, cfg.act_sigma)));
+        if (!cfg.signed_activations) v = std::abs(v);
+        qa = static_cast<int8_t>(std::clamp(v, cfg.signed_activations ? -127 : 0, 127));
+      }
+      int64_t y = 0, yt = 0;
+      for (int i = 0; i < cfg.dot_length; ++i) {
+        y += static_cast<int64_t>(w[static_cast<size_t>(i)]) * x[static_cast<size_t>(i)];
+        yt += tab(x[static_cast<size_t>(i)], w[static_cast<size_t>(i)]);
+      }
+      samples.emplace_back(static_cast<double>(y), static_cast<double>(yt - y));
+    }
+  }
+  return samples;
+}
+
+ErrorFit fit_multiplier_error(const approx::SignedMulTable& tab, const McConfig& cfg) {
+  return fit_piecewise_linear(sample_accumulated_error(tab, cfg));
+}
+
+}  // namespace axnn::ge

@@ -1,0 +1,33 @@
+// axnn — knowledge-distillation losses (paper Sec. III-A, Eqs. 1-3).
+//
+// ApproxKD is a two-stage distillation:
+//   stage 1 (quantization): teacher = FP model, student = 8A4W model,
+//       C_s1(y_q) = C_hard(y_q) + C_soft(y_q | y, T1);
+//   stage 2 (approximation): teacher = quantized model, student =
+//       approximate model, with a higher temperature T2 > T1,
+//       C_s2(y_approx) = C_hard(y_approx) + C_soft(y_approx | y_q, T2).
+//
+// The soft loss is scaled by T^2 so its gradient magnitude stays comparable
+// to the hard loss across temperatures (Hinton et al. [3]).
+#pragma once
+
+#include <vector>
+
+#include "axnn/nn/loss.hpp"
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn::kd {
+
+/// Soft cross-entropy between student and (fixed) teacher logits at
+/// temperature T (Eq. 2):
+///   C_soft = -T^2 * mean_i sum_k softmax(t_i/T)_k * log softmax(s_i/T)_k
+/// Gradient w.r.t. student logits: T * (softmax(s/T) - softmax(t/T)) / N.
+nn::LossResult soft_cross_entropy(const Tensor& student_logits, const Tensor& teacher_logits,
+                                  float temperature);
+
+/// Combined distillation loss C = C_hard(student, labels) + C_soft(student |
+/// teacher, T) — the per-stage cost function of ApproxKD (Eqs. C_s1 / C_s2).
+nn::LossResult distillation_loss(const Tensor& student_logits, const Tensor& teacher_logits,
+                                 const std::vector<int>& labels, float temperature);
+
+}  // namespace axnn::kd

@@ -1,0 +1,45 @@
+#include "axnn/kd/distill.hpp"
+
+#include <stdexcept>
+
+#include "axnn/tensor/ops.hpp"
+
+namespace axnn::kd {
+
+nn::LossResult soft_cross_entropy(const Tensor& student_logits, const Tensor& teacher_logits,
+                                  float temperature) {
+  if (!student_logits.same_shape(teacher_logits))
+    throw std::invalid_argument("soft_cross_entropy: logits shape mismatch");
+  if (student_logits.shape().rank() != 2)
+    throw std::invalid_argument("soft_cross_entropy: expected [N, C]");
+  if (temperature <= 0.0f)
+    throw std::invalid_argument("soft_cross_entropy: temperature must be > 0");
+
+  const int64_t n = student_logits.shape()[0];
+  const Tensor pt = ops::softmax(teacher_logits, temperature);
+  const Tensor ps = ops::softmax(student_logits, temperature);
+  const Tensor log_ps = ops::log_softmax(student_logits, temperature);
+
+  nn::LossResult r;
+  const double t2 = static_cast<double>(temperature) * temperature;
+  double loss = 0.0;
+  for (int64_t i = 0; i < pt.numel(); ++i) loss -= static_cast<double>(pt[i]) * log_ps[i];
+  r.value = t2 * loss / static_cast<double>(n);
+
+  // d/ds of T^2 * CE(pt, softmax(s/T)) = T * (ps - pt); mean over batch.
+  r.grad = Tensor(student_logits.shape());
+  const float scale = temperature / static_cast<float>(n);
+  for (int64_t i = 0; i < r.grad.numel(); ++i) r.grad[i] = scale * (ps[i] - pt[i]);
+  return r;
+}
+
+nn::LossResult distillation_loss(const Tensor& student_logits, const Tensor& teacher_logits,
+                                 const std::vector<int>& labels, float temperature) {
+  nn::LossResult hard = nn::cross_entropy(student_logits, labels);
+  const nn::LossResult soft = soft_cross_entropy(student_logits, teacher_logits, temperature);
+  hard.value += soft.value;
+  ops::add_inplace(hard.grad, soft.grad);
+  return hard;
+}
+
+}  // namespace axnn::kd

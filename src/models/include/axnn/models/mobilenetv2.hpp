@@ -1,0 +1,25 @@
+// axnn — MobileNetV2 (Sandler et al. [7]), CIFAR-style variant.
+//
+// Inverted residual bottleneck network. The CIFAR variant keeps stride 1 in
+// the stem and first two bottleneck groups (32x32-class inputs are too small
+// for the ImageNet downsampling schedule). A reduced preset (fewer
+// bottleneck repeats, narrower head) is provided to fit this reproduction's
+// CPU budget; set `small_preset = false` for the full (t,c,n,s) table.
+#pragma once
+
+#include <memory>
+
+#include "axnn/nn/sequential.hpp"
+
+namespace axnn::models {
+
+struct MobileNetV2Config {
+  float width_mult = 1.0f;
+  int num_classes = 10;
+  bool small_preset = true;
+  uint64_t seed = 42;
+};
+
+std::unique_ptr<nn::Sequential> make_mobilenet_v2(const MobileNetV2Config& cfg = {});
+
+}  // namespace axnn::models

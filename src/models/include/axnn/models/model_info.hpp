@@ -1,0 +1,21 @@
+// axnn — parameter and MAC accounting (Table I of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "axnn/nn/layer.hpp"
+
+namespace axnn::models {
+
+struct ModelInfo {
+  std::string name;
+  int64_t parameters = 0;
+  int64_t macs_per_sample = 0;
+};
+
+/// Run a single dummy forward (batch of one) to measure per-sample MACs and
+/// count trainable parameters.
+ModelInfo inspect_model(nn::Layer& model, int64_t channels, int64_t height, int64_t width);
+
+}  // namespace axnn::models

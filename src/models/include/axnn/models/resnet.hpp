@@ -1,0 +1,36 @@
+// axnn — CIFAR-style ResNets (He et al. [6]): ResNet20 and ResNet32.
+//
+// Topology: conv3x3(3->w) - bn - relu, three stages of n basic blocks with
+// widths {w, 2w, 4w} (stride 2 at stage transitions), global average pool,
+// fully-connected classifier. ResNet20: n = 3; ResNet32: n = 5.
+//
+// `width_mult` scales the base width w = 16 to fit the CPU compute budget
+// of this reproduction (DESIGN.md §2); the topology is unchanged.
+#pragma once
+
+#include <memory>
+
+#include "axnn/nn/sequential.hpp"
+
+namespace axnn::models {
+
+struct ResNetConfig {
+  int blocks_per_stage = 3;  ///< 3 -> ResNet20, 5 -> ResNet32
+  float width_mult = 1.0f;
+  int num_classes = 10;
+  uint64_t seed = 42;
+};
+
+std::unique_ptr<nn::Sequential> make_resnet(const ResNetConfig& cfg);
+
+inline std::unique_ptr<nn::Sequential> make_resnet20(float width_mult = 1.0f,
+                                                     uint64_t seed = 42) {
+  return make_resnet({3, width_mult, 10, seed});
+}
+
+inline std::unique_ptr<nn::Sequential> make_resnet32(float width_mult = 1.0f,
+                                                     uint64_t seed = 42) {
+  return make_resnet({5, width_mult, 10, seed});
+}
+
+}  // namespace axnn::models

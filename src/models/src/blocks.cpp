@@ -1,0 +1,96 @@
+#include "axnn/models/blocks.hpp"
+
+#include <stdexcept>
+
+#include "axnn/nn/batchnorm.hpp"
+#include "axnn/nn/conv2d.hpp"
+#include "axnn/tensor/ops.hpp"
+
+namespace axnn::models {
+
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Conv2dConfig;
+using nn::ExecContext;
+using nn::ReLU;
+using nn::ReLU6;
+
+BasicBlock::BasicBlock(int64_t in_channels, int64_t out_channels, int64_t stride, Rng& rng)
+    : main_("basic_block_main") {
+  main_.emplace<Conv2d>(
+      Conv2dConfig{in_channels, out_channels, 3, stride, 1, 1, /*bias=*/false}, rng);
+  main_.emplace<BatchNorm2d>(out_channels);
+  main_.emplace<ReLU>();
+  main_.emplace<Conv2d>(Conv2dConfig{out_channels, out_channels, 3, 1, 1, 1, false}, rng);
+  main_.emplace<BatchNorm2d>(out_channels);
+
+  if (stride != 1 || in_channels != out_channels) {
+    shortcut_ = std::make_unique<nn::Sequential>("basic_block_shortcut");
+    shortcut_->emplace<Conv2d>(
+        Conv2dConfig{in_channels, out_channels, 1, stride, 0, 1, false}, rng);
+    shortcut_->emplace<BatchNorm2d>(out_channels);
+  }
+}
+
+Tensor BasicBlock::forward(const Tensor& x, const ExecContext& ctx) {
+  Tensor a = main_.forward(x, ctx);
+  Tensor b = shortcut_ ? shortcut_->forward(x, ctx) : x;
+  Tensor y = ops::add(a, b);
+  relu_mask_ = Tensor(y.shape());
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    const bool pos = y[i] > 0.0f;
+    relu_mask_[i] = pos ? 1.0f : 0.0f;
+    if (!pos) y[i] = 0.0f;
+  }
+  return y;
+}
+
+Tensor BasicBlock::backward(const Tensor& dy) {
+  if (dy.shape() != relu_mask_.shape())
+    throw std::invalid_argument("BasicBlock::backward: dy shape mismatch");
+  Tensor dz = ops::mul(dy, relu_mask_);
+  Tensor da = main_.backward(dz);
+  Tensor db = shortcut_ ? shortcut_->backward(dz) : dz;
+  return ops::add(da, db);
+}
+
+std::vector<nn::Layer*> BasicBlock::children() {
+  std::vector<nn::Layer*> c{&main_};
+  if (shortcut_) c.push_back(shortcut_.get());
+  return c;
+}
+
+InvertedResidual::InvertedResidual(int64_t in_channels, int64_t out_channels, int64_t stride,
+                                   int64_t expand_ratio, Rng& rng)
+    : path_("inverted_residual_path") {
+  if (expand_ratio < 1) throw std::invalid_argument("InvertedResidual: expand_ratio >= 1");
+  const int64_t hidden = in_channels * expand_ratio;
+  use_skip_ = (stride == 1 && in_channels == out_channels);
+
+  if (expand_ratio != 1) {
+    path_.emplace<Conv2d>(Conv2dConfig{in_channels, hidden, 1, 1, 0, 1, false}, rng);
+    path_.emplace<BatchNorm2d>(hidden);
+    path_.emplace<ReLU6>();
+  }
+  // Depthwise 3x3.
+  path_.emplace<Conv2d>(Conv2dConfig{hidden, hidden, 3, stride, 1, hidden, false}, rng);
+  path_.emplace<BatchNorm2d>(hidden);
+  path_.emplace<ReLU6>();
+  // Linear bottleneck projection.
+  path_.emplace<Conv2d>(Conv2dConfig{hidden, out_channels, 1, 1, 0, 1, false}, rng);
+  path_.emplace<BatchNorm2d>(out_channels);
+}
+
+Tensor InvertedResidual::forward(const Tensor& x, const ExecContext& ctx) {
+  Tensor y = path_.forward(x, ctx);
+  if (use_skip_) ops::add_inplace(y, x);
+  return y;
+}
+
+Tensor InvertedResidual::backward(const Tensor& dy) {
+  Tensor dx = path_.backward(dy);
+  if (use_skip_) ops::add_inplace(dx, dy);
+  return dx;
+}
+
+}  // namespace axnn::models

@@ -1,0 +1,63 @@
+#include "axnn/models/mobilenetv2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "axnn/models/blocks.hpp"
+#include "axnn/nn/batchnorm.hpp"
+#include "axnn/nn/conv2d.hpp"
+#include "axnn/nn/linear.hpp"
+#include "axnn/nn/pooling.hpp"
+
+namespace axnn::models {
+
+namespace {
+struct BottleneckSpec {
+  int64_t expand, channels, repeats, stride;
+};
+}  // namespace
+
+std::unique_ptr<nn::Sequential> make_mobilenet_v2(const MobileNetV2Config& cfg) {
+  Rng rng(cfg.seed);
+  const auto width = [&](int64_t base) {
+    return std::max<int64_t>(4, static_cast<int64_t>(std::lround(
+                                    static_cast<double>(base) * cfg.width_mult)));
+  };
+
+  // (t, c, n, s) — CIFAR variant: first strides kept at 1.
+  const std::vector<BottleneckSpec> full = {
+      {1, 16, 1, 1}, {6, 24, 2, 1}, {6, 32, 3, 2}, {6, 64, 4, 2},
+      {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+  };
+  const std::vector<BottleneckSpec> small = {
+      {1, 16, 1, 1}, {6, 24, 2, 1}, {6, 32, 2, 2}, {6, 64, 2, 2}, {6, 96, 1, 1},
+  };
+  const auto& specs = cfg.small_preset ? small : full;
+  const int64_t head = cfg.small_preset ? width(256) : width(1280);
+
+  auto net = std::make_unique<nn::Sequential>("mobilenetv2");
+  const int64_t stem = width(32);
+  net->emplace<nn::Conv2d>(nn::Conv2dConfig{3, stem, 3, 1, 1, 1, false}, rng);
+  net->emplace<nn::BatchNorm2d>(stem);
+  net->emplace<nn::ReLU6>();
+
+  int64_t in_ch = stem;
+  for (const auto& s : specs) {
+    const int64_t out_ch = width(s.channels);
+    for (int64_t r = 0; r < s.repeats; ++r) {
+      const int64_t stride = (r == 0) ? s.stride : 1;
+      net->emplace<InvertedResidual>(in_ch, out_ch, stride, s.expand, rng);
+      in_ch = out_ch;
+    }
+  }
+
+  net->emplace<nn::Conv2d>(nn::Conv2dConfig{in_ch, head, 1, 1, 0, 1, false}, rng);
+  net->emplace<nn::BatchNorm2d>(head);
+  net->emplace<nn::ReLU6>();
+  net->emplace<nn::GlobalAvgPool>();
+  net->emplace<nn::Linear>(head, cfg.num_classes, rng);
+  return net;
+}
+
+}  // namespace axnn::models

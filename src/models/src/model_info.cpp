@@ -1,0 +1,15 @@
+#include "axnn/models/model_info.hpp"
+
+namespace axnn::models {
+
+ModelInfo inspect_model(nn::Layer& model, int64_t channels, int64_t height, int64_t width) {
+  ModelInfo info;
+  info.name = model.name();
+  info.parameters = nn::count_parameters(model);
+  Tensor dummy(Shape{1, channels, height, width}, 0.0f);
+  (void)model.forward(dummy, nn::ExecContext::fp());
+  info.macs_per_sample = nn::collect_mac_count(model);
+  return info;
+}
+
+}  // namespace axnn::models

@@ -1,0 +1,46 @@
+#include "axnn/models/resnet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "axnn/models/blocks.hpp"
+#include "axnn/nn/batchnorm.hpp"
+#include "axnn/nn/conv2d.hpp"
+#include "axnn/nn/linear.hpp"
+#include "axnn/nn/pooling.hpp"
+
+namespace axnn::models {
+
+std::unique_ptr<nn::Sequential> make_resnet(const ResNetConfig& cfg) {
+  if (cfg.blocks_per_stage <= 0) throw std::invalid_argument("make_resnet: blocks_per_stage");
+  Rng rng(cfg.seed);
+  const auto width = [&](int64_t base) {
+    return std::max<int64_t>(4, static_cast<int64_t>(std::lround(
+                                    static_cast<double>(base) * cfg.width_mult)));
+  };
+  const int64_t w1 = width(16), w2 = width(32), w3 = width(64);
+
+  const int depth = 6 * cfg.blocks_per_stage + 2;
+  auto net = std::make_unique<nn::Sequential>("resnet" + std::to_string(depth));
+  net->emplace<nn::Conv2d>(nn::Conv2dConfig{3, w1, 3, 1, 1, 1, false}, rng);
+  net->emplace<nn::BatchNorm2d>(w1);
+  net->emplace<nn::ReLU>();
+
+  const int64_t widths[3] = {w1, w2, w3};
+  int64_t in_ch = w1;
+  for (int stage = 0; stage < 3; ++stage) {
+    const int64_t out_ch = widths[stage];
+    for (int b = 0; b < cfg.blocks_per_stage; ++b) {
+      const int64_t stride = (b == 0 && stage > 0) ? 2 : 1;
+      net->emplace<BasicBlock>(in_ch, out_ch, stride, rng);
+      in_ch = out_ch;
+    }
+  }
+
+  net->emplace<nn::GlobalAvgPool>();
+  net->emplace<nn::Linear>(w3, cfg.num_classes, rng);
+  return net;
+}
+
+}  // namespace axnn::models

@@ -1,0 +1,105 @@
+// axnn — 2-D convolution with quantized-exact and quantized-approximate
+// execution paths.
+//
+// Forward lowers to GEMM via im2col: out[O, P] = W[O, K] · cols[K, P] per
+// group. In kQuantApprox mode the GEMM multiplies through an approximate-
+// multiplier table (Eq. 4); the backward pass uses the straight-through
+// estimator of the exact GEMM (Eq. 5), optionally refined by the
+// gradient-estimation scale (1 + K) on the weight gradient (Eq. 12).
+#pragma once
+
+#include <optional>
+
+#include "axnn/nn/im2col.hpp"
+#include "axnn/nn/layer.hpp"
+#include "axnn/quant/calibration.hpp"
+
+namespace axnn::nn {
+
+struct Conv2dConfig {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 3;
+  int64_t stride = 1;
+  int64_t padding = 1;
+  int64_t groups = 1;   ///< in/out channels must be divisible; groups == in
+                        ///< channels gives a depthwise convolution
+  bool bias = true;
+};
+
+class Conv2d final : public Layer {
+public:
+  Conv2d(Conv2dConfig cfg, Rng& rng);
+
+  std::string name() const override;
+  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Param*> params() override;
+  void finalize_calibration(quant::Calibration method) override;
+  int64_t last_mac_count() const override { return last_macs_; }
+
+  const Conv2dConfig& config() const { return cfg_; }
+  Param& weight() { return weight_; }
+  Param& bias_param() { return bias_; }
+  bool has_bias() const { return cfg_.bias; }
+
+  bool calibrated() const { return calibrated_; }
+  const quant::QuantParams& weight_qparams() const { return wgt_qp_; }
+  const quant::QuantParams& act_qparams() const { return act_qp_; }
+  void set_qparams(const quant::QuantParams& wgt, const quant::QuantParams& act);
+
+  /// Override the quantization bit-widths before calibration (paper outlook:
+  /// "extended for lower bitwidth quantization"). The approximate path
+  /// requires weight_bits <= 4 (the LUT's 4-bit operand); quantized-exact
+  /// execution accepts any width in [2, 8].
+  void set_bit_widths(int weight_bits, int activation_bits);
+  int weight_bits() const { return wgt_bits_; }
+  int activation_bits() const { return act_bits_; }
+
+  /// Per-layer multiplier override (paper outlook: "incorporation of more
+  /// than one approximation technique"): when set, this table is used in
+  /// kQuantApprox mode instead of the context-wide one, enabling layer-wise
+  /// non-uniform approximation. Pass nullptr to clear. The pointed-to table
+  /// must outlive the layer's use.
+  void set_multiplier_override(const approx::SignedMulTable* mul) { mul_override_ = mul; }
+  const approx::SignedMulTable* multiplier_override() const { return mul_override_; }
+
+  /// Per-output-channel affine fold (BatchNorm folding):
+  /// W[o,...] *= scale[o]; b[o] = b[o]*scale[o] + shift[o].
+  /// Enables the bias term if it was disabled.
+  void fold_scale_shift(const std::vector<float>& scale, const std::vector<float>& shift);
+
+  /// Analytic MACs for one sample with the given input spatial dims.
+  int64_t macs_per_sample(int64_t h, int64_t w) const;
+
+private:
+  Tensor run_gemm_float(const Tensor& w_mat, const Tensor& cols) const;
+  Tensor output_from_mat(const Tensor& out_mat, const ConvGeom& g) const;
+
+  Conv2dConfig cfg_;
+  Param weight_;  ///< [O, C/groups, k, k]
+  Param bias_;    ///< [O] (zero-sized if disabled)
+
+  // Quantization state.
+  int wgt_bits_ = quant::kWeightBits;
+  int act_bits_ = quant::kActivationBits;
+  quant::QuantParams wgt_qp_{1.0f, quant::kWeightBits};
+  quant::QuantParams act_qp_{1.0f, quant::kActivationBits};
+  const approx::SignedMulTable* mul_override_ = nullptr;
+  bool calibrated_ = false;
+  quant::RangeObserver act_obs_;
+  std::optional<Tensor> calib_cols_;    ///< cached cols for MinPropQE
+  std::optional<Tensor> calib_out_fp_;  ///< cached FP out_mat for MinPropQE
+
+  // Forward caches for backward.
+  ConvGeom geom_{};
+  Tensor cached_cols_;     ///< effective (possibly fake-quantized) cols [K, P]
+  Tensor cached_w_mat_;    ///< effective weight matrix [O, K/groups-block]
+  Tensor cached_act_mask_; ///< STE clip mask in input layout (quant modes)
+  Tensor cached_acc_;      ///< integer accumulators [O, P] (GE only)
+  const ge::ErrorFit* cached_fit_ = nullptr;
+  ExecMode cached_mode_ = ExecMode::kFloat;
+  int64_t last_macs_ = 0;
+};
+
+}  // namespace axnn::nn

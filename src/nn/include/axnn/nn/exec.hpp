@@ -1,0 +1,54 @@
+// axnn — per-pass execution context.
+//
+// The same network object executes in four modes, reproducing the paper's
+// cross-layer flow:
+//   kFloat      : full-precision forward/backward (pre-training, teacher).
+//   kCalibrate  : FP forward that additionally observes activation ranges
+//                 and caches calibration inputs for MinPropQE.
+//   kQuantExact : 8A4W fake-quantized forward with exact arithmetic
+//                 (quantization stage).
+//   kQuantApprox: 8A4W forward where every conv/FC GEMM multiplies through
+//                 an approximate-multiplier table (approximation stage).
+#pragma once
+
+#include "axnn/approx/signed_lut.hpp"
+#include "axnn/axmul/adder.hpp"
+#include "axnn/ge/error_fit.hpp"
+#include "axnn/quant/calibration.hpp"
+
+namespace axnn::nn {
+
+enum class ExecMode { kFloat, kCalibrate, kQuantExact, kQuantApprox };
+
+struct ExecContext {
+  ExecMode mode = ExecMode::kFloat;
+  /// Multiplier table for kQuantApprox; ignored otherwise.
+  const approx::SignedMulTable* mul = nullptr;
+  /// Optional gradient-estimation fit (paper Sec. III-B). When set and the
+  /// fit has a non-zero slope, conv/FC weight gradients are scaled by
+  /// (1 + K); when null or constant, the backward pass is the plain STE.
+  const ge::ErrorFit* ge_fit = nullptr;
+  /// True during training passes (controls BatchNorm statistics).
+  bool training = false;
+  /// Optional approximate accumulator (paper outlook: multiple
+  /// approximation techniques): when set, conv/FC partial sums are combined
+  /// through this adder model instead of exact addition. Evaluation-oriented
+  /// (one virtual call per MAC).
+  const axmul::Adder* adder = nullptr;
+
+  bool quantized() const {
+    return mode == ExecMode::kQuantExact || mode == ExecMode::kQuantApprox;
+  }
+
+  static ExecContext fp(bool training = false) { return {ExecMode::kFloat, nullptr, nullptr, training}; }
+  static ExecContext calibrate() { return {ExecMode::kCalibrate, nullptr, nullptr, false}; }
+  static ExecContext quant_exact(bool training = false) {
+    return {ExecMode::kQuantExact, nullptr, nullptr, training};
+  }
+  static ExecContext quant_approx(const approx::SignedMulTable& mul,
+                                  const ge::ErrorFit* fit = nullptr, bool training = false) {
+    return {ExecMode::kQuantApprox, &mul, fit, training};
+  }
+};
+
+}  // namespace axnn::nn

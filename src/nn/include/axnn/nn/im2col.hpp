@@ -1,0 +1,31 @@
+// axnn — im2col / col2im lowering for GEMM-based convolution.
+#pragma once
+
+#include <cstdint>
+
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn::nn {
+
+struct ConvGeom {
+  int64_t n, c, h, w;        ///< input [N, C, H, W]
+  int64_t kernel, stride, padding;
+  int64_t oh, ow;            ///< output spatial dims
+
+  static ConvGeom of(const Shape& x, int64_t kernel, int64_t stride, int64_t padding);
+  int64_t patch_rows() const { return c * kernel * kernel; }  ///< K dimension
+  int64_t out_cols() const { return n * oh * ow; }            ///< P dimension
+};
+
+/// x [N,C,H,W] -> cols [C*k*k, N*oh*ow]; out-of-image taps are zero.
+/// Row index = (c*k + kh)*k + kw; column index = (n*oh + i)*ow + j.
+Tensor im2col(const Tensor& x, const ConvGeom& g);
+
+/// int8 variant used by the approximate integer path.
+TensorI8 im2col_i8(const TensorI8& x, const ConvGeom& g);
+
+/// Scatter-add of cols gradients back to the input layout (adjoint of
+/// im2col).
+Tensor col2im(const Tensor& cols, const ConvGeom& g);
+
+}  // namespace axnn::nn

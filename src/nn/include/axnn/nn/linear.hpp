@@ -1,0 +1,70 @@
+// axnn — fully-connected layer with quantized-exact and approximate paths.
+//
+// Same execution model as Conv2d: y[N, O] = x[N, F] · W[O, F]ᵀ + b, lowered
+// to the shared approximate GEMM in kQuantApprox mode.
+#pragma once
+
+#include <optional>
+
+#include "axnn/nn/layer.hpp"
+#include "axnn/quant/calibration.hpp"
+
+namespace axnn::nn {
+
+class Linear final : public Layer {
+public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias = true);
+
+  std::string name() const override;
+  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Param*> params() override;
+  void finalize_calibration(quant::Calibration method) override;
+  int64_t last_mac_count() const override { return last_macs_; }
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+  Param& weight() { return weight_; }
+  Param& bias_param() { return bias_; }
+
+  bool calibrated() const { return calibrated_; }
+  const quant::QuantParams& weight_qparams() const { return wgt_qp_; }
+  const quant::QuantParams& act_qparams() const { return act_qp_; }
+  void set_qparams(const quant::QuantParams& wgt, const quant::QuantParams& act);
+
+  /// See Conv2d::set_bit_widths — approximate execution needs weight_bits
+  /// <= 4; quantized-exact accepts [2, 8].
+  void set_bit_widths(int weight_bits, int activation_bits);
+  int weight_bits() const { return wgt_bits_; }
+  int activation_bits() const { return act_bits_; }
+
+  /// Per-layer multiplier override (layer-wise non-uniform approximation);
+  /// see Conv2d::set_multiplier_override.
+  void set_multiplier_override(const approx::SignedMulTable* mul) { mul_override_ = mul; }
+  const approx::SignedMulTable* multiplier_override() const { return mul_override_; }
+
+private:
+  int64_t in_ = 0, out_ = 0;
+  bool has_bias_ = true;
+  Param weight_;  ///< [O, F]
+  Param bias_;    ///< [O]
+
+  int wgt_bits_ = quant::kWeightBits;
+  int act_bits_ = quant::kActivationBits;
+  quant::QuantParams wgt_qp_{1.0f, quant::kWeightBits};
+  quant::QuantParams act_qp_{1.0f, quant::kActivationBits};
+  const approx::SignedMulTable* mul_override_ = nullptr;
+  bool calibrated_ = false;
+  quant::RangeObserver act_obs_;
+  std::optional<Tensor> calib_x_;
+  std::optional<Tensor> calib_out_fp_;
+
+  Tensor cached_x_;        ///< effective input [N, F]
+  Tensor cached_w_;        ///< effective weights [O, F]
+  Tensor cached_act_mask_;
+  Tensor cached_acc_;      ///< integer accumulators [N, O] (GE only)
+  const ge::ErrorFit* cached_fit_ = nullptr;
+  int64_t last_macs_ = 0;
+};
+
+}  // namespace axnn::nn

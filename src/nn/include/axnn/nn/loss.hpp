@@ -1,0 +1,23 @@
+// axnn — classification losses (forward value + logit gradient).
+#pragma once
+
+#include <vector>
+
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn::nn {
+
+struct LossResult {
+  double value = 0.0;  ///< mean loss over the batch
+  Tensor grad;         ///< dL/dlogits, already divided by batch size
+};
+
+/// Hard cross-entropy against integer class labels (Eq. 1 with one-hot p):
+/// C(y) = -mean_i log softmax(y_i)[label_i].
+LossResult cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Mean-squared-error loss between two same-shape tensors: mean((a-b)^2),
+/// gradient w.r.t. `a`. Utility for regression-style tests and alpha-reg.
+LossResult mse_loss(const Tensor& a, const Tensor& b);
+
+}  // namespace axnn::nn

@@ -1,0 +1,32 @@
+// axnn — small quantization helpers shared by the GEMM layers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "axnn/quant/quantizer.hpp"
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn::nn {
+
+/// Quantize a float tensor directly into int8 storage (values are clamped to
+/// the symmetric range of `p`, which always fits int8 for bits <= 8).
+inline TensorI8 quantize_i8(const Tensor& x, const quant::QuantParams& p) {
+  TensorI8 q(x.shape());
+  const float inv = 1.0f / p.step;
+  const int32_t lo = p.qmin(), hi = p.qmax();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const int32_t v = static_cast<int32_t>(std::lrintf(x[i] * inv));
+    q[i] = static_cast<int8_t>(std::clamp(v, lo, hi));
+  }
+  return q;
+}
+
+/// Dequantize int8 values back to float: x~ = q * step.
+inline Tensor dequantize_i8(const TensorI8& q, const quant::QuantParams& p) {
+  Tensor x(q.shape());
+  for (int64_t i = 0; i < q.numel(); ++i) x[i] = static_cast<float>(q[i]) * p.step;
+  return x;
+}
+
+}  // namespace axnn::nn

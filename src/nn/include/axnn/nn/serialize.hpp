@@ -1,0 +1,24 @@
+// axnn — parameter (de)serialization for model caching between runs.
+//
+// Binary format: magic "AXNP", u32 version, u64 param count, then per
+// parameter: u32 rank, i64 dims, f32 payload. Loading validates shapes
+// against the target network.
+#pragma once
+
+#include <string>
+
+#include "axnn/nn/layer.hpp"
+
+namespace axnn::nn {
+
+/// Write every trainable parameter of the layer tree to `path`.
+void save_params(Layer& root, const std::string& path);
+
+/// Load parameters saved by save_params into the (structurally identical)
+/// layer tree. Throws std::runtime_error on format/shape mismatch.
+void load_params(Layer& root, const std::string& path);
+
+/// True if `path` exists and carries the expected magic.
+bool is_param_file(const std::string& path);
+
+}  // namespace axnn::nn

@@ -1,0 +1,45 @@
+// axnn — SGD optimizer with momentum, weight decay and step-decay schedule
+// (the paper's fine-tuning optimizer: lr in {1e-4, 1e-5}, decay 0.1 every
+// 15 epochs).
+#pragma once
+
+#include <vector>
+
+#include "axnn/nn/layer.hpp"
+
+namespace axnn::nn {
+
+struct SgdConfig {
+  float lr = 1e-2f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  /// Multiply lr by `decay_factor` every `decay_every_epochs` epochs
+  /// (applied by on_epoch_end; 0 disables).
+  float decay_factor = 0.1f;
+  int decay_every_epochs = 0;
+};
+
+class Sgd {
+public:
+  Sgd(std::vector<Param*> params, SgdConfig cfg);
+
+  /// Apply one update from accumulated gradients, then leave gradients
+  /// untouched (call Layer::zero_grad separately).
+  void step();
+
+  /// Advance the step-decay schedule; call once per finished epoch.
+  void on_epoch_end();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  const SgdConfig& config() const { return cfg_; }
+
+private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig cfg_;
+  float lr_;
+  int epochs_done_ = 0;
+};
+
+}  // namespace axnn::nn

@@ -1,0 +1,43 @@
+#include "axnn/nn/activations.hpp"
+
+#include <stdexcept>
+
+namespace axnn::nn {
+
+Tensor ReLU::forward(const Tensor& x, const ExecContext&) {
+  Tensor y(x.shape());
+  mask_ = Tensor(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    y[i] = pos ? x[i] : 0.0f;
+    mask_[i] = pos ? 1.0f : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  if (dy.shape() != mask_.shape()) throw std::invalid_argument("ReLU::backward: shape mismatch");
+  Tensor dx(dy.shape());
+  for (int64_t i = 0; i < dy.numel(); ++i) dx[i] = dy[i] * mask_[i];
+  return dx;
+}
+
+Tensor ReLU6::forward(const Tensor& x, const ExecContext&) {
+  Tensor y(x.shape());
+  mask_ = Tensor(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const bool open = x[i] > 0.0f && x[i] < 6.0f;
+    y[i] = x[i] <= 0.0f ? 0.0f : (x[i] >= 6.0f ? 6.0f : x[i]);
+    mask_[i] = open ? 1.0f : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU6::backward(const Tensor& dy) {
+  if (dy.shape() != mask_.shape()) throw std::invalid_argument("ReLU6::backward: shape mismatch");
+  Tensor dx(dy.shape());
+  for (int64_t i = 0; i < dy.numel(); ++i) dx[i] = dy[i] * mask_[i];
+  return dx;
+}
+
+}  // namespace axnn::nn

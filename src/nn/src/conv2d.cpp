@@ -1,0 +1,294 @@
+#include "axnn/nn/conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "axnn/approx/approx_gemm.hpp"
+#include "axnn/nn/qutils.hpp"
+#include "axnn/tensor/gemm.hpp"
+#include "axnn/tensor/ops.hpp"
+
+namespace axnn::nn {
+
+namespace {
+
+/// [N,O,oh,ow] feature map -> [O, N*oh*ow] GEMM layout.
+Tensor to_mat(const Tensor& fmap) {
+  const int64_t n = fmap.shape()[0], o = fmap.shape()[1];
+  const int64_t hw = fmap.shape()[2] * fmap.shape()[3];
+  Tensor mat(Shape{o, n * hw});
+  for (int64_t b = 0; b < n; ++b)
+    for (int64_t ch = 0; ch < o; ++ch) {
+      const float* src = fmap.data() + (b * o + ch) * hw;
+      float* dst = mat.data() + ch * (n * hw) + b * hw;
+      for (int64_t p = 0; p < hw; ++p) dst[p] = src[p];
+    }
+  return mat;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(Conv2dConfig cfg, Rng& rng) : cfg_(cfg) {
+  if (cfg_.in_channels <= 0 || cfg_.out_channels <= 0)
+    throw std::invalid_argument("Conv2d: channels must be positive");
+  if (cfg_.groups <= 0 || cfg_.in_channels % cfg_.groups || cfg_.out_channels % cfg_.groups)
+    throw std::invalid_argument("Conv2d: channels must be divisible by groups");
+  const int64_t cg = cfg_.in_channels / cfg_.groups;
+  const int64_t fan_in = cg * cfg_.kernel * cfg_.kernel;
+  weight_ = Param(kaiming_normal(Shape{cfg_.out_channels, cg, cfg_.kernel, cfg_.kernel},
+                                 fan_in, rng));
+  if (cfg_.bias) bias_ = Param(Tensor(Shape{cfg_.out_channels}, 0.0f));
+}
+
+std::string Conv2d::name() const {
+  return "conv" + std::to_string(cfg_.kernel) + "x" + std::to_string(cfg_.kernel) + "_" +
+         std::to_string(cfg_.in_channels) + "->" + std::to_string(cfg_.out_channels) +
+         (cfg_.groups > 1 ? "_g" + std::to_string(cfg_.groups) : "");
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> p{&weight_};
+  if (cfg_.bias) p.push_back(&bias_);
+  return p;
+}
+
+void Conv2d::set_qparams(const quant::QuantParams& wgt, const quant::QuantParams& act) {
+  wgt_qp_ = wgt;
+  act_qp_ = act;
+  wgt_bits_ = wgt.bits;
+  act_bits_ = act.bits;
+  calibrated_ = true;
+}
+
+void Conv2d::set_bit_widths(int weight_bits, int activation_bits) {
+  if (weight_bits < 2 || weight_bits > 8 || activation_bits < 2 || activation_bits > 8)
+    throw std::invalid_argument("Conv2d::set_bit_widths: widths must be in [2, 8]");
+  wgt_bits_ = weight_bits;
+  act_bits_ = activation_bits;
+  calibrated_ = false;  // existing steps were chosen for the old widths
+}
+
+int64_t Conv2d::macs_per_sample(int64_t h, int64_t w) const {
+  const int64_t oh = (h + 2 * cfg_.padding - cfg_.kernel) / cfg_.stride + 1;
+  const int64_t ow = (w + 2 * cfg_.padding - cfg_.kernel) / cfg_.stride + 1;
+  const int64_t cg = cfg_.in_channels / cfg_.groups;
+  return cfg_.out_channels * cg * cfg_.kernel * cfg_.kernel * oh * ow;
+}
+
+Tensor Conv2d::run_gemm_float(const Tensor& w_mat, const Tensor& cols) const {
+  const int64_t o = cfg_.out_channels, grp = cfg_.groups;
+  const int64_t og = o / grp;
+  const int64_t kg = w_mat.numel() / o;
+  const int64_t p = cols.shape()[1];
+  Tensor out(Shape{o, p});
+  for (int64_t g = 0; g < grp; ++g)
+    gemm_f32(w_mat.data() + g * og * kg, cols.data() + g * kg * p, out.data() + g * og * p,
+             og, kg, p);
+  return out;
+}
+
+Tensor Conv2d::output_from_mat(const Tensor& out_mat, const ConvGeom& g) const {
+  Tensor out(Shape{g.n, cfg_.out_channels, g.oh, g.ow});
+  const int64_t hw = g.oh * g.ow;
+  const int64_t p_total = g.n * hw;
+  for (int64_t b = 0; b < g.n; ++b)
+    for (int64_t ch = 0; ch < cfg_.out_channels; ++ch) {
+      const float bias_v = cfg_.bias ? bias_.value[ch] : 0.0f;
+      const float* src = out_mat.data() + ch * p_total + b * hw;
+      float* dst = out.data() + (b * cfg_.out_channels + ch) * hw;
+      for (int64_t p = 0; p < hw; ++p) dst[p] = src[p] + bias_v;
+    }
+  return out;
+}
+
+Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
+  if (x.shape().rank() != 4 || x.shape()[1] != cfg_.in_channels)
+    throw std::invalid_argument("Conv2d::forward: bad input shape " + x.shape().to_string());
+  geom_ = ConvGeom::of(x.shape(), cfg_.kernel, cfg_.stride, cfg_.padding);
+  cached_mode_ = ctx.mode;
+  cached_fit_ = nullptr;
+  cached_acc_ = Tensor{};
+  cached_act_mask_ = Tensor{};
+
+  const int64_t o = cfg_.out_channels, grp = cfg_.groups;
+  const int64_t og = o / grp;
+  const int64_t cg = cfg_.in_channels / grp;
+  const int64_t kg = cg * cfg_.kernel * cfg_.kernel;
+  const int64_t p = geom_.out_cols();
+  last_macs_ = og * kg * p * grp;
+
+  const Shape wmat_shape{o, kg};
+
+  switch (ctx.mode) {
+    case ExecMode::kFloat:
+    case ExecMode::kCalibrate: {
+      Tensor cols = im2col(x, geom_);
+      Tensor w_mat = weight_.value.reshaped(wmat_shape);
+      Tensor out_mat = run_gemm_float(w_mat, cols);
+      if (ctx.mode == ExecMode::kCalibrate) {
+        act_obs_.observe(x);
+        calib_cols_ = cols;
+        calib_out_fp_ = out_mat;
+      }
+      cached_cols_ = std::move(cols);
+      cached_w_mat_ = std::move(w_mat);
+      return output_from_mat(out_mat, geom_);
+    }
+
+    case ExecMode::kQuantExact: {
+      if (!calibrated_) throw std::logic_error("Conv2d: quantized forward before calibration");
+      const Tensor xq = quant::fake_quantize(x, act_qp_);
+      cached_act_mask_ = quant::ste_mask(x, act_qp_);
+      Tensor cols = im2col(xq, geom_);
+      Tensor wq = quant::fake_quantize(weight_.value, wgt_qp_).reshaped(wmat_shape);
+      Tensor out_mat = run_gemm_float(wq, cols);
+      cached_cols_ = std::move(cols);
+      cached_w_mat_ = std::move(wq);
+      return output_from_mat(out_mat, geom_);
+    }
+
+    case ExecMode::kQuantApprox: {
+      if (!calibrated_) throw std::logic_error("Conv2d: approx forward before calibration");
+      const approx::SignedMulTable* mul = mul_override_ ? mul_override_ : ctx.mul;
+      if (mul == nullptr)
+        throw std::logic_error("Conv2d: kQuantApprox requires a multiplier table");
+      if (wgt_qp_.bits > 4)
+        throw std::logic_error(
+            "Conv2d: approximate execution requires weight_bits <= 4 (LUT operand)");
+      const TensorI8 qx = quantize_i8(x, act_qp_);
+      cached_act_mask_ = quant::ste_mask(x, act_qp_);
+      const TensorI8 qcols = im2col_i8(qx, geom_);
+      const TensorI8 qw = quantize_i8(weight_.value, wgt_qp_);
+      TensorI32 acc(Shape{o, p});
+      for (int64_t g = 0; g < grp; ++g) {
+        if (ctx.adder != nullptr)
+          approx::gemm_approx_accum_i32(qw.data() + g * og * kg, qcols.data() + g * kg * p,
+                                        acc.data() + g * og * p, og, kg, p, *mul,
+                                        *ctx.adder);
+        else
+          approx::gemm_approx_i32(qw.data() + g * og * kg, qcols.data() + g * kg * p,
+                                  acc.data() + g * og * p, og, kg, p, *mul);
+      }
+      // Dequantize accumulators; also materialise the float caches the STE
+      // backward needs (Eq. 5 uses the *exact* GEMM of the quantized values).
+      const float sx = act_qp_.step, sw = wgt_qp_.step;
+      Tensor out_mat(Shape{o, p});
+      for (int64_t i = 0; i < acc.numel(); ++i)
+        out_mat[i] = static_cast<float>(acc[i]) * sx * sw;
+      cached_cols_ = dequantize_i8(qcols, act_qp_);
+      cached_w_mat_ = dequantize_i8(qw, wgt_qp_).reshaped(wmat_shape);
+      if (ctx.ge_fit != nullptr && !ctx.ge_fit->is_constant()) {
+        cached_fit_ = ctx.ge_fit;
+        Tensor acc_f(acc.shape());
+        for (int64_t i = 0; i < acc.numel(); ++i) acc_f[i] = static_cast<float>(acc[i]);
+        cached_acc_ = std::move(acc_f);
+      }
+      return output_from_mat(out_mat, geom_);
+    }
+  }
+  throw std::logic_error("Conv2d::forward: unknown mode");
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+  if (dy.shape() != Shape{geom_.n, cfg_.out_channels, geom_.oh, geom_.ow})
+    throw std::invalid_argument("Conv2d::backward: dy shape mismatch");
+  const int64_t o = cfg_.out_channels, grp = cfg_.groups;
+  const int64_t og = o / grp;
+  const int64_t kg = cached_w_mat_.numel() / o;
+  const int64_t p = geom_.out_cols();
+
+  Tensor dy_mat = to_mat(dy);
+
+  if (cfg_.bias) {
+    for (int64_t ch = 0; ch < o; ++ch) {
+      double s = 0.0;
+      const float* row = dy_mat.data() + ch * p;
+      for (int64_t j = 0; j < p; ++j) s += row[j];
+      bias_.grad[ch] += static_cast<float>(s);
+    }
+  }
+
+  // Gradient estimation (Eq. 12): scale the weight-gradient path by (1 + K),
+  // where K is the derivative of the fitted error function evaluated at the
+  // integer accumulator value of each output element.
+  const Tensor* dyw = &dy_mat;
+  Tensor dy_scaled;
+  if (cached_fit_ != nullptr) {
+    dy_scaled = dy_mat;
+    for (int64_t i = 0; i < dy_scaled.numel(); ++i)
+      dy_scaled[i] *= static_cast<float>(1.0 + cached_fit_->derivative(cached_acc_[i]));
+    dyw = &dy_scaled;
+  }
+
+  Tensor dw_mat(Shape{o, kg});
+  for (int64_t g = 0; g < grp; ++g)
+    gemm_nt_f32(dyw->data() + g * og * p, cached_cols_.data() + g * kg * p,
+                dw_mat.data() + g * og * kg, og, p, kg);
+  ops::add_inplace(weight_.grad, dw_mat.reshaped(weight_.grad.shape()));
+
+  Tensor dcols(Shape{grp * kg, p}, 0.0f);
+  for (int64_t g = 0; g < grp; ++g)
+    gemm_tn_f32_acc(cached_w_mat_.data() + g * og * kg, dy_mat.data() + g * og * p,
+                    dcols.data() + g * kg * p, kg, og, p);
+  Tensor dx = col2im(dcols, geom_);
+
+  // Clipped STE on activations: gradients are blocked where the input
+  // saturated the 8-bit range.
+  if (!cached_act_mask_.empty()) {
+    for (int64_t i = 0; i < dx.numel(); ++i) dx[i] *= cached_act_mask_[i];
+  }
+  return dx;
+}
+
+void Conv2d::finalize_calibration(quant::Calibration method) {
+  if (!act_obs_.seen())
+    throw std::logic_error("Conv2d: finalize_calibration without calibration passes");
+  act_qp_ = act_obs_.params_min_mse(act_bits_);
+
+  switch (method) {
+    case quant::Calibration::kMaxAbs:
+      wgt_qp_ = quant::calibrate_max_abs(weight_.value, wgt_bits_);
+      break;
+    case quant::Calibration::kMinMse:
+      wgt_qp_ = quant::calibrate_min_mse(weight_.value, wgt_bits_);
+      break;
+    case quant::Calibration::kMinPropQE: {
+      if (!calib_cols_ || !calib_out_fp_) {
+        wgt_qp_ = quant::calibrate_min_mse(weight_.value, wgt_bits_);
+        break;
+      }
+      const Shape wmat_shape{cfg_.out_channels, calib_cols_->shape()[0] / cfg_.groups};
+      wgt_qp_ = quant::calibrate_min_prop_qe(
+          weight_.value, wgt_bits_, [&](const quant::QuantParams& p) {
+            const Tensor wq = quant::fake_quantize(weight_.value, p).reshaped(wmat_shape);
+            const Tensor out = run_gemm_float(wq, *calib_cols_);
+            return ops::mse(out, *calib_out_fp_);
+          });
+      break;
+    }
+  }
+  calibrated_ = true;
+  calib_cols_.reset();
+  calib_out_fp_.reset();
+}
+
+void Conv2d::fold_scale_shift(const std::vector<float>& scale, const std::vector<float>& shift) {
+  if (static_cast<int64_t>(scale.size()) != cfg_.out_channels ||
+      static_cast<int64_t>(shift.size()) != cfg_.out_channels)
+    throw std::invalid_argument("fold_scale_shift: size mismatch");
+  const int64_t per_ch = weight_.value.numel() / cfg_.out_channels;
+  for (int64_t ch = 0; ch < cfg_.out_channels; ++ch) {
+    float* w = weight_.value.data() + ch * per_ch;
+    for (int64_t i = 0; i < per_ch; ++i) w[i] *= scale[static_cast<size_t>(ch)];
+  }
+  if (!cfg_.bias) {
+    bias_ = Param(Tensor(Shape{cfg_.out_channels}, 0.0f));
+    cfg_.bias = true;
+  }
+  for (int64_t ch = 0; ch < cfg_.out_channels; ++ch)
+    bias_.value[ch] = bias_.value[ch] * scale[static_cast<size_t>(ch)] +
+                      shift[static_cast<size_t>(ch)];
+  calibrated_ = false;  // folded weights need recalibration
+}
+
+}  // namespace axnn::nn

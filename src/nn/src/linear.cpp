@@ -1,0 +1,200 @@
+#include "axnn/nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "axnn/approx/approx_gemm.hpp"
+#include "axnn/nn/qutils.hpp"
+#include "axnn/tensor/gemm.hpp"
+#include "axnn/tensor/ops.hpp"
+
+namespace axnn::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_(in_features), out_(out_features), has_bias_(bias) {
+  if (in_ <= 0 || out_ <= 0) throw std::invalid_argument("Linear: features must be positive");
+  weight_ = Param(kaiming_normal(Shape{out_, in_}, in_, rng));
+  if (has_bias_) bias_ = Param(Tensor(Shape{out_}, 0.0f));
+}
+
+std::string Linear::name() const {
+  return "linear_" + std::to_string(in_) + "->" + std::to_string(out_);
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> p{&weight_};
+  if (has_bias_) p.push_back(&bias_);
+  return p;
+}
+
+void Linear::set_qparams(const quant::QuantParams& wgt, const quant::QuantParams& act) {
+  wgt_qp_ = wgt;
+  act_qp_ = act;
+  wgt_bits_ = wgt.bits;
+  act_bits_ = act.bits;
+  calibrated_ = true;
+}
+
+void Linear::set_bit_widths(int weight_bits, int activation_bits) {
+  if (weight_bits < 2 || weight_bits > 8 || activation_bits < 2 || activation_bits > 8)
+    throw std::invalid_argument("Linear::set_bit_widths: widths must be in [2, 8]");
+  wgt_bits_ = weight_bits;
+  act_bits_ = activation_bits;
+  calibrated_ = false;
+}
+
+namespace {
+Tensor linear_forward_float(const Tensor& x, const Tensor& w, const Tensor* bias) {
+  const int64_t n = x.shape()[0], f = x.shape()[1], o = w.shape()[0];
+  Tensor y(Shape{n, o});
+  gemm_nt_f32(x.data(), w.data(), y.data(), n, f, o);
+  if (bias != nullptr)
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < o; ++j) y(i, j) += (*bias)[j];
+  return y;
+}
+}  // namespace
+
+Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
+  if (x.shape().rank() != 2 || x.shape()[1] != in_)
+    throw std::invalid_argument("Linear::forward: bad input shape " + x.shape().to_string());
+  const int64_t n = x.shape()[0];
+  last_macs_ = n * in_ * out_;
+  cached_fit_ = nullptr;
+  cached_acc_ = Tensor{};
+  cached_act_mask_ = Tensor{};
+  const Tensor* bias = has_bias_ ? &bias_.value : nullptr;
+
+  switch (ctx.mode) {
+    case ExecMode::kFloat:
+    case ExecMode::kCalibrate: {
+      Tensor y = linear_forward_float(x, weight_.value, bias);
+      if (ctx.mode == ExecMode::kCalibrate) {
+        act_obs_.observe(x);
+        calib_x_ = x;
+        calib_out_fp_ = linear_forward_float(x, weight_.value, nullptr);
+      }
+      cached_x_ = x;
+      cached_w_ = weight_.value;
+      return y;
+    }
+
+    case ExecMode::kQuantExact: {
+      if (!calibrated_) throw std::logic_error("Linear: quantized forward before calibration");
+      Tensor xq = quant::fake_quantize(x, act_qp_);
+      cached_act_mask_ = quant::ste_mask(x, act_qp_);
+      Tensor wq = quant::fake_quantize(weight_.value, wgt_qp_);
+      Tensor y = linear_forward_float(xq, wq, bias);
+      cached_x_ = std::move(xq);
+      cached_w_ = std::move(wq);
+      return y;
+    }
+
+    case ExecMode::kQuantApprox: {
+      if (!calibrated_) throw std::logic_error("Linear: approx forward before calibration");
+      const approx::SignedMulTable* mul = mul_override_ ? mul_override_ : ctx.mul;
+      if (mul == nullptr)
+        throw std::logic_error("Linear: kQuantApprox requires a multiplier table");
+      if (wgt_qp_.bits > 4)
+        throw std::logic_error(
+            "Linear: approximate execution requires weight_bits <= 4 (LUT operand)");
+      const TensorI8 qx = quantize_i8(x, act_qp_);
+      cached_act_mask_ = quant::ste_mask(x, act_qp_);
+      const TensorI8 qw = quantize_i8(weight_.value, wgt_qp_);
+      // gemm_approx computes W[O,F] ·~ X[F,N]: transpose the activations so
+      // they take the 8-bit operand role.
+      TensorI8 qxt(Shape{in_, n});
+      for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < in_; ++j) qxt(j, i) = qx(i, j);
+      TensorI32 acc(Shape{out_, n});
+      if (ctx.adder != nullptr)
+        approx::gemm_approx_accum_i32(qw.data(), qxt.data(), acc.data(), out_, in_, n, *mul,
+                                      *ctx.adder);
+      else
+        approx::gemm_approx_i32(qw.data(), qxt.data(), acc.data(), out_, in_, n, *mul);
+
+      const float s = act_qp_.step * wgt_qp_.step;
+      Tensor y(Shape{n, out_});
+      for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < out_; ++j)
+          y(i, j) = static_cast<float>(acc(j, i)) * s + (has_bias_ ? bias_.value[j] : 0.0f);
+
+      cached_x_ = dequantize_i8(qx, act_qp_);
+      cached_w_ = dequantize_i8(qw, wgt_qp_);
+      if (ctx.ge_fit != nullptr && !ctx.ge_fit->is_constant()) {
+        cached_fit_ = ctx.ge_fit;
+        Tensor acc_f(Shape{n, out_});
+        for (int64_t i = 0; i < n; ++i)
+          for (int64_t j = 0; j < out_; ++j) acc_f(i, j) = static_cast<float>(acc(j, i));
+        cached_acc_ = std::move(acc_f);
+      }
+      return y;
+    }
+  }
+  throw std::logic_error("Linear::forward: unknown mode");
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  const int64_t n = cached_x_.shape()[0];
+  if (dy.shape() != Shape{n, out_})
+    throw std::invalid_argument("Linear::backward: dy shape mismatch");
+
+  if (has_bias_) {
+    for (int64_t j = 0; j < out_; ++j) {
+      double s = 0.0;
+      for (int64_t i = 0; i < n; ++i) s += dy(i, j);
+      bias_.grad[j] += static_cast<float>(s);
+    }
+  }
+
+  const Tensor* dyw = &dy;
+  Tensor dy_scaled;
+  if (cached_fit_ != nullptr) {
+    dy_scaled = dy;
+    for (int64_t i = 0; i < dy_scaled.numel(); ++i)
+      dy_scaled[i] *= static_cast<float>(1.0 + cached_fit_->derivative(cached_acc_[i]));
+    dyw = &dy_scaled;
+  }
+
+  // dW[O,F] += dyᵀ · x
+  gemm_tn_f32_acc(dyw->data(), cached_x_.data(), weight_.grad.data(), out_, n, in_);
+
+  // dx[N,F] = dy · W
+  Tensor dx(Shape{n, in_});
+  gemm_f32(dy.data(), cached_w_.data(), dx.data(), n, out_, in_);
+  if (!cached_act_mask_.empty())
+    for (int64_t i = 0; i < dx.numel(); ++i) dx[i] *= cached_act_mask_[i];
+  return dx;
+}
+
+void Linear::finalize_calibration(quant::Calibration method) {
+  if (!act_obs_.seen())
+    throw std::logic_error("Linear: finalize_calibration without calibration passes");
+  act_qp_ = act_obs_.params_min_mse(act_bits_);
+
+  switch (method) {
+    case quant::Calibration::kMaxAbs:
+      wgt_qp_ = quant::calibrate_max_abs(weight_.value, wgt_bits_);
+      break;
+    case quant::Calibration::kMinMse:
+      wgt_qp_ = quant::calibrate_min_mse(weight_.value, wgt_bits_);
+      break;
+    case quant::Calibration::kMinPropQE: {
+      if (!calib_x_ || !calib_out_fp_) {
+        wgt_qp_ = quant::calibrate_min_mse(weight_.value, wgt_bits_);
+        break;
+      }
+      wgt_qp_ = quant::calibrate_min_prop_qe(
+          weight_.value, wgt_bits_, [&](const quant::QuantParams& p) {
+            const Tensor wq = quant::fake_quantize(weight_.value, p);
+            const Tensor out = linear_forward_float(*calib_x_, wq, nullptr);
+            return ops::mse(out, *calib_out_fp_);
+          });
+      break;
+    }
+  }
+  calibrated_ = true;
+  calib_x_.reset();
+  calib_out_fp_.reset();
+}
+
+}  // namespace axnn::nn

@@ -1,0 +1,49 @@
+#include "axnn/nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "axnn/tensor/ops.hpp"
+
+namespace axnn::nn {
+
+LossResult cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.shape().rank() != 2) throw std::invalid_argument("cross_entropy: expected [N, C]");
+  const int64_t n = logits.shape()[0], c = logits.shape()[1];
+  if (static_cast<int64_t>(labels.size()) != n)
+    throw std::invalid_argument("cross_entropy: label count mismatch");
+
+  const Tensor logp = ops::log_softmax(logits);
+  const Tensor p = ops::softmax(logits);
+
+  LossResult r;
+  r.grad = p;  // grad = (softmax - onehot) / N
+  double loss = 0.0;
+  const float invn = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<size_t>(i)];
+    if (y < 0 || y >= c) throw std::invalid_argument("cross_entropy: label out of range");
+    loss -= logp(i, y);
+    r.grad(i, y) -= 1.0f;
+  }
+  for (int64_t i = 0; i < r.grad.numel(); ++i) r.grad[i] *= invn;
+  r.value = loss / static_cast<double>(n);
+  return r;
+}
+
+LossResult mse_loss(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("mse_loss: shape mismatch");
+  LossResult r;
+  r.grad = Tensor(a.shape());
+  double acc = 0.0;
+  const double inv = a.numel() ? 1.0 / static_cast<double>(a.numel()) : 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+    r.grad[i] = static_cast<float>(2.0 * d * inv);
+  }
+  r.value = acc * inv;
+  return r;
+}
+
+}  // namespace axnn::nn

@@ -1,0 +1,90 @@
+#include "axnn/nn/sequential.hpp"
+
+#include <stdexcept>
+
+#include "axnn/nn/batchnorm.hpp"
+#include "axnn/nn/conv2d.hpp"
+#include "axnn/nn/linear.hpp"
+
+namespace axnn::nn {
+
+void Sequential::fold_batchnorms() {
+  for (size_t i = 0; i + 1 < layers_.size();) {
+    auto* conv = dynamic_cast<Conv2d*>(layers_[i].get());
+    auto* bn = dynamic_cast<BatchNorm2d*>(layers_[i + 1].get());
+    if (conv != nullptr && bn != nullptr) {
+      bn->fold_into(*conv);
+      layers_.erase(layers_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      // Re-check the same position: the next layer could be another BN only
+      // in malformed graphs, but the re-check is harmless.
+    } else {
+      ++i;
+    }
+  }
+  for (auto& l : layers_) l->fold_batchnorms();
+}
+
+std::vector<Param*> collect_params(Layer& root) {
+  std::vector<Param*> out;
+  for (Param* p : root.params()) out.push_back(p);
+  for (Layer* c : root.children()) {
+    const auto sub = collect_params(*c);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<Tensor*> collect_buffers(Layer& root) {
+  std::vector<Tensor*> out;
+  for (Tensor* b : root.buffers()) out.push_back(b);
+  for (Layer* c : root.children()) {
+    const auto sub = collect_buffers(*c);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+int64_t count_parameters(Layer& root) {
+  int64_t n = 0;
+  for (Param* p : collect_params(root)) n += p->value.numel();
+  return n;
+}
+
+void copy_state(Layer& src, Layer& dst) {
+  const auto ps = collect_params(src), pd = collect_params(dst);
+  if (ps.size() != pd.size()) throw std::invalid_argument("copy_state: parameter count mismatch");
+  for (size_t i = 0; i < ps.size(); ++i) {
+    if (!ps[i]->value.same_shape(pd[i]->value))
+      throw std::invalid_argument("copy_state: parameter shape mismatch");
+    pd[i]->value = ps[i]->value;
+  }
+  const auto bs = collect_buffers(src), bd = collect_buffers(dst);
+  if (bs.size() != bd.size()) throw std::invalid_argument("copy_state: buffer count mismatch");
+  for (size_t i = 0; i < bs.size(); ++i) {
+    if (!bs[i]->same_shape(*bd[i]))
+      throw std::invalid_argument("copy_state: buffer shape mismatch");
+    *bd[i] = *bs[i];
+  }
+}
+
+int64_t collect_mac_count(Layer& root) {
+  int64_t macs = root.last_mac_count();
+  for (Layer* c : root.children()) macs += collect_mac_count(*c);
+  return macs;
+}
+
+void finalize_calibration_recursive(Layer& root, quant::Calibration method) {
+  root.finalize_calibration(method);
+  for (Layer* c : root.children()) finalize_calibration_recursive(*c, method);
+}
+
+void set_bit_widths_recursive(Layer& root, int weight_bits, int activation_bits) {
+  if (auto* conv = dynamic_cast<Conv2d*>(&root)) {
+    conv->set_bit_widths(weight_bits, activation_bits);
+  } else if (auto* lin = dynamic_cast<Linear*>(&root)) {
+    lin->set_bit_widths(weight_bits, activation_bits);
+  }
+  for (Layer* c : root.children()) set_bit_widths_recursive(*c, weight_bits, activation_bits);
+}
+
+}  // namespace axnn::nn

@@ -1,0 +1,88 @@
+#include "axnn/nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace axnn::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'X', 'N', 'P'};
+constexpr uint32_t kVersion = 2;  // v2: parameters followed by buffers
+
+void write_tensor(std::ofstream& f, const Tensor& t) {
+  const uint32_t rank = static_cast<uint32_t>(t.shape().rank());
+  f.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (int d = 0; d < static_cast<int>(rank); ++d) {
+    const int64_t dim = t.shape()[d];
+    f.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  }
+  f.write(reinterpret_cast<const char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+void read_tensor_into(std::ifstream& f, Tensor& t, const std::string& path) {
+  uint32_t rank = 0;
+  f.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (rank != static_cast<uint32_t>(t.shape().rank()))
+    throw std::runtime_error("load_params: rank mismatch in " + path);
+  for (int d = 0; d < static_cast<int>(rank); ++d) {
+    int64_t dim = 0;
+    f.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    if (dim != t.shape()[d]) throw std::runtime_error("load_params: shape mismatch in " + path);
+  }
+  f.read(reinterpret_cast<char*>(t.data()),
+         static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!f) throw std::runtime_error("load_params: truncated file " + path);
+}
+
+}  // namespace
+
+void save_params(Layer& root, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("save_params: cannot open " + path);
+  const auto params = collect_params(root);
+  const auto buffers = collect_buffers(root);
+  f.write(kMagic, 4);
+  const uint32_t ver = kVersion;
+  f.write(reinterpret_cast<const char*>(&ver), sizeof(ver));
+  const uint64_t np = params.size(), nb = buffers.size();
+  f.write(reinterpret_cast<const char*>(&np), sizeof(np));
+  f.write(reinterpret_cast<const char*>(&nb), sizeof(nb));
+  for (const Param* p : params) write_tensor(f, p->value);
+  for (const Tensor* b : buffers) write_tensor(f, *b);
+  if (!f) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+void load_params(Layer& root, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_params: cannot open " + path);
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("load_params: bad magic in " + path);
+  uint32_t ver = 0;
+  f.read(reinterpret_cast<char*>(&ver), sizeof(ver));
+  if (ver != kVersion) throw std::runtime_error("load_params: unsupported version");
+  uint64_t np = 0, nb = 0;
+  f.read(reinterpret_cast<char*>(&np), sizeof(np));
+  f.read(reinterpret_cast<char*>(&nb), sizeof(nb));
+
+  const auto params = collect_params(root);
+  const auto buffers = collect_buffers(root);
+  if (np != params.size() || nb != buffers.size())
+    throw std::runtime_error("load_params: state count mismatch in " + path);
+  for (Param* p : params) read_tensor_into(f, p->value, path);
+  for (Tensor* b : buffers) read_tensor_into(f, *b, path);
+}
+
+bool is_param_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  char magic[4];
+  f.read(magic, 4);
+  return f && std::memcmp(magic, kMagic, 4) == 0;
+}
+
+}  // namespace axnn::nn

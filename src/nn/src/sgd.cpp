@@ -1,0 +1,30 @@
+#include "axnn/nn/sgd.hpp"
+
+namespace axnn::nn {
+
+Sgd::Sgd(std::vector<Param*> params, SgdConfig cfg)
+    : params_(std::move(params)), cfg_(cfg), lr_(cfg.lr) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape(), 0.0f);
+}
+
+void Sgd::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    for (int64_t j = 0; j < p.value.numel(); ++j) {
+      float g = p.grad[j];
+      if (cfg_.weight_decay != 0.0f) g += cfg_.weight_decay * p.value[j];
+      v[j] = cfg_.momentum * v[j] + g;
+      p.value[j] -= lr_ * v[j];
+    }
+  }
+}
+
+void Sgd::on_epoch_end() {
+  ++epochs_done_;
+  if (cfg_.decay_every_epochs > 0 && epochs_done_ % cfg_.decay_every_epochs == 0)
+    lr_ *= cfg_.decay_factor;
+}
+
+}  // namespace axnn::nn

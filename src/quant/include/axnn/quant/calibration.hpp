@@ -1,0 +1,70 @@
+// axnn — quantization-step calibration.
+//
+// Three calibrators are provided; the paper uses MinPropQE [1] (Minimization
+// of the Propagated Quantization Error): pick the step that minimises the
+// error of the *layer output*, not of the tensor itself. Max-abs and min-MSE
+// are included as ablation baselines (see bench_ablation_calibration).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "axnn/quant/quantizer.hpp"
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn::quant {
+
+enum class Calibration { kMaxAbs, kMinMse, kMinPropQE };
+
+/// Candidate power-of-two steps around the max-abs step: the max-abs step
+/// itself plus `below` halvings and `above` doublings. MinPropQE/min-MSE
+/// search this ladder.
+std::vector<QuantParams> candidate_steps(float max_abs, int bits, int below = 4, int above = 1);
+
+/// Max-abs calibration: smallest pow2 step whose range covers the tensor.
+QuantParams calibrate_max_abs(const Tensor& x, int bits);
+
+/// Min-MSE calibration: candidate step minimising the tensor's own
+/// quantization MSE (allows saturating outliers).
+QuantParams calibrate_min_mse(const Tensor& x, int bits);
+
+/// MinPropQE: candidate step minimising a caller-supplied propagated-error
+/// functional. `propagated_error(p)` must return the error of the layer
+/// output when `x` is quantized with params `p` (e.g. MSE between the FP
+/// layer output and the output computed with fake-quantized weights).
+QuantParams calibrate_min_prop_qe(const Tensor& x, int bits,
+                                  const std::function<double(const QuantParams&)>& propagated_error);
+
+/// Running activation-range tracker for calibration over minibatches.
+/// Keeps the max-abs plus a deterministic value reservoir so the final step
+/// can be chosen by minimising quantization MSE over the observed
+/// distribution (saturating rare outliers) rather than by covering the
+/// worst-case value — this matters a lot under aggressive approximation,
+/// where wasting activation bits pushes products into the truncated LSBs.
+class RangeObserver {
+public:
+  explicit RangeObserver(size_t reservoir_capacity = 8192);
+
+  void observe(const Tensor& x);
+  void observe_value(float v);
+  float max_abs() const { return max_abs_; }
+  bool seen() const { return seen_; }
+  void reset();
+
+  /// Max-abs (worst-case coverage) step.
+  QuantParams params(int bits) const;
+
+  /// Distribution-aware step: candidate pow2 step minimising the MSE over
+  /// the reservoir. Falls back to params() when the reservoir is empty.
+  QuantParams params_min_mse(int bits) const;
+
+private:
+  float max_abs_ = 0.0f;
+  bool seen_ = false;
+  size_t capacity_;
+  size_t stride_ = 1;      ///< keep every stride-th value once full
+  size_t counter_ = 0;
+  std::vector<float> reservoir_;
+};
+
+}  // namespace axnn::quant

@@ -1,0 +1,60 @@
+// axnn — symmetric linear quantization with power-of-two step sizes.
+//
+// Paper constraints (Sec. III):
+//  * layer-wise quantization of parameters and activations;
+//  * symmetric, no zero-point (eliminates GEMM cross-terms);
+//  * step sizes rounded to the next power of two (shift-only rescaling);
+//  * 8-bit activations, 4-bit weights ("8A4W").
+#pragma once
+
+#include <cstdint>
+
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn::quant {
+
+inline constexpr int kActivationBits = 8;
+inline constexpr int kWeightBits = 4;
+
+/// Parameters of one symmetric linear quantizer q(x) = clamp(round(x/step)).
+struct QuantParams {
+  float step = 1.0f;  ///< quantization step (always a power of two here)
+  int bits = 8;       ///< total bit-width including sign
+
+  /// Symmetric integer bound: +-(2^(bits-1) - 1).
+  int32_t qmax() const { return (1 << (bits - 1)) - 1; }
+  int32_t qmin() const { return -qmax(); }
+
+  /// Largest representable magnitude in real units.
+  float range() const { return step * static_cast<float>(qmax()); }
+
+  bool operator==(const QuantParams&) const = default;
+};
+
+/// Round a positive step size to the nearest power of two (in log2 space).
+float round_to_pow2(float step);
+
+/// Smallest power-of-two step covering max_abs with the given bit-width
+/// (i.e. the next power of two >= max_abs / qmax).
+QuantParams params_for_max_abs(float max_abs, int bits);
+
+/// Integer quantization: q = clamp(round(x / step), qmin, qmax).
+TensorI32 quantize(const Tensor& x, const QuantParams& p);
+
+/// Dequantization: x~ = q * step.
+Tensor dequantize(const TensorI32& q, const QuantParams& p);
+
+/// Fake quantization (quantize-dequantize in float), the forward op of
+/// quantization-aware fine-tuning. The backward is the straight-through
+/// estimator, implemented in the layers via `ste_mask`.
+Tensor fake_quantize(const Tensor& x, const QuantParams& p);
+
+/// STE clipping mask: 1 where x falls inside the representable range
+/// (gradient passes), 0 where it saturates (gradient blocked). Matches the
+/// clipped STE of Bengio et al. [18].
+Tensor ste_mask(const Tensor& x, const QuantParams& p);
+
+/// Mean squared quantization error of x under p.
+double quantization_mse(const Tensor& x, const QuantParams& p);
+
+}  // namespace axnn::quant

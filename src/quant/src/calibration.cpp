@@ -1,0 +1,112 @@
+#include "axnn/quant/calibration.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "axnn/tensor/ops.hpp"
+
+namespace axnn::quant {
+
+std::vector<QuantParams> candidate_steps(float max_abs, int bits, int below, int above) {
+  const QuantParams base = params_for_max_abs(max_abs, bits);
+  std::vector<QuantParams> out;
+  out.reserve(static_cast<size_t>(below + above + 1));
+  for (int k = -below; k <= above; ++k) {
+    QuantParams p = base;
+    p.step = base.step * std::exp2f(static_cast<float>(k));
+    out.push_back(p);
+  }
+  return out;
+}
+
+QuantParams calibrate_max_abs(const Tensor& x, int bits) {
+  return params_for_max_abs(ops::max_abs(x), bits);
+}
+
+QuantParams calibrate_min_mse(const Tensor& x, int bits) {
+  const float ma = ops::max_abs(x);
+  if (ma == 0.0f) return params_for_max_abs(0.0f, bits);
+  QuantParams best;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (const auto& p : candidate_steps(ma, bits)) {
+    const double err = quantization_mse(x, p);
+    if (err < best_err) {
+      best_err = err;
+      best = p;
+    }
+  }
+  return best;
+}
+
+QuantParams calibrate_min_prop_qe(
+    const Tensor& x, int bits,
+    const std::function<double(const QuantParams&)>& propagated_error) {
+  if (!propagated_error)
+    throw std::invalid_argument("calibrate_min_prop_qe: missing error functional");
+  const float ma = ops::max_abs(x);
+  if (ma == 0.0f) return params_for_max_abs(0.0f, bits);
+  QuantParams best;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (const auto& p : candidate_steps(ma, bits)) {
+    const double err = propagated_error(p);
+    if (err < best_err) {
+      best_err = err;
+      best = p;
+    }
+  }
+  return best;
+}
+
+RangeObserver::RangeObserver(size_t reservoir_capacity) : capacity_(reservoir_capacity) {
+  reservoir_.reserve(capacity_);
+}
+
+void RangeObserver::observe(const Tensor& x) {
+  for (int64_t i = 0; i < x.numel(); ++i) observe_value(x[i]);
+}
+
+void RangeObserver::observe_value(float v) {
+  max_abs_ = std::max(max_abs_, std::fabs(v));
+  seen_ = true;
+  // Deterministic decimation: once the reservoir fills, keep every
+  // stride-th incoming value and thin the stored set.
+  if (counter_++ % stride_ == 0) {
+    if (reservoir_.size() >= capacity_) {
+      // Halve the reservoir (keep even positions) and double the stride.
+      size_t w = 0;
+      for (size_t r = 0; r < reservoir_.size(); r += 2) reservoir_[w++] = reservoir_[r];
+      reservoir_.resize(w);
+      stride_ *= 2;
+    }
+    reservoir_.push_back(v);
+  }
+}
+
+void RangeObserver::reset() {
+  max_abs_ = 0.0f;
+  seen_ = false;
+  stride_ = 1;
+  counter_ = 0;
+  reservoir_.clear();
+}
+
+QuantParams RangeObserver::params(int bits) const { return params_for_max_abs(max_abs_, bits); }
+
+QuantParams RangeObserver::params_min_mse(int bits) const {
+  if (reservoir_.empty() || max_abs_ == 0.0f) return params(bits);
+  Tensor sample(Shape{static_cast<int64_t>(reservoir_.size())});
+  for (size_t i = 0; i < reservoir_.size(); ++i) sample[static_cast<int64_t>(i)] = reservoir_[i];
+  QuantParams best = params(bits);
+  double best_err = quantization_mse(sample, best);
+  for (const auto& p : candidate_steps(max_abs_, bits, /*below=*/4, /*above=*/0)) {
+    const double err = quantization_mse(sample, p);
+    if (err < best_err) {
+      best_err = err;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace axnn::quant

@@ -1,0 +1,32 @@
+// axnn — float GEMM kernels used by the exact (FP and quantized-exact)
+// forward/backward paths.
+//
+// Conventions: row-major matrices; C is fully overwritten unless the _acc
+// variant is used. Parallelised over output rows via the global thread pool.
+#pragma once
+
+#include <cstdint>
+
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn {
+
+/// C[M,N] = A[M,K] · B[K,N]
+void gemm_f32(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+
+/// C[M,N] += A[M,K] · B[K,N]
+void gemm_f32_acc(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+
+/// C[M,N] = A[M,K] · B[N,K]ᵀ  (B stored row-major as [N,K])
+void gemm_nt_f32(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+
+/// C[M,N] += A[K,M]ᵀ · B[K,N] (A stored row-major as [K,M])
+void gemm_tn_f32_acc(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+
+/// Tensor-level convenience: returns A·B for 2-D tensors.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Out-of-place transpose of a [M,N] tensor into [N,M].
+Tensor transpose(const Tensor& a);
+
+}  // namespace axnn

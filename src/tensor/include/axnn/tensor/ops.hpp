@@ -1,0 +1,61 @@
+// axnn — elementwise operations, reductions and classification helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn::ops {
+
+/// out = a + b (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// out = a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// out = a * b (elementwise).
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// out = a * s.
+Tensor scale(const Tensor& a, float s);
+
+/// a += b in place.
+void add_inplace(Tensor& a, const Tensor& b);
+
+/// a += s * b in place (axpy).
+void axpy_inplace(Tensor& a, float s, const Tensor& b);
+
+/// a *= s in place.
+void scale_inplace(Tensor& a, float s);
+
+/// Sum of all elements.
+double sum(const Tensor& a);
+
+/// Mean of all elements.
+double mean(const Tensor& a);
+
+/// Maximum absolute value (0 for empty tensors).
+float max_abs(const Tensor& a);
+
+/// Sum of squared elements.
+double sum_sq(const Tensor& a);
+
+/// Mean squared difference between two same-shape tensors.
+double mse(const Tensor& a, const Tensor& b);
+
+/// Row-wise softmax over the last dimension of a [N, C] tensor; `temperature`
+/// divides the logits (KD-style). Numerically stabilised by row-max shift.
+Tensor softmax(const Tensor& logits, float temperature = 1.0f);
+
+/// Row-wise log-softmax over [N, C] with temperature.
+Tensor log_softmax(const Tensor& logits, float temperature = 1.0f);
+
+/// Row-wise argmax of a [N, C] tensor.
+std::vector<int> argmax_rows(const Tensor& logits);
+
+/// Fraction of rows whose argmax equals labels[i]; labels.size() must equal
+/// the number of rows.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace axnn::ops

@@ -1,0 +1,63 @@
+// axnn — deterministic, seedable pseudo-random number generation.
+//
+// All stochastic behaviour in the library (dataset synthesis, weight init,
+// Monte-Carlo error fitting, minibatch shuffling) flows through Rng so that
+// every experiment is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace axnn {
+
+/// SplitMix64 — used to expand a single user seed into generator state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA'14).
+inline uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of two values; used for deterministic per-element
+/// perturbations (e.g. EvoApprox-like multiplier error surfaces).
+uint64_t hash_mix(uint64_t a, uint64_t b);
+
+/// Xoshiro256** generator. Small, fast, and good enough statistical quality
+/// for ML workloads; fully deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t seed = 0x5EED5EED5EEDull);
+
+  /// Uniform 64-bit integer.
+  uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  int64_t uniform_int(int64_t n);
+
+  /// Standard normal via Box-Muller (cached second sample).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<int64_t>& v);
+
+  /// Derive an independent child generator (stable given call order).
+  Rng split();
+
+private:
+  uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace axnn

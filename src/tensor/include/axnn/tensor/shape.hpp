@@ -1,0 +1,90 @@
+// axnn — Shape: dimension vector for dense row-major tensors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace axnn {
+
+/// Shape of a dense, row-major tensor. Dimensions are non-negative; rank is
+/// bounded by kMaxRank (covers NCHW + GEMM views used in this project).
+class Shape {
+public:
+  static constexpr int kMaxRank = 6;
+
+  Shape() = default;
+
+  Shape(std::initializer_list<int64_t> dims) { assign(dims.begin(), dims.end()); }
+
+  explicit Shape(const std::vector<int64_t>& dims) { assign(dims.begin(), dims.end()); }
+
+  /// Rank (number of dimensions). A default-constructed Shape has rank 0 and
+  /// represents a scalar with one element.
+  int rank() const { return rank_; }
+
+  int64_t operator[](int i) const { return dims_[static_cast<size_t>(check_axis(i))]; }
+  int64_t& operator[](int i) { return dims_[static_cast<size_t>(check_axis(i))]; }
+
+  /// Dimension with Python-style negative indexing (-1 = last).
+  int64_t dim(int i) const {
+    if (i < 0) i += rank_;
+    return (*this)[i];
+  }
+
+  /// Total number of elements (product of dimensions; 1 for rank 0).
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int i = 0; i < rank_; ++i) n *= dims_[static_cast<size_t>(i)];
+    return n;
+  }
+
+  bool operator==(const Shape& o) const {
+    if (rank_ != o.rank_) return false;
+    for (int i = 0; i < rank_; ++i)
+      if (dims_[static_cast<size_t>(i)] != o.dims_[static_cast<size_t>(i)]) return false;
+    return true;
+  }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string to_string() const {
+    std::string s = "[";
+    for (int i = 0; i < rank_; ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[static_cast<size_t>(i)]);
+    }
+    return s + "]";
+  }
+
+  std::vector<int64_t> dims() const {
+    return std::vector<int64_t>(dims_.begin(), dims_.begin() + rank_);
+  }
+
+private:
+  template <typename It>
+  void assign(It first, It last) {
+    rank_ = 0;
+    for (It it = first; it != last; ++it) {
+      if (rank_ >= kMaxRank) throw std::invalid_argument("Shape: rank exceeds kMaxRank");
+      if (*it < 0) throw std::invalid_argument("Shape: negative dimension");
+      dims_[static_cast<size_t>(rank_++)] = *it;
+    }
+  }
+
+  int check_axis(int i) const {
+    if (i < 0 || i >= rank_) throw std::out_of_range("Shape: axis out of range");
+    return i;
+  }
+
+  std::array<int64_t, kMaxRank> dims_{};
+  int rank_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape& s) { return os << s.to_string(); }
+
+}  // namespace axnn

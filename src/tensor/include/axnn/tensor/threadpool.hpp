@@ -1,0 +1,58 @@
+// axnn — shared thread pool and parallel_for helper.
+//
+// All compute kernels (float GEMM, approximate integer GEMM, im2col) split
+// work through ThreadPool::global(). Parallelism is deterministic with
+// respect to results: work items never race on output ranges.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace axnn {
+
+class ThreadPool {
+public:
+  /// Pool with `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-wide pool. Size can be pinned before first use with
+  /// set_global_threads(); defaults to hardware concurrency.
+  static ThreadPool& global();
+
+  /// Must be called before the first global() call to take effect.
+  static void set_global_threads(int threads);
+
+  /// Run fn(begin, end) over [0, n) split into roughly even chunks across the
+  /// pool (plus the calling thread). Blocks until every chunk completes.
+  /// Falls back to inline execution for small n or single-worker pools.
+  void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                    int64_t grain = 1);
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for.
+inline void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                         int64_t grain = 1) {
+  ThreadPool::global().parallel_for(n, fn, grain);
+}
+
+}  // namespace axnn

@@ -1,0 +1,152 @@
+#include "axnn/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace axnn::ops {
+
+namespace {
+void check_same(const Tensor& a, const Tensor& b, const char* what) {
+  if (!a.same_shape(b))
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                a.shape().to_string() + " vs " + b.shape().to_string());
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "add");
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "sub");
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "mul");
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same(a, b, "add_inplace");
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] += b[i];
+}
+
+void axpy_inplace(Tensor& a, float s, const Tensor& b) {
+  check_same(a, b, "axpy_inplace");
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] += s * b[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] *= s;
+}
+
+double sum(const Tensor& a) {
+  double s = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) s += a[i];
+  return s;
+}
+
+double mean(const Tensor& a) { return a.numel() ? sum(a) / static_cast<double>(a.numel()) : 0.0; }
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+
+double sum_sq(const Tensor& a) {
+  double s = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) s += static_cast<double>(a[i]) * a[i];
+  return s;
+}
+
+double mse(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "mse");
+  if (a.numel() == 0) return 0.0;
+  double s = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(a.numel());
+}
+
+Tensor softmax(const Tensor& logits, float temperature) {
+  if (logits.shape().rank() != 2) throw std::invalid_argument("softmax: expected [N, C]");
+  if (temperature <= 0.0f) throw std::invalid_argument("softmax: temperature must be > 0");
+  const int64_t n = logits.shape()[0], c = logits.shape()[1];
+  Tensor out(logits.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      orow[j] = std::exp((row[j] - mx) / temperature);
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < c; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax(const Tensor& logits, float temperature) {
+  if (logits.shape().rank() != 2) throw std::invalid_argument("log_softmax: expected [N, C]");
+  if (temperature <= 0.0f) throw std::invalid_argument("log_softmax: temperature must be > 0");
+  const int64_t n = logits.shape()[0], c = logits.shape()[1];
+  Tensor out(logits.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) denom += std::exp((row[j] - mx) / temperature);
+    const float logden = static_cast<float>(std::log(denom));
+    for (int64_t j = 0; j < c; ++j) orow[j] = (row[j] - mx) / temperature - logden;
+  }
+  return out;
+}
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  if (logits.shape().rank() != 2) throw std::invalid_argument("argmax_rows: expected [N, C]");
+  const int64_t n = logits.shape()[0], c = logits.shape()[1];
+  std::vector<int> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    int best = 0;
+    for (int64_t j = 1; j < c; ++j)
+      if (row[j] > row[best]) best = static_cast<int>(j);
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const auto pred = argmax_rows(logits);
+  if (pred.size() != labels.size())
+    throw std::invalid_argument("accuracy: label count mismatch");
+  if (pred.empty()) return 0.0;
+  int64_t ok = 0;
+  for (size_t i = 0; i < pred.size(); ++i) ok += (pred[i] == labels[i]);
+  return static_cast<double>(ok) / static_cast<double>(pred.size());
+}
+
+}  // namespace axnn::ops

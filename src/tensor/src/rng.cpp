@@ -1,0 +1,81 @@
+#include "axnn/tensor/rng.hpp"
+
+#include <cmath>
+
+namespace axnn {
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+uint64_t hash_mix(uint64_t a, uint64_t b) {
+  // Two SplitMix64 rounds over a combined word; avalanches both inputs.
+  uint64_t s = a * 0x9E3779B97F4A7C15ull + b + 0xD1B54A32D192ED03ull;
+  uint64_t z = splitmix64(s);
+  return splitmix64(z);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int64_t Rng::uniform_int(int64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return static_cast<int64_t>(x % un);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+void Rng::shuffle(std::vector<int64_t>& v) {
+  for (int64_t i = static_cast<int64_t>(v.size()) - 1; i > 0; --i) {
+    const int64_t j = uniform_int(i + 1);
+    std::swap(v[static_cast<size_t>(i)], v[static_cast<size_t>(j)]);
+  }
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace axnn

@@ -1,0 +1,26 @@
+#include "axnn/tensor/tensor.hpp"
+
+#include <cmath>
+
+namespace axnn {
+
+Tensor randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor kaiming_normal(Shape shape, int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+  return randn(shape, rng, 0.0f, stddev);
+}
+
+}  // namespace axnn

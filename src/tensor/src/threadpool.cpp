@@ -1,0 +1,92 @@
+#include "axnn/tensor/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace axnn {
+
+namespace {
+std::atomic<int> g_requested_threads{0};
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(g_requested_threads.load());
+  return pool;
+}
+
+void ThreadPool::set_global_threads(int threads) { g_requested_threads.store(threads); }
+
+void ThreadPool::parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                              int64_t grain) {
+  if (n <= 0) return;
+  const int workers = size();
+  if (workers <= 1 || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  const int64_t max_chunks = (n + grain - 1) / grain;
+  const int64_t chunks = std::min<int64_t>(workers, max_chunks);
+  const int64_t chunk = (n + chunks - 1) / chunks;
+
+  std::atomic<int64_t> remaining{chunks};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int64_t c = 1; c < chunks; ++c) {
+      const int64_t b = c * chunk;
+      const int64_t e = std::min<int64_t>(n, b + chunk);
+      tasks_.push([&, b, e] {
+        fn(b, e);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> dlk(done_mu);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The calling thread takes the first chunk.
+  fn(0, std::min<int64_t>(n, chunk));
+  if (remaining.fetch_sub(1) != 1) {
+    std::unique_lock<std::mutex> lk(done_mu);
+    done_cv.wait(lk, [&] { return remaining.load() == 0; });
+  }
+}
+
+}  // namespace axnn

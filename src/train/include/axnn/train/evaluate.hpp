@@ -1,0 +1,25 @@
+// axnn — batched model evaluation and calibration drivers.
+#pragma once
+
+#include <cstdint>
+
+#include "axnn/data/dataset.hpp"
+#include "axnn/nn/sequential.hpp"
+
+namespace axnn::train {
+
+/// Top-1 accuracy of `model` on `ds` under the given execution context
+/// (the context's `training` flag is forced off).
+double evaluate_accuracy(nn::Layer& model, const data::Dataset& ds, nn::ExecContext ctx,
+                         int64_t batch_size = 256);
+
+/// Forward the whole dataset and return the [N, C] logits.
+Tensor predict_logits(nn::Layer& model, const data::Dataset& ds, nn::ExecContext ctx,
+                      int64_t batch_size = 256);
+
+/// Run kCalibrate passes over up to `num_samples` of `ds` and finalize the
+/// quantization parameters of every layer with the chosen calibrator.
+void calibrate_model(nn::Layer& model, const data::Dataset& ds, int64_t num_samples,
+                     int64_t batch_size, quant::Calibration method);
+
+}  // namespace axnn::train

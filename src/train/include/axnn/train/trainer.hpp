@@ -1,0 +1,42 @@
+// axnn — full-precision pre-training (produces the paper's "FP model", the
+// starting point and teacher of the whole flow).
+#pragma once
+
+#include <vector>
+
+#include "axnn/data/dataset.hpp"
+#include "axnn/nn/sequential.hpp"
+
+namespace axnn::train {
+
+struct EpochStat {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double test_acc = 0.0;
+  double seconds = 0.0;
+};
+
+struct TrainConfig {
+  int epochs = 30;
+  int64_t batch_size = 128;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  float lr_decay = 0.1f;
+  int decay_every = 20;
+  uint64_t seed = 3;
+  bool eval_every_epoch = true;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  std::vector<EpochStat> history;
+  double final_acc = 0.0;
+  double seconds = 0.0;
+};
+
+/// SGD training of `model` in full precision with hard cross-entropy.
+TrainResult train_fp(nn::Layer& model, const data::Dataset& train_ds,
+                     const data::Dataset& test_ds, const TrainConfig& cfg);
+
+}  // namespace axnn::train

@@ -1,0 +1,57 @@
+#include "axnn/train/trainer.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "axnn/nn/loss.hpp"
+#include "axnn/nn/sgd.hpp"
+#include "axnn/train/evaluate.hpp"
+
+namespace axnn::train {
+
+TrainResult train_fp(nn::Layer& model, const data::Dataset& train_ds,
+                     const data::Dataset& test_ds, const TrainConfig& cfg) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+
+  nn::Sgd sgd(nn::collect_params(model),
+              {cfg.lr, cfg.momentum, cfg.weight_decay, cfg.lr_decay, cfg.decay_every});
+  Rng rng(cfg.seed);
+  data::BatchIterator iter(train_ds, cfg.batch_size, rng);
+
+  TrainResult result;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto e0 = Clock::now();
+    iter.reset();
+    Tensor images;
+    std::vector<int> labels;
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    while (iter.next(images, labels)) {
+      model.zero_grad();
+      const Tensor logits = model.forward(images, nn::ExecContext::fp(/*training=*/true));
+      const nn::LossResult loss = nn::cross_entropy(logits, labels);
+      (void)model.backward(loss.grad);
+      sgd.step();
+      loss_sum += loss.value;
+      ++batches;
+    }
+    sgd.on_epoch_end();
+
+    EpochStat st;
+    st.epoch = epoch;
+    st.train_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
+    if (cfg.eval_every_epoch || epoch == cfg.epochs - 1)
+      st.test_acc = evaluate_accuracy(model, test_ds, nn::ExecContext::fp());
+    st.seconds = std::chrono::duration<double>(Clock::now() - e0).count();
+    if (cfg.verbose)
+      std::printf("[fp] epoch %d loss %.4f acc %.2f%% (%.1fs)\n", epoch, st.train_loss,
+                  100.0 * st.test_acc, st.seconds);
+    result.history.push_back(st);
+  }
+  result.final_acc = result.history.empty() ? 0.0 : result.history.back().test_acc;
+  result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace axnn::train

@@ -1,0 +1,240 @@
+// Tests for the approximate-multiplier library: behavioural models, LUTs,
+// Eq.-14 statistics and the registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "axnn/axmul/evoapprox_like.hpp"
+#include "axnn/axmul/multiplier.hpp"
+#include "axnn/axmul/registry.hpp"
+#include "axnn/axmul/stats.hpp"
+#include "axnn/axmul/truncated.hpp"
+
+namespace axnn::axmul {
+namespace {
+
+TEST(ExactMultiplier, MatchesIntegerProduct) {
+  ExactMultiplier m;
+  for (int a = 0; a < kActValues; a += 7)
+    for (int w = 0; w < kWgtValues; ++w)
+      EXPECT_EQ(m.multiply(static_cast<uint8_t>(a), static_cast<uint8_t>(w)), a * w);
+}
+
+TEST(TruncatedMultiplier, ZeroTruncationIsExact) {
+  TruncatedMultiplier m(0);
+  for (int a = 0; a < kActValues; ++a)
+    for (int w = 0; w < kWgtValues; ++w)
+      EXPECT_EQ(m.multiply(static_cast<uint8_t>(a), static_cast<uint8_t>(w)), a * w);
+}
+
+TEST(TruncatedMultiplier, NeverOverestimates) {
+  // Dropping partial products can only reduce the sum.
+  for (int t = 1; t <= 6; ++t) {
+    TruncatedMultiplier m(t);
+    for (int a = 0; a < kActValues; ++a)
+      for (int w = 0; w < kWgtValues; ++w) {
+        const int32_t p = m.multiply(static_cast<uint8_t>(a), static_cast<uint8_t>(w));
+        EXPECT_LE(p, a * w);
+        EXPECT_GE(p, 0);
+      }
+  }
+}
+
+TEST(TruncatedMultiplier, MonotoneDamageInTruncationDepth) {
+  double prev_mre = -1.0;
+  for (int t = 0; t <= 8; ++t) {
+    const auto stats = compute_error_stats(TruncatedMultiplier(t));
+    EXPECT_GE(stats.mre, prev_mre);
+    prev_mre = stats.mre;
+  }
+}
+
+TEST(TruncatedMultiplier, KnownValueHandChecked) {
+  // a = 0b1111 (15), w = 0b11 (3), t = 2: partial products at (i,j) with
+  // a_i=1 (i<4), w_j=1 (j<2); keep i+j>=2:
+  // kept: (1,1)=4 (2,0)=4 (2,1)=8 (3,0)=8 (3,1)=16 -> 40 (exact 45).
+  TruncatedMultiplier m(2);
+  EXPECT_EQ(m.multiply(15, 3), 40);
+}
+
+TEST(TruncatedMultiplier, RejectsBadDepth) {
+  EXPECT_THROW(TruncatedMultiplier(-1), std::invalid_argument);
+  EXPECT_THROW(TruncatedMultiplier(12), std::invalid_argument);
+}
+
+TEST(TruncatedMultiplier, MreRegressionValues) {
+  // Eq.-14 MRE of the faithful column-truncation model over the 8x4 domain.
+  // Note these are lower than the paper's published 5.5/11.0/19.8% — the
+  // paper's numbers come from its own 8x8 -> 8x4 adaptation; what the
+  // reproduction preserves is the monotone severity ordering and the biased
+  // error structure (see DESIGN.md §2). These values pin our model against
+  // regressions.
+  EXPECT_NEAR(compute_error_stats(TruncatedMultiplier(3)).mre, 0.0193, 0.002);
+  EXPECT_NEAR(compute_error_stats(TruncatedMultiplier(4)).mre, 0.0448, 0.004);
+  EXPECT_NEAR(compute_error_stats(TruncatedMultiplier(5)).mre, 0.0874, 0.008);
+}
+
+TEST(TruncatedMultiplier, ErrorIsBiased) {
+  const auto stats = compute_error_stats(TruncatedMultiplier(5));
+  EXPECT_LT(stats.mean_error, -1.0);  // systematic under-estimation
+}
+
+TEST(EvoApproxLike, Deterministic) {
+  EvoApproxLikeMultiplier a(228, 0.189), b(228, 0.189);
+  for (int i = 0; i < kActValues; i += 3)
+    for (int w = 0; w < kWgtValues; ++w)
+      EXPECT_EQ(a.multiply(static_cast<uint8_t>(i), static_cast<uint8_t>(w)),
+                b.multiply(static_cast<uint8_t>(i), static_cast<uint8_t>(w)));
+}
+
+TEST(EvoApproxLike, VariantsDiffer) {
+  EvoApproxLikeMultiplier a(228, 0.189), b(469, 0.189);
+  int diff = 0;
+  for (int i = 0; i < kActValues; ++i)
+    for (int w = 1; w < kWgtValues; ++w)
+      diff += a.multiply(static_cast<uint8_t>(i), static_cast<uint8_t>(w)) !=
+              b.multiply(static_cast<uint8_t>(i), static_cast<uint8_t>(w));
+  EXPECT_GT(diff, 1000);
+}
+
+TEST(EvoApproxLike, ZeroTargetIsExact) {
+  EvoApproxLikeMultiplier m(1, 0.0);
+  for (int a = 0; a < kActValues; a += 5)
+    for (int w = 0; w < kWgtValues; ++w)
+      EXPECT_EQ(m.multiply(static_cast<uint8_t>(a), static_cast<uint8_t>(w)), a * w);
+}
+
+TEST(EvoApproxLike, RejectsBadTarget) {
+  EXPECT_THROW(EvoApproxLikeMultiplier(1, -0.1), std::invalid_argument);
+  EXPECT_THROW(EvoApproxLikeMultiplier(1, 1.0), std::invalid_argument);
+}
+
+TEST(EvoApproxLike, ProductsStayInRange) {
+  EvoApproxLikeMultiplier m(249, 0.488);
+  for (int a = 0; a < kActValues; ++a)
+    for (int w = 0; w < kWgtValues; ++w) {
+      const int32_t p = m.multiply(static_cast<uint8_t>(a), static_cast<uint8_t>(w));
+      EXPECT_GE(p, 0);
+      EXPECT_LE(p, 255 * 15);
+    }
+}
+
+class EvoApproxCalibration : public ::testing::TestWithParam<double> {};
+
+TEST_P(EvoApproxCalibration, MreMatchesTarget) {
+  const double target = GetParam();
+  EvoApproxLikeMultiplier m(7, target);
+  const auto stats = compute_error_stats(m);
+  // Bisection calibrates Eq.-14 MRE to the published value.
+  EXPECT_NEAR(stats.mre, target, 0.1 * target + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, EvoApproxCalibration,
+                         ::testing::Values(0.021, 0.079, 0.116, 0.189, 0.205, 0.488));
+
+TEST(EvoApproxLike, ErrorIsApproximatelyUnbiased) {
+  // The property that collapses GE to STE for this family (paper Fig. 3).
+  EvoApproxLikeMultiplier m(228, 0.189);
+  const auto stats = compute_error_stats(m);
+  EXPECT_LT(std::abs(stats.mean_error), 0.15 * stats.rms_error);
+}
+
+TEST(MultiplierLut, MatchesModel) {
+  TruncatedMultiplier m(4);
+  MultiplierLut lut(m);
+  EXPECT_EQ(lut.name(), "trunc4");
+  for (int a = 0; a < kActValues; a += 11)
+    for (int w = 0; w < kWgtValues; ++w)
+      EXPECT_EQ(lut(static_cast<uint8_t>(a), static_cast<uint8_t>(w)),
+                m.multiply(static_cast<uint8_t>(a), static_cast<uint8_t>(w)));
+}
+
+TEST(MultiplierLut, SignedMulWrapsSignMagnitude) {
+  MultiplierLut lut;  // exact
+  EXPECT_EQ(lut.signed_mul(-5, 3), -15);
+  EXPECT_EQ(lut.signed_mul(5, -3), -15);
+  EXPECT_EQ(lut.signed_mul(-5, -3), 15);
+  EXPECT_EQ(lut.signed_mul(0, -3), 0);
+  EXPECT_EQ(lut.signed_mul(127, 7), 889);
+}
+
+TEST(Stats, ExactMultiplierHasZeroError) {
+  const auto stats = compute_error_stats(ExactMultiplier{});
+  EXPECT_DOUBLE_EQ(stats.mre, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_error, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(stats.zero_error_fraction, 1.0);
+}
+
+TEST(Stats, LutAndModelStatsAgree) {
+  TruncatedMultiplier m(5);
+  const auto s1 = compute_error_stats(m);
+  const auto s2 = compute_error_stats(MultiplierLut(m));
+  EXPECT_DOUBLE_EQ(s1.mre, s2.mre);
+  EXPECT_DOUBLE_EQ(s1.rms_error, s2.rms_error);
+}
+
+TEST(Stats, ErrorProfileShowsTruncationBias) {
+  // Every populated bin of a truncated multiplier has non-positive mean
+  // error, and high-product bins are more damaged in absolute terms.
+  const auto profile = error_profile(MultiplierLut(TruncatedMultiplier(5)), 16);
+  ASSERT_EQ(profile.size(), 16u);
+  for (const auto& bin : profile)
+    if (bin.count > 0) EXPECT_LE(bin.mean_eps, 1e-9);
+}
+
+TEST(Stats, ErrorProfileCountsCoverDomain) {
+  const auto profile = error_profile(MultiplierLut(TruncatedMultiplier(2)), 8);
+  int64_t total = 0;
+  for (const auto& bin : profile) total += bin.count;
+  EXPECT_EQ(total, kLutSize);
+}
+
+TEST(Registry, PaperMultipliersPresent) {
+  const auto& specs = paper_multipliers();
+  EXPECT_EQ(specs.size(), 14u);  // exact + 5 truncated + 8 EvoApprox-like
+  EXPECT_TRUE(find_spec("exact").has_value());
+  EXPECT_TRUE(find_spec("trunc5").has_value());
+  EXPECT_TRUE(find_spec("evoa249").has_value());
+  EXPECT_FALSE(find_spec("bogus").has_value());
+}
+
+TEST(Registry, SavingsMatchPaperTable) {
+  EXPECT_DOUBLE_EQ(find_spec("trunc5")->energy_savings_pct, 38.0);
+  EXPECT_DOUBLE_EQ(find_spec("trunc4")->energy_savings_pct, 28.0);
+  EXPECT_DOUBLE_EQ(find_spec("evoa249")->energy_savings_pct, 61.0);
+  EXPECT_DOUBLE_EQ(find_spec("evoa228")->energy_savings_pct, 19.0);
+}
+
+TEST(Registry, MakeMultiplierProducesCalibratedModels) {
+  for (const auto& spec : paper_multipliers()) {
+    const auto m = make_multiplier(spec);
+    ASSERT_NE(m, nullptr);
+    const auto stats = compute_error_stats(*m);
+    if (spec.kind == MultiplierKind::kEvoApproxLike) {
+      // EvoApprox-like surfaces are explicitly calibrated to the published
+      // MRE; truncated models are faithful structural models whose Eq.-14
+      // value differs from the paper's (see MreRegressionValues above).
+      EXPECT_NEAR(stats.mre, spec.paper_mre, 0.25 * spec.paper_mre + 0.01)
+          << "multiplier " << spec.id;
+    } else if (spec.kind == MultiplierKind::kTruncated) {
+      EXPECT_GT(stats.mre, 0.0) << "multiplier " << spec.id;
+      EXPECT_LT(stats.mre, spec.paper_mre + 0.05) << "multiplier " << spec.id;
+    }
+  }
+}
+
+TEST(Registry, ExtensionTruncatedSynthesised) {
+  const auto spec = find_spec("trunc7");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->param, 7);
+  EXPECT_NO_THROW(make_lut("trunc7"));
+}
+
+TEST(Registry, UnknownIdThrows) {
+  EXPECT_THROW(make_multiplier("nope"), std::invalid_argument);
+  EXPECT_THROW(make_lut("trunc99"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axnn::axmul

@@ -1,0 +1,173 @@
+// Tests for the dataset container and the synthetic CIFAR10-like generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "axnn/data/dataset.hpp"
+#include "axnn/data/synthetic.hpp"
+#include "axnn/tensor/ops.hpp"
+
+namespace axnn::data {
+namespace {
+
+SyntheticConfig small_cfg() {
+  SyntheticConfig cfg;
+  cfg.image_size = 8;
+  cfg.train_size = 100;
+  cfg.test_size = 50;
+  return cfg;
+}
+
+TEST(Synthetic, ShapesAndLabelRanges) {
+  const auto ds = make_synthetic_cifar(small_cfg());
+  EXPECT_EQ(ds.train.images.shape(), (Shape{100, 3, 8, 8}));
+  EXPECT_EQ(ds.test.images.shape(), (Shape{50, 3, 8, 8}));
+  EXPECT_EQ(ds.train.size(), 100);
+  for (int lab : ds.train.labels) {
+    EXPECT_GE(lab, 0);
+    EXPECT_LT(lab, 10);
+  }
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const auto a = make_synthetic_cifar(small_cfg());
+  const auto b = make_synthetic_cifar(small_cfg());
+  for (int64_t i = 0; i < a.train.images.numel(); ++i)
+    ASSERT_FLOAT_EQ(a.train.images[i], b.train.images[i]);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  auto cfg = small_cfg();
+  const auto a = make_synthetic_cifar(cfg);
+  cfg.seed = 999;
+  const auto b = make_synthetic_cifar(cfg);
+  double diff = 0.0;
+  for (int64_t i = 0; i < a.train.images.numel(); ++i)
+    diff += std::abs(a.train.images[i] - b.train.images[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Synthetic, ClassesAreBalanced) {
+  const auto ds = make_synthetic_cifar(small_cfg());
+  std::vector<int> counts(10, 0);
+  for (int lab : ds.train.labels) ++counts[static_cast<size_t>(lab)];
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Synthetic, TrainAndTestSplitsDiffer) {
+  const auto ds = make_synthetic_cifar(small_cfg());
+  // Same label at index 0; images must not be identical.
+  double diff = 0.0;
+  const int64_t stride = 3 * 8 * 8;
+  for (int64_t i = 0; i < stride; ++i)
+    diff += std::abs(ds.train.images[i] - ds.test.images[i]);
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(Synthetic, ValuesClampedToRange) {
+  const auto ds = make_synthetic_cifar(small_cfg());
+  EXPECT_LE(ops::max_abs(ds.train.images), 2.0f);
+}
+
+TEST(Synthetic, ClassesAreSeparableInPixelSpace) {
+  // Nearest-class-mean classification on clean prototypes should beat chance
+  // by a wide margin — guarantees the task is learnable.
+  auto cfg = small_cfg();
+  cfg.train_size = 500;
+  cfg.test_size = 200;
+  const auto ds = make_synthetic_cifar(cfg);
+  const int64_t stride = ds.train.channels() * ds.train.height() * ds.train.width();
+  std::vector<std::vector<double>> means(10, std::vector<double>(static_cast<size_t>(stride), 0.0));
+  std::vector<int> counts(10, 0);
+  for (int64_t i = 0; i < ds.train.size(); ++i) {
+    const int lab = ds.train.labels[static_cast<size_t>(i)];
+    ++counts[static_cast<size_t>(lab)];
+    for (int64_t j = 0; j < stride; ++j)
+      means[static_cast<size_t>(lab)][static_cast<size_t>(j)] += ds.train.images[i * stride + j];
+  }
+  for (int c = 0; c < 10; ++c)
+    for (auto& v : means[static_cast<size_t>(c)]) v /= counts[static_cast<size_t>(c)];
+
+  int correct = 0;
+  for (int64_t i = 0; i < ds.test.size(); ++i) {
+    double best = 1e300;
+    int best_c = -1;
+    for (int c = 0; c < 10; ++c) {
+      double d = 0.0;
+      for (int64_t j = 0; j < stride; ++j) {
+        const double dd = ds.test.images[i * stride + j] - means[static_cast<size_t>(c)][static_cast<size_t>(j)];
+        d += dd * dd;
+      }
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    correct += (best_c == ds.test.labels[static_cast<size_t>(i)]);
+  }
+  // Note: the nearest-mean classifier ignores the translation invariance of
+  // textures, so it is far from the CNN ceiling — but it must beat chance.
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(ds.test.size()), 0.2);
+}
+
+TEST(Dataset, GatherAndSlice) {
+  const auto ds = make_synthetic_cifar(small_cfg());
+  auto [imgs, labs] = ds.train.slice(10, 5);
+  EXPECT_EQ(imgs.shape()[0], 5);
+  EXPECT_EQ(labs.size(), 5u);
+  EXPECT_EQ(labs[0], ds.train.labels[10]);
+  const int64_t stride = 3 * 8 * 8;
+  for (int64_t i = 0; i < stride; ++i)
+    EXPECT_FLOAT_EQ(imgs[i], ds.train.images[10 * stride + i]);
+
+  EXPECT_THROW(ds.train.slice(99, 5), std::out_of_range);
+}
+
+TEST(BatchIterator, CoversEpochExactlyOnce) {
+  const auto ds = make_synthetic_cifar(small_cfg());
+  Rng rng(1);
+  BatchIterator iter(ds.train, 32, rng);
+  Tensor imgs;
+  std::vector<int> labs;
+  int64_t total = 0;
+  int batches = 0;
+  while (iter.next(imgs, labs)) {
+    total += imgs.shape()[0];
+    ++batches;
+  }
+  EXPECT_EQ(total, 100);
+  EXPECT_EQ(batches, 4);  // 32+32+32+4
+  EXPECT_EQ(iter.batches_per_epoch(), 4);
+}
+
+TEST(BatchIterator, ShuffleChangesOrderAcrossEpochs) {
+  const auto ds = make_synthetic_cifar(small_cfg());
+  Rng rng(2);
+  BatchIterator iter(ds.train, 100, rng);
+  Tensor imgs;
+  std::vector<int> labs1, labs2;
+  iter.next(imgs, labs1);
+  iter.reset();
+  iter.next(imgs, labs2);
+  EXPECT_NE(labs1, labs2);
+}
+
+TEST(BatchIterator, NoShuffleIsSequential) {
+  const auto ds = make_synthetic_cifar(small_cfg());
+  Rng rng(3);
+  BatchIterator iter(ds.train, 10, rng, /*shuffle=*/false);
+  Tensor imgs;
+  std::vector<int> labs;
+  iter.next(imgs, labs);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(labs[static_cast<size_t>(i)], ds.train.labels[static_cast<size_t>(i)]);
+}
+
+TEST(BatchIterator, RejectsBadBatchSize) {
+  const auto ds = make_synthetic_cifar(small_cfg());
+  Rng rng(4);
+  EXPECT_THROW(BatchIterator(ds.train, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axnn::data

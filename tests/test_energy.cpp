@@ -1,0 +1,57 @@
+// Tests for the MAC-level energy model.
+#include <gtest/gtest.h>
+
+#include "axnn/axmul/registry.hpp"
+#include "axnn/energy/energy.hpp"
+
+namespace axnn::energy {
+namespace {
+
+TEST(Energy, ExactMultiplierSavesNothing) {
+  const auto spec = *axmul::find_spec("exact");
+  const auto e = estimate(1000, spec);
+  EXPECT_DOUBLE_EQ(e.exact_energy, 1000.0);
+  EXPECT_DOUBLE_EQ(e.approx_energy, 1000.0);
+  EXPECT_DOUBLE_EQ(e.savings_pct, 0.0);
+}
+
+TEST(Energy, SavingsMatchMultiplierMetadata) {
+  // The paper's accounting: uniform approximation -> network savings equal
+  // the per-multiplier savings.
+  for (const char* id : {"trunc3", "trunc5", "evoa228", "evoa249"}) {
+    const auto spec = *axmul::find_spec(id);
+    const auto e = estimate(123456, spec);
+    EXPECT_NEAR(e.savings_pct, spec.energy_savings_pct, 1e-9) << id;
+  }
+}
+
+TEST(Energy, MultiplierFractionScalesSavings) {
+  const auto spec = *axmul::find_spec("trunc5");  // 38%
+  EnergyModel model;
+  model.multiplier_fraction = 0.5;
+  const auto e = estimate(1000, spec, model);
+  EXPECT_NEAR(e.savings_pct, 19.0, 1e-9);
+}
+
+TEST(Energy, ZeroMacs) {
+  const auto e = estimate(0, *axmul::find_spec("trunc5"));
+  EXPECT_DOUBLE_EQ(e.savings_pct, 0.0);
+  EXPECT_DOUBLE_EQ(e.approx_energy, 0.0);
+}
+
+TEST(Energy, InputValidation) {
+  const auto spec = *axmul::find_spec("trunc5");
+  EXPECT_THROW(estimate(-1, spec), std::invalid_argument);
+  EnergyModel bad;
+  bad.multiplier_fraction = 1.5;
+  EXPECT_THROW(estimate(1, spec, bad), std::invalid_argument);
+}
+
+TEST(Energy, MoreAggressiveMultiplierSavesMore) {
+  const auto e3 = estimate(1000, *axmul::find_spec("trunc3"));
+  const auto e5 = estimate(1000, *axmul::find_spec("trunc5"));
+  EXPECT_LT(e5.approx_energy, e3.approx_energy);
+}
+
+}  // namespace
+}  // namespace axnn::energy

@@ -1,0 +1,193 @@
+// Tests for the paper-outlook extensions: configurable quantization
+// bit-widths and per-layer multiplier overrides (non-uniform approximation).
+#include <gtest/gtest.h>
+
+#include "axnn/approx/signed_lut.hpp"
+#include "axnn/axmul/registry.hpp"
+#include "axnn/nn/activations.hpp"
+#include "axnn/nn/conv2d.hpp"
+#include "axnn/nn/linear.hpp"
+#include "axnn/nn/sequential.hpp"
+#include "axnn/quant/calibration.hpp"
+#include "axnn/tensor/ops.hpp"
+
+namespace axnn::nn {
+namespace {
+
+Conv2d make_calibrated_conv(Rng& rng, const Tensor& x, int wbits = 4, int abits = 8) {
+  Conv2d conv({x.shape()[1], 4, 3, 1, 1, 1, true}, rng);
+  conv.set_bit_widths(wbits, abits);
+  (void)conv.forward(x, ExecContext::calibrate());
+  conv.finalize_calibration(quant::Calibration::kMinPropQE);
+  return conv;
+}
+
+TEST(BitWidths, DefaultsAre8A4W) {
+  Rng rng(1);
+  Conv2d conv({2, 2, 3, 1, 1, 1, true}, rng);
+  EXPECT_EQ(conv.weight_bits(), 4);
+  EXPECT_EQ(conv.activation_bits(), 8);
+  Linear lin(4, 2, rng);
+  EXPECT_EQ(lin.weight_bits(), 4);
+  EXPECT_EQ(lin.activation_bits(), 8);
+}
+
+TEST(BitWidths, Validation) {
+  Rng rng(2);
+  Conv2d conv({2, 2, 3, 1, 1, 1, true}, rng);
+  EXPECT_THROW(conv.set_bit_widths(1, 8), std::invalid_argument);
+  EXPECT_THROW(conv.set_bit_widths(4, 9), std::invalid_argument);
+  Linear lin(4, 2, rng);
+  EXPECT_THROW(lin.set_bit_widths(0, 8), std::invalid_argument);
+}
+
+TEST(BitWidths, SettingInvalidatesCalibration) {
+  Rng rng(3);
+  const Tensor x = randn(Shape{2, 3, 6, 6}, rng, 0.0f, 0.5f);
+  Conv2d conv = make_calibrated_conv(rng, x);
+  EXPECT_TRUE(conv.calibrated());
+  conv.set_bit_widths(3, 8);
+  EXPECT_FALSE(conv.calibrated());
+  EXPECT_THROW(conv.forward(x, ExecContext::quant_exact()), std::logic_error);
+}
+
+TEST(BitWidths, CalibrationUsesConfiguredWidths) {
+  Rng rng(4);
+  const Tensor x = randn(Shape{2, 3, 6, 6}, rng, 0.0f, 0.5f);
+  Conv2d conv = make_calibrated_conv(rng, x, /*wbits=*/3, /*abits=*/6);
+  EXPECT_EQ(conv.weight_qparams().bits, 3);
+  EXPECT_EQ(conv.act_qparams().bits, 6);
+  EXPECT_EQ(conv.weight_qparams().qmax(), 3);
+}
+
+TEST(BitWidths, LowerWidthIncreasesQuantError) {
+  Rng rng(5);
+  const Tensor x = randn(Shape{2, 3, 8, 8}, rng, 0.0f, 0.5f);
+  Conv2d ref({3, 4, 3, 1, 1, 1, true}, rng);
+
+  double prev_err = -1.0;
+  for (const int wbits : {8, 4, 2}) {
+    Rng clone_rng(5);
+    Conv2d conv({3, 4, 3, 1, 1, 1, true}, clone_rng);
+    conv.weight().value = ref.weight().value;
+    conv.set_bit_widths(wbits, 8);
+    (void)conv.forward(x, ExecContext::calibrate());
+    conv.finalize_calibration(quant::Calibration::kMinPropQE);
+    const Tensor y_fp = conv.forward(x, ExecContext::fp());
+    const Tensor y_q = conv.forward(x, ExecContext::quant_exact());
+    const double err = ops::mse(y_fp, y_q);
+    EXPECT_GE(err, prev_err - 1e-9) << "wbits=" << wbits;
+    prev_err = err;
+  }
+}
+
+TEST(BitWidths, ApproxModeRejectsWideWeights) {
+  Rng rng(6);
+  const Tensor x = randn(Shape{1, 2, 5, 5}, rng, 0.0f, 0.5f);
+  Conv2d conv({2, 2, 3, 1, 1, 1, true}, rng);
+  conv.set_bit_widths(8, 8);
+  (void)conv.forward(x, ExecContext::calibrate());
+  conv.finalize_calibration(quant::Calibration::kMinPropQE);
+  // Quantized-exact works at 8-bit weights...
+  EXPECT_NO_THROW(conv.forward(x, ExecContext::quant_exact()));
+  // ...but the 4-bit LUT operand cannot represent them.
+  const approx::SignedMulTable tab;
+  EXPECT_THROW(conv.forward(x, ExecContext::quant_approx(tab)), std::logic_error);
+}
+
+TEST(BitWidths, RecursiveSetterReachesAllGemmLayers) {
+  Rng rng(7);
+  Sequential net;
+  net.emplace<Conv2d>(Conv2dConfig{3, 4, 3, 1, 1, 1, true}, rng);
+  net.emplace<ReLU>();
+  auto& lin = net.emplace<Linear>(4, 2, rng);
+  set_bit_widths_recursive(net, 3, 7);
+  auto* conv = dynamic_cast<Conv2d*>(&net[0]);
+  ASSERT_NE(conv, nullptr);
+  EXPECT_EQ(conv->weight_bits(), 3);
+  EXPECT_EQ(conv->activation_bits(), 7);
+  EXPECT_EQ(lin.weight_bits(), 3);
+}
+
+TEST(MultiplierOverride, TakesPrecedenceOverContext) {
+  Rng rng(8);
+  const Tensor x = randn(Shape{2, 3, 6, 6}, rng, 0.3f, 0.4f);
+  Conv2d conv = make_calibrated_conv(rng, x);
+
+  const approx::SignedMulTable exact_tab;
+  const approx::SignedMulTable trunc5(axmul::make_lut("trunc5"));
+
+  // Context says trunc5, override says exact -> output equals quant-exact.
+  conv.set_multiplier_override(&exact_tab);
+  const Tensor y_override = conv.forward(x, ExecContext::quant_approx(trunc5));
+  conv.set_multiplier_override(nullptr);
+  const Tensor y_exact = conv.forward(x, ExecContext::quant_exact());
+  for (int64_t i = 0; i < y_override.numel(); ++i)
+    EXPECT_NEAR(y_override[i], y_exact[i], 1e-3f);
+
+  // Without the override the damage shows.
+  const Tensor y_trunc = conv.forward(x, ExecContext::quant_approx(trunc5));
+  EXPECT_GT(ops::mse(y_trunc, y_exact), 0.0);
+}
+
+TEST(MultiplierOverride, WorksWithoutContextMultiplier) {
+  // A layer with an override can run kQuantApprox even when the context
+  // carries no table (fully per-layer configuration).
+  Rng rng(9);
+  const Tensor x = randn(Shape{1, 2, 5, 5}, rng, 0.3f, 0.4f);
+  Conv2d conv = make_calibrated_conv(rng, x);
+  const approx::SignedMulTable trunc3(axmul::make_lut("trunc3"));
+  conv.set_multiplier_override(&trunc3);
+  ExecContext ctx;
+  ctx.mode = ExecMode::kQuantApprox;  // ctx.mul == nullptr
+  EXPECT_NO_THROW(conv.forward(x, ctx));
+  conv.set_multiplier_override(nullptr);
+  EXPECT_THROW(conv.forward(x, ctx), std::logic_error);
+}
+
+TEST(MultiplierOverride, LinearSupportsOverrides) {
+  Rng rng(10);
+  const Tensor x = randn(Shape{3, 6}, rng, 0.2f, 0.4f);
+  Linear lin(6, 4, rng);
+  (void)lin.forward(x, ExecContext::calibrate());
+  lin.finalize_calibration(quant::Calibration::kMinPropQE);
+
+  const approx::SignedMulTable exact_tab;
+  const approx::SignedMulTable trunc5(axmul::make_lut("trunc5"));
+  lin.set_multiplier_override(&exact_tab);
+  const Tensor y1 = lin.forward(x, ExecContext::quant_approx(trunc5));
+  lin.set_multiplier_override(nullptr);
+  const Tensor y2 = lin.forward(x, ExecContext::quant_exact());
+  for (int64_t i = 0; i < y1.numel(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-3f);
+}
+
+TEST(MultiplierOverride, MixedNetworkIntermediateDamage) {
+  // Uniform gentle >= mixed >= uniform aggressive (in expectation) on the
+  // raw layer-output error of a two-conv stack.
+  Rng rng(11);
+  const Tensor x = randn(Shape{2, 3, 8, 8}, rng, 0.3f, 0.4f);
+  Sequential net;
+  net.emplace<Conv2d>(Conv2dConfig{3, 6, 3, 1, 1, 1, true}, rng);
+  net.emplace<ReLU>();
+  net.emplace<Conv2d>(Conv2dConfig{6, 6, 3, 1, 1, 1, true}, rng);
+  (void)net.forward(x, ExecContext::calibrate());
+  finalize_calibration_recursive(net, quant::Calibration::kMinPropQE);
+
+  const approx::SignedMulTable gentle(axmul::make_lut("trunc1"));
+  const approx::SignedMulTable aggressive(axmul::make_lut("trunc5"));
+  const Tensor ref = net.forward(x, ExecContext::quant_exact());
+
+  const Tensor y_gentle = net.forward(x, ExecContext::quant_approx(gentle));
+  auto* conv2 = dynamic_cast<Conv2d*>(&net[2]);
+  ASSERT_NE(conv2, nullptr);
+  conv2->set_multiplier_override(&aggressive);
+  const Tensor y_mixed = net.forward(x, ExecContext::quant_approx(gentle));
+  conv2->set_multiplier_override(nullptr);
+  const Tensor y_aggr = net.forward(x, ExecContext::quant_approx(aggressive));
+
+  EXPECT_LE(ops::mse(y_gentle, ref), ops::mse(y_mixed, ref) + 1e-9);
+  EXPECT_LE(ops::mse(y_mixed, ref), ops::mse(y_aggr, ref) + 1e-9);
+}
+
+}  // namespace
+}  // namespace axnn::nn

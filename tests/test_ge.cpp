@@ -1,0 +1,151 @@
+// Tests for gradient estimation: the piecewise-linear error model and its
+// Monte-Carlo fitting (paper Sec. III-B, Eqs. 11-13).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "axnn/axmul/registry.hpp"
+#include "axnn/ge/error_fit.hpp"
+#include "axnn/ge/monte_carlo.hpp"
+#include "axnn/tensor/rng.hpp"
+
+namespace axnn::ge {
+namespace {
+
+TEST(ErrorFit, EvalClampsAtBounds) {
+  ErrorFit f{/*a=*/10.0, /*b=*/-20.0, /*k=*/-0.5, /*c=*/0.0};
+  EXPECT_DOUBLE_EQ(f.eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.eval(10.0), -5.0);
+  EXPECT_DOUBLE_EQ(f.eval(100.0), -20.0);   // lower clamp
+  EXPECT_DOUBLE_EQ(f.eval(-100.0), 10.0);   // upper clamp
+}
+
+TEST(ErrorFit, DerivativeIsKInsideAndZeroOutside) {
+  ErrorFit f{10.0, -20.0, -0.5, 0.0};
+  EXPECT_DOUBLE_EQ(f.derivative(0.0), -0.5);     // inside
+  EXPECT_DOUBLE_EQ(f.derivative(100.0), 0.0);    // clamped low
+  EXPECT_DOUBLE_EQ(f.derivative(-100.0), 0.0);   // clamped high
+}
+
+TEST(ErrorFit, ConstantFitReportsSTEEquivalence) {
+  ErrorFit f{5.0, -5.0, 0.0, 1.0};
+  EXPECT_TRUE(f.is_constant());
+  EXPECT_DOUBLE_EQ(f.derivative(123.0), 0.0);
+}
+
+TEST(FitPiecewiseLinear, RecoversCleanLine) {
+  std::vector<std::pair<double, double>> samples;
+  for (int i = -50; i <= 50; ++i)
+    samples.emplace_back(static_cast<double>(i), -0.2 * i + 3.0);
+  const ErrorFit f = fit_piecewise_linear(samples);
+  EXPECT_NEAR(f.k, -0.2, 1e-9);
+  EXPECT_NEAR(f.c, 3.0, 1e-9);
+  EXPECT_FALSE(f.is_constant());
+}
+
+TEST(FitPiecewiseLinear, CollapsesUnbiasedNoiseToConstant) {
+  // Zero-mean noise uncorrelated with y -> slope must be deemed
+  // insignificant (EvoApprox behaviour, paper Fig. 3).
+  Rng rng(1);
+  std::vector<std::pair<double, double>> samples;
+  for (int i = 0; i < 2000; ++i)
+    samples.emplace_back(rng.uniform(-1000.0, 1000.0), rng.normal(0.0, 40.0));
+  const ErrorFit f = fit_piecewise_linear(samples);
+  EXPECT_TRUE(f.is_constant());
+}
+
+TEST(FitPiecewiseLinear, ClampsFromPercentiles) {
+  std::vector<std::pair<double, double>> samples;
+  for (int i = 0; i < 1000; ++i)
+    samples.emplace_back(static_cast<double>(i), -1.0 * i);
+  const ErrorFit f = fit_piecewise_linear(samples);
+  EXPECT_LE(f.b, -900.0);
+  EXPECT_GE(f.a, -100.0);
+  EXPECT_GE(f.a, f.b);
+}
+
+TEST(FitPiecewiseLinear, NeedsTwoSamples) {
+  EXPECT_THROW(fit_piecewise_linear({{1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(FitPiecewiseLinear, DegenerateYSpreadIsConstant) {
+  std::vector<std::pair<double, double>> samples(10, {5.0, 2.0});
+  const ErrorFit f = fit_piecewise_linear(samples);
+  EXPECT_TRUE(f.is_constant());
+  EXPECT_NEAR(f.eval(5.0), 2.0, 1e-9);
+}
+
+TEST(MonteCarlo, DeterministicForSameSeed) {
+  const approx::SignedMulTable tab(axmul::make_lut("trunc4"));
+  McConfig cfg;
+  const auto s1 = sample_accumulated_error(tab, cfg);
+  const auto s2 = sample_accumulated_error(tab, cfg);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1[i].first, s2[i].first);
+    EXPECT_DOUBLE_EQ(s1[i].second, s2[i].second);
+  }
+}
+
+TEST(MonteCarlo, SampleCountMatchesConfig) {
+  const approx::SignedMulTable tab(axmul::make_lut("trunc3"));
+  McConfig cfg;
+  cfg.num_sims = 7;
+  cfg.outputs_per_sim = 13;
+  EXPECT_EQ(sample_accumulated_error(tab, cfg).size(), 7u * 13u);
+}
+
+TEST(MonteCarlo, ExactMultiplierHasZeroError) {
+  const approx::SignedMulTable tab;  // exact
+  for (const auto& [y, eps] : sample_accumulated_error(tab, {}))
+    EXPECT_DOUBLE_EQ(eps, 0.0);
+}
+
+TEST(MonteCarlo, TruncatedFitHasNegativeSlope) {
+  // Fig. 2 of the paper: truncated multipliers have biased error with a
+  // negative slope in the accumulator value.
+  const approx::SignedMulTable tab(axmul::make_lut("trunc5"));
+  const ErrorFit f = fit_multiplier_error(tab);
+  EXPECT_FALSE(f.is_constant());
+  EXPECT_LT(f.k, -0.01);
+  // Error of truncation is negative for positive accumulators.
+  EXPECT_LT(f.eval(1000.0), 0.0);
+}
+
+TEST(MonteCarlo, EvoApproxLikeFitIsConstant) {
+  // Fig. 3: unbiased error -> constant fit -> GE degenerates to STE.
+  const approx::SignedMulTable tab(axmul::make_lut("evoa228"));
+  const ErrorFit f = fit_multiplier_error(tab);
+  EXPECT_TRUE(f.is_constant());
+}
+
+class TruncatedSlopeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncatedSlopeSweep, DeeperTruncationSteeperSlope) {
+  const int t = GetParam();
+  const approx::SignedMulTable shallow(axmul::make_lut("trunc" + std::to_string(t)));
+  const approx::SignedMulTable deep(axmul::make_lut("trunc" + std::to_string(t + 1)));
+  const ErrorFit fs = fit_multiplier_error(shallow);
+  const ErrorFit fd = fit_multiplier_error(deep);
+  EXPECT_LE(fd.k, fs.k + 0.01);  // more truncation -> more negative slope
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TruncatedSlopeSweep, ::testing::Values(3, 4, 5, 6));
+
+TEST(MonteCarlo, SignedActivationConfigWorks) {
+  const approx::SignedMulTable tab(axmul::make_lut("trunc4"));
+  McConfig cfg;
+  cfg.signed_activations = true;
+  const auto samples = sample_accumulated_error(tab, cfg);
+  // Signed activations produce both positive and negative accumulators.
+  bool pos = false, neg = false;
+  for (const auto& [y, eps] : samples) {
+    pos |= y > 0;
+    neg |= y < 0;
+  }
+  EXPECT_TRUE(pos);
+  EXPECT_TRUE(neg);
+}
+
+}  // namespace
+}  // namespace axnn::ge

@@ -1,0 +1,100 @@
+// Tests for the knowledge-distillation losses (Eqs. 1-3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "axnn/kd/distill.hpp"
+#include "axnn/tensor/ops.hpp"
+
+namespace axnn::kd {
+namespace {
+
+TEST(SoftCrossEntropy, ZeroWhenStudentEqualsTeacherGradientwise) {
+  Rng rng(1);
+  const Tensor t = randn(Shape{3, 5}, rng, 0.0f, 2.0f);
+  const auto r = soft_cross_entropy(t, t, 4.0f);
+  // Loss equals T^2 * entropy(teacher) > 0, but the gradient vanishes.
+  EXPECT_GT(r.value, 0.0);
+  for (int64_t i = 0; i < r.grad.numel(); ++i) EXPECT_NEAR(r.grad[i], 0.0f, 1e-6f);
+}
+
+TEST(SoftCrossEntropy, GradientPullsTowardTeacher) {
+  Tensor student(Shape{1, 2}, 0.0f);
+  Tensor teacher(Shape{1, 2}, 0.0f);
+  teacher(0, 0) = 4.0f;  // teacher prefers class 0
+  const auto r = soft_cross_entropy(student, teacher, 2.0f);
+  EXPECT_LT(r.grad(0, 0), 0.0f);  // increase logit 0
+  EXPECT_GT(r.grad(0, 1), 0.0f);  // decrease logit 1
+}
+
+TEST(SoftCrossEntropy, TSquaredScalingKeepsGradientMagnitude) {
+  // Hinton scaling: the T^2 factor keeps soft-gradient magnitudes roughly
+  // temperature-independent; without it they would shrink as 1/T^2.
+  Rng rng(2);
+  const Tensor teacher = randn(Shape{4, 6}, rng, 0.0f, 3.0f);
+  const Tensor student = randn(Shape{4, 6}, rng, 0.0f, 3.0f);
+  const auto g1 = soft_cross_entropy(student, teacher, 1.0f);
+  const auto g10 = soft_cross_entropy(student, teacher, 10.0f);
+  const double n1 = std::sqrt(ops::sum_sq(g1.grad));
+  const double n10 = std::sqrt(ops::sum_sq(g10.grad));
+  EXPECT_GT(n10, n1 * 0.05);
+  EXPECT_LT(n10, n1 * 20.0);
+}
+
+TEST(SoftCrossEntropy, HigherTemperatureFlattensTargets) {
+  // At high T the teacher distribution flattens, so a uniform student gets a
+  // smaller gradient toward the argmax class.
+  Tensor teacher(Shape{1, 3}, 0.0f);
+  teacher(0, 2) = 6.0f;
+  Tensor student(Shape{1, 3}, 0.0f);
+  const auto low = soft_cross_entropy(student, teacher, 1.0f);
+  const auto high = soft_cross_entropy(student, teacher, 10.0f);
+  // Normalise out the T scaling of the gradient itself.
+  const float pull_low = -low.grad(0, 2) / 1.0f;
+  const float pull_high = -high.grad(0, 2) / 10.0f;
+  EXPECT_LT(pull_high, pull_low);
+}
+
+TEST(SoftCrossEntropy, MatchesManualComputation) {
+  // Hand-checked 2-class case at T = 2.
+  Tensor s(Shape{1, 2}), t(Shape{1, 2});
+  s(0, 0) = 1.0f; s(0, 1) = -1.0f;
+  t(0, 0) = 2.0f; t(0, 1) = 0.0f;
+  const float T = 2.0f;
+  const auto r = soft_cross_entropy(s, t, T);
+  const double pt0 = 1.0 / (1.0 + std::exp(-1.0));  // softmax(t/T)
+  const double ps0 = 1.0 / (1.0 + std::exp(-1.0));  // softmax(s/T) (same gap)
+  const double expect =
+      -T * T * (pt0 * std::log(ps0) + (1.0 - pt0) * std::log(1.0 - ps0));
+  EXPECT_NEAR(r.value, expect, 1e-5);
+}
+
+TEST(SoftCrossEntropy, InputValidation) {
+  Tensor a(Shape{1, 2}, 0.0f), b(Shape{1, 3}, 0.0f);
+  EXPECT_THROW(soft_cross_entropy(a, b, 1.0f), std::invalid_argument);
+  EXPECT_THROW(soft_cross_entropy(a, a, 0.0f), std::invalid_argument);
+}
+
+TEST(DistillationLoss, IsHardPlusSoft) {
+  Rng rng(3);
+  const Tensor s = randn(Shape{2, 4}, rng);
+  const Tensor t = randn(Shape{2, 4}, rng);
+  const std::vector<int> labels = {1, 2};
+  const auto combined = distillation_loss(s, t, labels, 3.0f);
+  const auto hard = nn::cross_entropy(s, labels);
+  const auto soft = soft_cross_entropy(s, t, 3.0f);
+  EXPECT_NEAR(combined.value, hard.value + soft.value, 1e-9);
+  for (int64_t i = 0; i < combined.grad.numel(); ++i)
+    EXPECT_NEAR(combined.grad[i], hard.grad[i] + soft.grad[i], 1e-6f);
+}
+
+TEST(DistillationLoss, PerfectStudentHasSmallGradient) {
+  // A student matching both labels and teacher confidently -> tiny gradient.
+  Tensor s(Shape{1, 3}, 0.0f);
+  s(0, 0) = 10.0f;
+  const auto r = distillation_loss(s, s, {0}, 2.0f);
+  EXPECT_LT(std::sqrt(ops::sum_sq(r.grad)), 1e-3);
+}
+
+}  // namespace
+}  // namespace axnn::kd

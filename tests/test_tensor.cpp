@@ -1,0 +1,335 @@
+// Tests for the tensor substrate: Shape, Rng, Tensor, ops, GEMM, ThreadPool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "axnn/tensor/gemm.hpp"
+#include "axnn/tensor/ops.hpp"
+#include "axnn/tensor/rng.hpp"
+#include "axnn/tensor/shape.hpp"
+#include "axnn/tensor/tensor.hpp"
+#include "axnn/tensor/threadpool.hpp"
+
+namespace axnn {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+}
+
+TEST(Shape, ScalarHasOneElement) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));
+}
+
+TEST(Shape, RejectsNegativeDims) {
+  EXPECT_THROW((Shape{2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, RejectsExcessRank) {
+  EXPECT_THROW((Shape{1, 1, 1, 1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Shape, OutOfRangeAxisThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s[2], std::out_of_range);
+  EXPECT_THROW(s[-1], std::out_of_range);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(rng.uniform_int(10))];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int64_t> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::set<int64_t> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_NE(v[0] * 100 + v[1], 0 * 100 + 1);  // overwhelmingly likely moved
+}
+
+TEST(Rng, HashMixDeterministicAndSpread) {
+  EXPECT_EQ(hash_mix(1, 2), hash_mix(1, 2));
+  EXPECT_NE(hash_mix(1, 2), hash_mix(2, 1));
+  EXPECT_NE(hash_mix(0, 0), 0u);
+}
+
+TEST(Tensor, FillAndAccess) {
+  Tensor t(Shape{2, 3}, 1.5f);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_FLOAT_EQ(t(1, 2), 1.5f);
+  t(0, 1) = 2.0f;
+  EXPECT_FLOAT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t(Shape{4});
+  EXPECT_THROW(t.at(4), std::out_of_range);
+  EXPECT_THROW(t.at(-1), std::out_of_range);
+  EXPECT_NO_THROW(t.at(3));
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3});
+  for (int64_t i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+  const Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  for (int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(r[i], static_cast<float>(i));
+  EXPECT_THROW(t.reshaped(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(5);
+  const Tensor t = randn(Shape{4, 1000}, rng, 1.0f, 2.0f);
+  EXPECT_NEAR(ops::mean(t), 1.0, 0.1);
+}
+
+TEST(Ops, AddSubMul) {
+  Tensor a(Shape{3}, 2.0f), b(Shape{3}, 3.0f);
+  EXPECT_FLOAT_EQ(ops::add(a, b)[0], 5.0f);
+  EXPECT_FLOAT_EQ(ops::sub(a, b)[0], -1.0f);
+  EXPECT_FLOAT_EQ(ops::mul(a, b)[0], 6.0f);
+  EXPECT_THROW(ops::add(a, Tensor(Shape{4})), std::invalid_argument);
+}
+
+TEST(Ops, InplaceOps) {
+  Tensor a(Shape{2}, 1.0f), b(Shape{2}, 2.0f);
+  ops::add_inplace(a, b);
+  EXPECT_FLOAT_EQ(a[0], 3.0f);
+  ops::axpy_inplace(a, 0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 4.0f);
+  ops::scale_inplace(a, 2.0f);
+  EXPECT_FLOAT_EQ(a[0], 8.0f);
+}
+
+TEST(Ops, Reductions) {
+  Tensor a(Shape{4});
+  a[0] = 1.0f; a[1] = -2.0f; a[2] = 3.0f; a[3] = -4.0f;
+  EXPECT_DOUBLE_EQ(ops::sum(a), -2.0);
+  EXPECT_DOUBLE_EQ(ops::mean(a), -0.5);
+  EXPECT_FLOAT_EQ(ops::max_abs(a), 4.0f);
+  EXPECT_DOUBLE_EQ(ops::sum_sq(a), 30.0);
+}
+
+TEST(Ops, Mse) {
+  Tensor a(Shape{2}, 1.0f), b(Shape{2}, 3.0f);
+  EXPECT_DOUBLE_EQ(ops::mse(a, b), 4.0);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  const Tensor logits = randn(Shape{5, 10}, rng, 0.0f, 3.0f);
+  const Tensor p = ops::softmax(logits);
+  for (int64_t i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (int64_t j = 0; j < 10; ++j) {
+      EXPECT_GT(p(i, j), 0.0f);
+      s += p(i, j);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxTemperatureFlattens) {
+  Tensor logits(Shape{1, 3});
+  logits[0] = 0.0f; logits[1] = 2.0f; logits[2] = 4.0f;
+  const Tensor p1 = ops::softmax(logits, 1.0f);
+  const Tensor p10 = ops::softmax(logits, 10.0f);
+  // High temperature -> flatter distribution (paper's KD mechanism).
+  EXPECT_LT(p10[2] - p10[0], p1[2] - p1[0]);
+  EXPECT_GT(p10[0], p1[0]);
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(9);
+  const Tensor logits = randn(Shape{3, 7}, rng);
+  const Tensor lp = ops::log_softmax(logits, 2.0f);
+  const Tensor p = ops::softmax(logits, 2.0f);
+  for (int64_t i = 0; i < lp.numel(); ++i) EXPECT_NEAR(lp[i], std::log(p[i]), 1e-5);
+}
+
+TEST(Ops, SoftmaxInvariantToShift) {
+  Tensor logits(Shape{1, 3});
+  logits[0] = 1000.0f; logits[1] = 1001.0f; logits[2] = 1002.0f;  // stability
+  const Tensor p = ops::softmax(logits);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-5);
+  EXPECT_GT(p[2], p[1]);
+}
+
+TEST(Ops, ArgmaxAndAccuracy) {
+  Tensor logits(Shape{2, 3}, 0.0f);
+  logits(0, 1) = 1.0f;
+  logits(1, 2) = 1.0f;
+  const auto am = ops::argmax_rows(logits);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 2);
+  EXPECT_DOUBLE_EQ(ops::accuracy(logits, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(ops::accuracy(logits, {1, 0}), 0.5);
+}
+
+TEST(Ops, RejectsBadTemperature) {
+  Tensor logits(Shape{1, 2}, 0.0f);
+  EXPECT_THROW(ops::softmax(logits, 0.0f), std::invalid_argument);
+  EXPECT_THROW(ops::log_softmax(logits, -1.0f), std::invalid_argument);
+}
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  Tensor c(Shape{m, n}, 0.0f);
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t kk = 0; kk < k; ++kk)
+      for (int64_t j = 0; j < n; ++j) c(i, j) += a(i, kk) * b(kk, j);
+  return c;
+}
+
+struct GemmDims {
+  int64_t m, k, n;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmDims> {};
+
+TEST_P(GemmSweep, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 10007 + k * 101 + n);
+  const Tensor a = randn(Shape{m, k}, rng);
+  const Tensor b = randn(Shape{k, n}, rng);
+  const Tensor c = matmul(a, b);
+  const Tensor ref = naive_matmul(a, b);
+  for (int64_t i = 0; i < c.numel(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3f);
+}
+
+TEST_P(GemmSweep, TransposedVariantsConsistent) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m + k + n);
+  const Tensor a = randn(Shape{m, k}, rng);
+  const Tensor b = randn(Shape{k, n}, rng);
+  const Tensor ref = naive_matmul(a, b);
+
+  // gemm_nt: A[M,K] * (Bt[N,K])^T
+  const Tensor bt = transpose(b);
+  Tensor c1(Shape{m, n});
+  gemm_nt_f32(a.data(), bt.data(), c1.data(), m, k, n);
+  for (int64_t i = 0; i < ref.numel(); ++i) EXPECT_NEAR(c1[i], ref[i], 1e-3f);
+
+  // gemm_tn: (At[K,M])^T * B[K,N], accumulating into zeros
+  const Tensor at = transpose(a);
+  Tensor c2(Shape{m, n}, 0.0f);
+  gemm_tn_f32_acc(at.data(), b.data(), c2.data(), m, k, n);
+  for (int64_t i = 0; i < ref.numel(); ++i) EXPECT_NEAR(c2[i], ref[i], 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmSweep,
+                         ::testing::Values(GemmDims{1, 1, 1}, GemmDims{2, 3, 4},
+                                           GemmDims{5, 17, 3}, GemmDims{16, 16, 16},
+                                           GemmDims{33, 7, 29}, GemmDims{64, 128, 9},
+                                           GemmDims{128, 27, 256}));
+
+TEST(Gemm, MatmulShapeChecks) {
+  Tensor a(Shape{2, 3}), b(Shape{4, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Gemm, TransposeRoundTrip) {
+  Rng rng(21);
+  const Tensor a = randn(Shape{5, 7}, rng);
+  const Tensor att = transpose(transpose(a));
+  for (int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(att[i], a[i]);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyAndSmallRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> total{0};
+  pool.parallel_for(3, [&](int64_t b, int64_t e) { total += static_cast<int>(e - b); });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ManyInvocationsStable) {
+  ThreadPool pool(2);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::atomic<int64_t> sum{0};
+    pool.parallel_for(257, [&](int64_t b, int64_t e) {
+      int64_t local = 0;
+      for (int64_t i = b; i < e; ++i) local += i;
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 257 * 256 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace axnn

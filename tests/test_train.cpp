@@ -1,0 +1,216 @@
+// Tests for evaluation, calibration drivers, FP training and the
+// fine-tuning stages (Algorithm 1 machinery) on micro-scale configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "axnn/approx/signed_lut.hpp"
+#include "axnn/axmul/registry.hpp"
+#include "axnn/data/synthetic.hpp"
+#include "axnn/models/resnet.hpp"
+#include "axnn/nn/conv2d.hpp"
+#include "axnn/nn/linear.hpp"
+#include "axnn/nn/pooling.hpp"
+#include "axnn/nn/activations.hpp"
+#include "axnn/train/evaluate.hpp"
+#include "axnn/train/finetune.hpp"
+#include "axnn/train/trainer.hpp"
+
+namespace axnn::train {
+namespace {
+
+data::SyntheticCifar micro_data() {
+  data::SyntheticConfig cfg;
+  cfg.image_size = 8;
+  cfg.train_size = 120;
+  cfg.test_size = 60;
+  // The default difficulty targets paper-like FP accuracy at bench scale;
+  // the micro fixtures only need a learnable signal.
+  cfg.noise_sigma = 0.35f;
+  cfg.bleed_prob = 0.2f;
+  return data::make_synthetic_cifar(cfg);
+}
+
+std::unique_ptr<nn::Sequential> micro_net(uint64_t seed = 3) {
+  Rng rng(seed);
+  auto net = std::make_unique<nn::Sequential>("micro");
+  net->emplace<nn::Conv2d>(nn::Conv2dConfig{3, 8, 3, 1, 1, 1, true}, rng);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::Conv2d>(nn::Conv2dConfig{8, 8, 3, 2, 1, 1, true}, rng);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::GlobalAvgPool>();
+  net->emplace<nn::Linear>(8, 10, rng);
+  return net;
+}
+
+TEST(Evaluate, AccuracyOfUntrainedModelNearChance) {
+  const auto data = micro_data();
+  auto net = micro_net();
+  const double acc = evaluate_accuracy(*net, data.test, nn::ExecContext::fp());
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 0.45);  // untrained: near 10% chance, generous bound
+}
+
+TEST(Evaluate, PredictLogitsShape) {
+  const auto data = micro_data();
+  auto net = micro_net();
+  const Tensor logits = predict_logits(*net, data.test, nn::ExecContext::fp(), 32);
+  EXPECT_EQ(logits.shape(), (Shape{60, 10}));
+}
+
+TEST(Evaluate, BatchedAndUnbatchedAgree) {
+  const auto data = micro_data();
+  auto net = micro_net();
+  const double a1 = evaluate_accuracy(*net, data.test, nn::ExecContext::fp(), 7);
+  const double a2 = evaluate_accuracy(*net, data.test, nn::ExecContext::fp(), 60);
+  EXPECT_DOUBLE_EQ(a1, a2);
+}
+
+TEST(TrainFp, LossDecreasesAndAccuracyAboveChance) {
+  const auto data = micro_data();
+  auto net = micro_net();
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 30;
+  cfg.lr = 0.05f;
+  const auto result = train_fp(*net, data.train, data.test, cfg);
+  ASSERT_EQ(result.history.size(), 8u);
+  EXPECT_LT(result.history.back().train_loss, result.history.front().train_loss);
+  EXPECT_GT(result.final_acc, 0.2);  // well above 10% chance
+}
+
+TEST(Calibrate, MakesAllGemmLayersQuantizable) {
+  const auto data = micro_data();
+  auto net = micro_net();
+  calibrate_model(*net, data.train, 60, 30, quant::Calibration::kMinPropQE);
+  // Quantized forward now works and is finite.
+  const auto batch = data.test.slice(0, 16);
+  const Tensor y = net->forward(batch.first, nn::ExecContext::quant_exact());
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_TRUE(std::isfinite(y[i]));
+}
+
+TEST(Calibrate, EmptySetThrows) {
+  auto net = micro_net();
+  data::Dataset empty;
+  empty.images = Tensor(Shape{0, 3, 8, 8});
+  EXPECT_THROW(calibrate_model(*net, empty, 10, 10, quant::Calibration::kMinPropQE),
+               std::invalid_argument);
+}
+
+TEST(Methods, StringsAndPredicates) {
+  EXPECT_EQ(to_string(Method::kNormal), "normal");
+  EXPECT_EQ(to_string(Method::kApproxKD_GE), "approxkd+ge");
+  EXPECT_FALSE(uses_kd(Method::kNormal));
+  EXPECT_FALSE(uses_kd(Method::kGE));
+  EXPECT_FALSE(uses_kd(Method::kAlpha));
+  EXPECT_TRUE(uses_kd(Method::kApproxKD));
+  EXPECT_TRUE(uses_kd(Method::kApproxKD_GE));
+  EXPECT_TRUE(uses_ge(Method::kGE));
+  EXPECT_TRUE(uses_ge(Method::kApproxKD_GE));
+  EXPECT_FALSE(uses_ge(Method::kApproxKD));
+}
+
+class StageFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    data_ = micro_data();
+    net_ = micro_net();
+    TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.batch_size = 30;
+    cfg.eval_every_epoch = false;
+    (void)train_fp(*net_, data_.train, data_.test, cfg);
+    calibrate_model(*net_, data_.train, 60, 30, quant::Calibration::kMinPropQE);
+  }
+
+  FineTuneConfig micro_ft(int epochs = 2) const {
+    FineTuneConfig fc;
+    fc.epochs = epochs;
+    fc.batch_size = 30;
+    fc.lr = 1e-3f;
+    fc.eval_every_epoch = true;
+    return fc;
+  }
+
+  data::SyntheticCifar data_;
+  std::unique_ptr<nn::Sequential> net_;
+};
+
+TEST_F(StageFixture, QuantizationStagePlainRuns) {
+  const auto result = quantization_stage(*net_, nullptr, data_.train, data_.test, micro_ft());
+  EXPECT_EQ(result.history.size(), 2u);
+  EXPECT_GE(result.best_acc, result.initial_acc - 0.05);
+}
+
+TEST_F(StageFixture, QuantizationStageWithKdTeacher) {
+  auto teacher = micro_net();
+  nn::copy_state(*net_, *teacher);
+  auto fc = micro_ft();
+  fc.temperature = 1.0f;
+  const auto result = quantization_stage(*net_, teacher.get(), data_.train, data_.test, fc);
+  EXPECT_EQ(result.history.size(), 2u);
+}
+
+TEST_F(StageFixture, ApproximationStageValidatesSetup) {
+  ApproxStageSetup setup;  // missing multiplier
+  EXPECT_THROW(approximation_stage(*net_, setup, data_.train, data_.test, micro_ft()),
+               std::invalid_argument);
+
+  const approx::SignedMulTable tab(axmul::make_lut("trunc3"));
+  setup.mul = &tab;
+  setup.method = Method::kApproxKD;  // KD without teacher
+  EXPECT_THROW(approximation_stage(*net_, setup, data_.train, data_.test, micro_ft()),
+               std::invalid_argument);
+
+  setup.method = Method::kGE;  // GE without fit
+  EXPECT_THROW(approximation_stage(*net_, setup, data_.train, data_.test, micro_ft()),
+               std::invalid_argument);
+}
+
+TEST_F(StageFixture, ApproximationStageNormalRuns) {
+  const approx::SignedMulTable tab(axmul::make_lut("trunc3"));
+  ApproxStageSetup setup;
+  setup.mul = &tab;
+  setup.method = Method::kNormal;
+  const auto result = approximation_stage(*net_, setup, data_.train, data_.test, micro_ft());
+  EXPECT_EQ(result.history.size(), 2u);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST_F(StageFixture, ApproximationStageAllMethodsRun) {
+  const approx::SignedMulTable tab(axmul::make_lut("trunc3"));
+  auto teacher = micro_net();
+  nn::copy_state(*net_, *teacher);
+  // Teacher must be calibrated for quant_exact execution.
+  calibrate_model(*teacher, data_.train, 60, 30, quant::Calibration::kMinPropQE);
+  ge::ErrorFit fit;
+  fit.k = -0.1;
+  fit.a = 100.0;
+  fit.b = -100.0;
+
+  for (const Method m : {Method::kNormal, Method::kGE, Method::kAlpha, Method::kApproxKD,
+                         Method::kApproxKD_GE}) {
+    ApproxStageSetup setup;
+    setup.mul = &tab;
+    setup.method = m;
+    setup.fit = &fit;
+    setup.teacher_q = teacher.get();
+    auto fc = micro_ft(1);
+    fc.temperature = 5.0f;
+    const auto result = approximation_stage(*net_, setup, data_.train, data_.test, fc);
+    EXPECT_EQ(result.history.size(), 1u) << to_string(m);
+  }
+}
+
+TEST_F(StageFixture, FineTuningImprovesApproximateAccuracy) {
+  const approx::SignedMulTable tab(axmul::make_lut("trunc4"));
+  ApproxStageSetup setup;
+  setup.mul = &tab;
+  setup.method = Method::kNormal;
+  auto fc = micro_ft(4);
+  const auto result = approximation_stage(*net_, setup, data_.train, data_.test, fc);
+  EXPECT_GE(result.best_acc, result.initial_acc);
+}
+
+}  // namespace
+}  // namespace axnn::train

@@ -1,0 +1,237 @@
+// axnn_cli — command-line driver for the Algorithm-1 pipeline.
+//
+// Runs any single experiment configuration without writing code:
+//
+//   axnn_cli --model resnet20 --multiplier trunc5 --method approxkd+ge \
+//            --t2 5 --epochs 10 --lr 2e-4 [--no-kd-stage1] [--full]
+//
+// Subcommands:
+//   run        (default) full pipeline for one multiplier/method
+//   inspect    print model parameters/MACs and multiplier statistics
+//   sweep      run every paper multiplier with one method
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "axnn/axnn.hpp"
+
+namespace {
+
+using namespace axnn;
+
+struct CliOptions {
+  std::string command = "run";
+  core::ModelKind model = core::ModelKind::kResNet20;
+  std::string multiplier = "trunc5";
+  train::Method method = train::Method::kApproxKD_GE;
+  std::optional<float> t2;
+  std::optional<int> epochs;
+  std::optional<float> lr;
+  std::optional<int64_t> batch;
+  bool kd_stage1 = true;
+  bool full = false;
+  bool verbose = false;
+};
+
+void print_usage() {
+  std::printf(
+      "usage: axnn_cli [run|inspect|sweep] [options]\n"
+      "  --model resnet20|resnet32|mobilenetv2   (default resnet20)\n"
+      "  --multiplier <id>        registry id, e.g. trunc5, evoa228 (default trunc5)\n"
+      "  --method normal|ge|alpha|approxkd|approxkd+ge   (default approxkd+ge)\n"
+      "  --t2 <temp>              distillation temperature (default: by MRE)\n"
+      "  --epochs <n>             fine-tuning epochs (default: profile)\n"
+      "  --lr <f>                 fine-tuning learning rate\n"
+      "  --batch <n>              fine-tuning batch size\n"
+      "  --no-kd-stage1           plain fine-tuning in the quantization stage\n"
+      "  --full                   paper-scale profile (same as AXNN_REPRO_FULL=1)\n"
+      "  --verbose                per-epoch progress\n");
+}
+
+bool parse_method(const std::string& s, train::Method& out) {
+  if (s == "normal") out = train::Method::kNormal;
+  else if (s == "ge") out = train::Method::kGE;
+  else if (s == "alpha") out = train::Method::kAlpha;
+  else if (s == "approxkd") out = train::Method::kApproxKD;
+  else if (s == "approxkd+ge") out = train::Method::kApproxKD_GE;
+  else return false;
+  return true;
+}
+
+bool parse_model(const std::string& s, core::ModelKind& out) {
+  if (s == "resnet20") out = core::ModelKind::kResNet20;
+  else if (s == "resnet32") out = core::ModelKind::kResNet32;
+  else if (s == "mobilenetv2") out = core::ModelKind::kMobileNetV2;
+  else return false;
+  return true;
+}
+
+std::optional<CliOptions> parse(int argc, char** argv) {
+  CliOptions opt;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') opt.command = argv[i++];
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      const char* v = next();
+      if (v == nullptr || !parse_model(v, opt.model)) return std::nullopt;
+    } else if (arg == "--multiplier") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.multiplier = v;
+    } else if (arg == "--method") {
+      const char* v = next();
+      if (v == nullptr || !parse_method(v, opt.method)) return std::nullopt;
+    } else if (arg == "--t2") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.t2 = static_cast<float>(std::atof(v));
+    } else if (arg == "--epochs") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.epochs = std::atoi(v);
+    } else if (arg == "--lr") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.lr = static_cast<float>(std::atof(v));
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.batch = std::atoll(v);
+    } else if (arg == "--no-kd-stage1") {
+      opt.kd_stage1 = false;
+    } else if (arg == "--full") {
+      opt.full = true;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return std::nullopt;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+core::Workbench make_workbench(const CliOptions& opt) {
+  core::WorkbenchConfig cfg;
+  cfg.model = opt.model;
+  cfg.profile = core::BenchProfile::from_env();
+  if (opt.full) {
+    setenv("AXNN_REPRO_FULL", "1", 1);
+    cfg.profile = core::BenchProfile::from_env();
+  }
+  cfg.verbose = opt.verbose;
+  return core::Workbench(cfg);
+}
+
+float pick_t2(const CliOptions& opt, const axmul::MultiplierSpec& spec) {
+  if (opt.t2) return *opt.t2;
+  if (spec.paper_mre < 0.03) return 2.0f;
+  if (spec.paper_mre < 0.13) return 5.0f;
+  return 10.0f;
+}
+
+int cmd_inspect(const CliOptions& opt) {
+  core::Workbench wb = make_workbench(opt);
+  const auto info = wb.info();
+  std::printf("model %s: %lld params, %lld MACs/sample, FP acc %.2f%%\n", info.name.c_str(),
+              static_cast<long long>(info.parameters),
+              static_cast<long long>(info.macs_per_sample), 100.0 * wb.fp_accuracy());
+  const auto spec = axmul::find_spec(opt.multiplier);
+  if (!spec) {
+    std::fprintf(stderr, "unknown multiplier '%s'\n", opt.multiplier.c_str());
+    return 1;
+  }
+  const auto stats = axmul::compute_error_stats(*axmul::make_multiplier(*spec));
+  const auto fit = wb.fit_error(opt.multiplier);
+  const auto energy = energy::estimate(info.macs_per_sample, *spec);
+  std::printf("multiplier %s: MRE %.2f%% (paper %.1f%%), bias %.2f, savings %.0f%%\n",
+              spec->id.c_str(), 100.0 * stats.mre, 100.0 * spec->paper_mre, stats.mean_error,
+              spec->energy_savings_pct);
+  std::printf("GE fit: %s\n", fit.to_string().c_str());
+  std::printf("network energy: %.0f -> %.0f units (%.0f%% savings)\n", energy.exact_energy,
+              energy.approx_energy, energy.savings_pct);
+  return 0;
+}
+
+train::FineTuneConfig make_ft(const CliOptions& opt, const core::Workbench& wb) {
+  train::FineTuneConfig fc = wb.default_ft_config();
+  if (opt.epochs) fc.epochs = *opt.epochs;
+  if (opt.lr) fc.lr = *opt.lr;
+  if (opt.batch) fc.batch_size = *opt.batch;
+  fc.verbose = opt.verbose;
+  return fc;
+}
+
+int cmd_run(const CliOptions& opt) {
+  const auto spec = axmul::find_spec(opt.multiplier);
+  if (!spec) {
+    std::fprintf(stderr, "unknown multiplier '%s'\n", opt.multiplier.c_str());
+    return 1;
+  }
+  core::Workbench wb = make_workbench(opt);
+  const auto s1 = wb.run_quantization_stage(opt.kd_stage1);
+  std::printf("FP %.2f%% | 8A4W %.2f%% -> %.2f%% (%s stage 1)\n", 100.0 * wb.fp_accuracy(),
+              100.0 * wb.quant_acc_before_ft(), 100.0 * s1.final_acc,
+              opt.kd_stage1 ? "KD" : "normal");
+
+  const float t2 = pick_t2(opt, *spec);
+  const auto run =
+      wb.run_approximation_stage(opt.multiplier, opt.method, t2, make_ft(opt, wb));
+  std::printf("%s + %s (T2=%.0f): %.2f%% -> %.2f%% (best %.2f%%) in %.1fs\n",
+              opt.multiplier.c_str(), train::to_string(opt.method).c_str(), t2,
+              100.0 * run.initial_acc, 100.0 * run.result.final_acc,
+              100.0 * run.result.best_acc, run.result.seconds);
+  return 0;
+}
+
+int cmd_sweep(const CliOptions& opt) {
+  core::Workbench wb = make_workbench(opt);
+  const auto s1 = wb.run_quantization_stage(opt.kd_stage1);
+  core::Table table({"multiplier", "initial[%]", "final[%]"});
+  for (const auto& spec : axmul::paper_multipliers()) {
+    if (spec.kind == axmul::MultiplierKind::kExact) continue;
+    const double initial = wb.approx_initial_accuracy(spec.id);
+    if (s1.final_acc - initial <= 0.01) {
+      table.add_row({spec.id, core::Table::pct(initial), "-"});
+      continue;
+    }
+    const auto run = wb.run_approximation_stage(spec.id, opt.method, pick_t2(opt, spec),
+                                                make_ft(opt, wb));
+    table.add_row({spec.id, core::Table::pct(initial),
+                   core::Table::pct(run.result.final_acc)});
+    std::printf("  %s done\n", spec.id.c_str());
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = parse(argc, argv);
+  if (!opt) return 1;
+  try {
+    if (opt->command == "run") return cmd_run(*opt);
+    if (opt->command == "inspect") return cmd_inspect(*opt);
+    if (opt->command == "sweep") return cmd_sweep(*opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", opt->command.c_str());
+  print_usage();
+  return 1;
+}
