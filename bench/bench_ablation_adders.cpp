@@ -36,8 +36,8 @@ int main() {
   for (const char* id : {"exact_add", "loa2", "loa4", "loa6", "loa8", "truncadd2",
                          "truncadd4", "truncadd6", "truncadd8"}) {
     const auto adder = axmul::make_adder(id);
-    nn::ExecContext ctx = nn::ExecContext::quant_approx(trunc3);
-    ctx.adder = adder.get();
+    const nn::ExecContext ctx =
+        nn::ExecContext::quant_approx(trunc3).with_adder(*adder);
     const double acc = train::evaluate_accuracy(wb.model(), wb.data().test, ctx);
     table.add_row({id, bench::pct(acc)});
     std::printf("  %-10s %.2f%%\n", id, 100.0 * acc);

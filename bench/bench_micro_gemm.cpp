@@ -1,33 +1,63 @@
 // Kernel microbenchmarks (google-benchmark): float GEMM, approximate LUT
 // GEMM, im2col, fake-quant — the per-iteration costs behind Table IV's
-// overhead numbers.
+// overhead numbers. GEMM benches are parameterised over the kernel backend
+// (0 = naive golden reference, 1 = cache-blocked) so `--benchmark_filter`
+// can compare them directly; the ResNet20 conv shape M=64, K=576, N=1024 is
+// the acceptance shape for the blocked kernels.
 #include <benchmark/benchmark.h>
 
-#include "axnn/approx/approx_gemm.hpp"
+#include "axnn/approx/kernels.hpp"
 #include "axnn/axmul/registry.hpp"
 #include "axnn/ge/monte_carlo.hpp"
 #include "axnn/nn/im2col.hpp"
 #include "axnn/quant/quantizer.hpp"
-#include "axnn/tensor/gemm.hpp"
+#include "axnn/tensor/kernels.hpp"
 #include "axnn/tensor/rng.hpp"
 
 namespace {
 
 using namespace axnn;
 
+kernels::Backend backend_arg(const benchmark::State& state) {
+  return state.range(0) == 0 ? kernels::Backend::kNaive : kernels::Backend::kBlocked;
+}
+
+void set_backend_label(benchmark::State& state) {
+  state.SetLabel(kernels::backend_name(backend_arg(state)));
+}
+
 void BM_GemmF32(benchmark::State& state) {
-  const int64_t n = state.range(0);
+  const int64_t n = state.range(1);
   Rng rng(1);
   const Tensor a = randn(Shape{n, n}, rng);
   const Tensor b = randn(Shape{n, n}, rng);
   Tensor c(Shape{n, n});
+  set_backend_label(state);
   for (auto _ : state) {
-    gemm_f32(a.data(), b.data(), c.data(), n, n, n);
+    kernels::gemm({}, a.data(), b.data(), c.data(), n, n, n, backend_arg(state));
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_GemmF32)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmF32)
+    ->ArgsProduct({{0, 1}, {32, 64, 128}})
+    ->ArgNames({"backend", "n"});
+
+// ResNet20 stage-3 conv as lowered by im2col: C[64,1024] = W[64,576]·X[576,1024].
+void BM_GemmF32ResNet20(benchmark::State& state) {
+  constexpr int64_t M = 64, K = 576, N = 1024;
+  Rng rng(6);
+  const Tensor a = randn(Shape{M, K}, rng);
+  const Tensor b = randn(Shape{K, N}, rng);
+  Tensor c(Shape{M, N});
+  set_backend_label(state);
+  for (auto _ : state) {
+    kernels::gemm({}, a.data(), b.data(), c.data(), M, K, N, backend_arg(state));
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * M * K * N);
+}
+BENCHMARK(BM_GemmF32ResNet20)->Arg(0)->Arg(1)->ArgNames({"backend"});
 
 TensorI8 random_i8(Shape shape, Rng& rng, int lo, int hi) {
   TensorI8 t(shape);
@@ -37,33 +67,59 @@ TensorI8 random_i8(Shape shape, Rng& rng, int lo, int hi) {
 }
 
 void BM_GemmApproxLut(benchmark::State& state) {
-  const int64_t n = state.range(0);
+  const int64_t n = state.range(1);
   Rng rng(2);
   const TensorI8 w = random_i8(Shape{n, n}, rng, -7, 7);
   const TensorI8 x = random_i8(Shape{n, n}, rng, -127, 127);
   TensorI32 c(Shape{n, n});
   const approx::SignedMulTable tab(axmul::make_lut("trunc5"));
+  set_backend_label(state);
   for (auto _ : state) {
-    approx::gemm_approx_i32(w.data(), x.data(), c.data(), n, n, n, tab);
+    kernels::gemm_approx({}, w.data(), x.data(), c.data(), n, n, n, tab,
+                         backend_arg(state));
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_GemmApproxLut)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmApproxLut)
+    ->ArgsProduct({{0, 1}, {32, 64, 128}})
+    ->ArgNames({"backend", "n"});
+
+// Acceptance shape for the blocked approximate kernel: ResNet20 conv GEMM.
+void BM_GemmApproxLutResNet20(benchmark::State& state) {
+  constexpr int64_t M = 64, K = 576, N = 1024;
+  Rng rng(7);
+  const TensorI8 w = random_i8(Shape{M, K}, rng, -7, 7);
+  const TensorI8 x = random_i8(Shape{K, N}, rng, -127, 127);
+  TensorI32 c(Shape{M, N});
+  const approx::SignedMulTable tab(axmul::make_lut("trunc5"));
+  set_backend_label(state);
+  for (auto _ : state) {
+    kernels::gemm_approx({}, w.data(), x.data(), c.data(), M, K, N, tab,
+                         backend_arg(state));
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * M * K * N);
+}
+BENCHMARK(BM_GemmApproxLutResNet20)->Arg(0)->Arg(1)->ArgNames({"backend"});
 
 void BM_GemmExactI32(benchmark::State& state) {
-  const int64_t n = state.range(0);
+  const int64_t n = state.range(1);
   Rng rng(3);
   const TensorI8 w = random_i8(Shape{n, n}, rng, -7, 7);
   const TensorI8 x = random_i8(Shape{n, n}, rng, -127, 127);
   TensorI32 c(Shape{n, n});
+  set_backend_label(state);
   for (auto _ : state) {
-    approx::gemm_exact_i32(w.data(), x.data(), c.data(), n, n, n);
+    kernels::gemm_exact({}, w.data(), x.data(), c.data(), n, n, n,
+                        backend_arg(state));
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_GemmExactI32)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmExactI32)
+    ->ArgsProduct({{0, 1}, {32, 64, 128}})
+    ->ArgNames({"backend", "n"});
 
 void BM_Im2col(benchmark::State& state) {
   const int64_t hw = state.range(0);

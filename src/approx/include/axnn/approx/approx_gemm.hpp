@@ -3,10 +3,16 @@
 // Computes y~[i,j] = sum_k g~(X[k,j], W[i,k]) where g~ is an approximate
 // multiplication realised as a SignedMulTable lookup. This is the single
 // choke point through which every approximated conv / FC layer executes.
+//
+// The kernels live behind the unified dispatch API in
+// axnn/approx/kernels.hpp (axnn::kernels::gemm_approx / gemm_exact /
+// gemm_approx_accum). The free functions below are thin deprecated wrappers
+// kept so out-of-tree code still compiles; in-tree code uses axnn::kernels.
 #pragma once
 
 #include <cstdint>
 
+#include "axnn/approx/kernels.hpp"
 #include "axnn/approx/signed_lut.hpp"
 #include "axnn/axmul/adder.hpp"
 #include "axnn/tensor/tensor.hpp"
@@ -16,23 +22,32 @@ namespace axnn::approx {
 /// C[M,N] = W[M,K] ·~ X[K,N] with int8 operands and int32 accumulators.
 /// W holds int4-range weights (the 4-bit operand), X holds int8-range
 /// activations (the 8-bit operand). C is overwritten.
-void gemm_approx_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_t k,
-                     int64_t n, const SignedMulTable& tab);
+[[deprecated("use axnn::kernels::gemm_approx")]]
+inline void gemm_approx_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m,
+                            int64_t k, int64_t n, const SignedMulTable& tab) {
+  kernels::gemm_approx({}, w, x, c, m, k, n, tab);
+}
 
 /// Tensor-level convenience for tests: returns int32 accumulators.
 TensorI32 matmul_approx(const TensorI8& w, const TensorI8& x, const SignedMulTable& tab);
 
 /// Reference exact int GEMM (for error measurements in tests/benches).
-void gemm_exact_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_t k,
-                    int64_t n);
+[[deprecated("use axnn::kernels::gemm_exact")]]
+inline void gemm_exact_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m,
+                           int64_t k, int64_t n) {
+  kernels::gemm_exact({}, w, x, c, m, k, n);
+}
 
 /// Approximate GEMM with an approximate *accumulator* as well: partial sums
 /// are combined through the given adder model (paper outlook — multiple
-/// approximation techniques in one computation). Slower than
-/// gemm_approx_i32 (one virtual call per MAC); intended for evaluation
+/// approximation techniques in one computation). Slower than the plain
+/// approximate GEMM (one virtual call per MAC); intended for evaluation
 /// passes rather than the fine-tuning hot loop.
-void gemm_approx_accum_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m,
-                           int64_t k, int64_t n, const SignedMulTable& tab,
-                           const axmul::Adder& adder);
+[[deprecated("use axnn::kernels::gemm_approx_accum")]]
+inline void gemm_approx_accum_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m,
+                                  int64_t k, int64_t n, const SignedMulTable& tab,
+                                  const axmul::Adder& adder) {
+  kernels::gemm_approx_accum({}, w, x, c, m, k, n, tab, adder);
+}
 
 }  // namespace axnn::approx

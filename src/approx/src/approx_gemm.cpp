@@ -1,35 +1,10 @@
 #include "axnn/approx/approx_gemm.hpp"
 
-#include <cstring>
 #include <stdexcept>
 
-#include "axnn/tensor/threadpool.hpp"
+#include "axnn/approx/kernels.hpp"
 
 namespace axnn::approx {
-
-void gemm_approx_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_t k,
-                     int64_t n, const SignedMulTable& tab) {
-  const int32_t* t = tab.data();
-  parallel_for(
-      m,
-      [&](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          int32_t* crow = c + i * n;
-          std::memset(crow, 0, static_cast<size_t>(n) * sizeof(int32_t));
-          const int8_t* wrow = w + i * k;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const int8_t qw = wrow[kk];
-            if (qw == 0) continue;  // zero weight contributes exactly 0 in all models
-            // Slice of the table for this weight nibble: index by activation byte.
-            const int32_t* tw = t + (static_cast<size_t>(qw) & 0xF);
-            const int8_t* xrow = x + kk * n;
-            for (int64_t j = 0; j < n; ++j)
-              crow[j] += tw[static_cast<size_t>(static_cast<uint8_t>(xrow[j])) << 4];
-          }
-        }
-      },
-      4);
-}
 
 TensorI32 matmul_approx(const TensorI8& w, const TensorI8& x, const SignedMulTable& tab) {
   if (w.shape().rank() != 2 || x.shape().rank() != 2)
@@ -38,57 +13,8 @@ TensorI32 matmul_approx(const TensorI8& w, const TensorI8& x, const SignedMulTab
   if (x.shape()[0] != k) throw std::invalid_argument("matmul_approx: inner dim mismatch");
   const int64_t n = x.shape()[1];
   TensorI32 out(Shape{m, n});
-  gemm_approx_i32(w.data(), x.data(), out.data(), m, k, n, tab);
+  kernels::gemm_approx({}, w.data(), x.data(), out.data(), m, k, n, tab);
   return out;
-}
-
-void gemm_approx_accum_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m,
-                           int64_t k, int64_t n, const SignedMulTable& tab,
-                           const axmul::Adder& adder) {
-  const int32_t* t = tab.data();
-  parallel_for(
-      m,
-      [&](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          int32_t* crow = c + i * n;
-          const int8_t* wrow = w + i * k;
-          // Accumulate column-wise per output element so the adder sees the
-          // same reduction order as the hardware MAC chain.
-          for (int64_t j = 0; j < n; ++j) {
-            int32_t acc = 0;
-            for (int64_t kk = 0; kk < k; ++kk) {
-              const int8_t qw = wrow[kk];
-              if (qw == 0) continue;
-              const int32_t p =
-                  t[(static_cast<size_t>(static_cast<uint8_t>(x[kk * n + j])) << 4) |
-                    (static_cast<size_t>(qw) & 0xF)];
-              acc = adder.add(acc, p);
-            }
-            crow[j] = acc;
-          }
-        }
-      },
-      4);
-}
-
-void gemm_exact_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_t k,
-                    int64_t n) {
-  parallel_for(
-      m,
-      [&](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          int32_t* crow = c + i * n;
-          std::memset(crow, 0, static_cast<size_t>(n) * sizeof(int32_t));
-          const int8_t* wrow = w + i * k;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const int32_t qw = wrow[kk];
-            if (qw == 0) continue;
-            const int8_t* xrow = x + kk * n;
-            for (int64_t j = 0; j < n; ++j) crow[j] += qw * xrow[j];
-          }
-        }
-      },
-      4);
 }
 
 }  // namespace axnn::approx

@@ -1,0 +1,276 @@
+#include "axnn/approx/kernels.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+#include "axnn/tensor/threadpool.hpp"
+
+namespace axnn::kernels {
+
+namespace {
+
+void check_desc(const GemmDesc& desc, const char* fn) {
+  if (desc.trans_a || desc.trans_b)
+    throw std::invalid_argument(std::string(fn) +
+                                ": transposed operands are not supported on the int path");
+}
+
+ThreadPool& resolve_pool(ThreadPool* pool) {
+  return pool != nullptr ? *pool : ThreadPool::global();
+}
+
+/// Handles the degenerate dims shared by every int kernel; returns true when
+/// there is nothing left to compute.
+bool handle_trivial(bool accumulate, int32_t* c, int64_t m, int64_t k, int64_t n) {
+  if (m <= 0 || n <= 0) return true;
+  if (k <= 0) {
+    if (!accumulate) std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(int32_t));
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Naive backend (golden reference — the original loops).
+// ---------------------------------------------------------------------------
+
+void naive_approx(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_t k,
+                  int64_t n, const approx::SignedMulTable& tab, bool accumulate,
+                  ThreadPool& pool) {
+  const int32_t* t = tab.data();
+  pool.parallel_for(
+      m,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          int32_t* crow = c + i * n;
+          if (!accumulate) std::memset(crow, 0, static_cast<size_t>(n) * sizeof(int32_t));
+          const int8_t* wrow = w + i * k;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const int8_t qw = wrow[kk];
+            if (qw == 0) continue;  // zero weight contributes exactly 0 in all models
+            // Slice of the table for this weight nibble: index by activation byte.
+            const int32_t* tw = t + (static_cast<size_t>(qw) & 0xF);
+            const int8_t* xrow = x + kk * n;
+            for (int64_t j = 0; j < n; ++j)
+              crow[j] += tw[static_cast<size_t>(static_cast<uint8_t>(xrow[j])) << 4];
+          }
+        }
+      },
+      row_grain(k, n));
+}
+
+void naive_exact(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_t k,
+                 int64_t n, bool accumulate, ThreadPool& pool) {
+  pool.parallel_for(
+      m,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          int32_t* crow = c + i * n;
+          if (!accumulate) std::memset(crow, 0, static_cast<size_t>(n) * sizeof(int32_t));
+          const int8_t* wrow = w + i * k;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const int32_t qw = wrow[kk];
+            if (qw == 0) continue;
+            const int8_t* xrow = x + kk * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] += qw * xrow[j];
+          }
+        }
+      },
+      row_grain(k, n));
+}
+
+// ---------------------------------------------------------------------------
+// Blocked backend.
+//
+// The key transform is the packed LUT: tt[nibble][act] is the SignedMulTable
+// re-laid-out so each weight nibble owns a contiguous 1 KiB slice indexed by
+// the activation byte. The naive layout strides by 16 ints per activation,
+// touching the whole 16 KiB table; a packed slice stays resident in L1.
+// The nibble-0 slice is forced to zero to mirror the naive kernel's
+// zero-weight skip bit-for-bit (hardware models return 0 there anyway).
+// Register tiling then processes MR_I weight rows per pass so every
+// activation byte is loaded once and looked up MR_I times.
+// ---------------------------------------------------------------------------
+
+constexpr int64_t MR_I = 4;    // weight rows per pass
+constexpr int64_t NC_I = 512;  // output columns per block (2 KiB of C per row)
+
+using PackedLut = std::array<int32_t, 16 * 256>;
+
+PackedLut pack_lut(const approx::SignedMulTable& tab) {
+  PackedLut tt{};
+  const int32_t* t = tab.data();
+  for (size_t wn = 1; wn < 16; ++wn)
+    for (size_t ua = 0; ua < 256; ++ua) tt[wn * 256 + ua] = t[(ua << 4) | wn];
+  return tt;
+}
+
+void blocked_approx(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_t k,
+                    int64_t n, const approx::SignedMulTable& tab, bool accumulate,
+                    ThreadPool& pool) {
+  const PackedLut tt = pack_lut(tab);
+  const int32_t* t0 = tt.data();
+  const uint8_t* xu = reinterpret_cast<const uint8_t*>(x);
+  pool.parallel_for(
+      m,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t jc = 0; jc < n; jc += NC_I) {
+          const int64_t nc = std::min(NC_I, n - jc);
+          int64_t i = r0;
+          for (; i + MR_I <= r1; i += MR_I) {
+            int32_t* c0 = c + (i + 0) * n + jc;
+            int32_t* c1 = c + (i + 1) * n + jc;
+            int32_t* c2 = c + (i + 2) * n + jc;
+            int32_t* c3 = c + (i + 3) * n + jc;
+            if (!accumulate) {
+              std::memset(c0, 0, static_cast<size_t>(nc) * sizeof(int32_t));
+              std::memset(c1, 0, static_cast<size_t>(nc) * sizeof(int32_t));
+              std::memset(c2, 0, static_cast<size_t>(nc) * sizeof(int32_t));
+              std::memset(c3, 0, static_cast<size_t>(nc) * sizeof(int32_t));
+            }
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const size_t n0 = static_cast<size_t>(w[(i + 0) * k + kk]) & 0xF;
+              const size_t n1 = static_cast<size_t>(w[(i + 1) * k + kk]) & 0xF;
+              const size_t n2 = static_cast<size_t>(w[(i + 2) * k + kk]) & 0xF;
+              const size_t n3 = static_cast<size_t>(w[(i + 3) * k + kk]) & 0xF;
+              if ((n0 | n1 | n2 | n3) == 0) continue;  // all-zero weights add 0
+              const int32_t* t_0 = t0 + n0 * 256;
+              const int32_t* t_1 = t0 + n1 * 256;
+              const int32_t* t_2 = t0 + n2 * 256;
+              const int32_t* t_3 = t0 + n3 * 256;
+              const uint8_t* xrow = xu + kk * n + jc;
+              for (int64_t j = 0; j < nc; ++j) {
+                const uint8_t ua = xrow[j];
+                c0[j] += t_0[ua];
+                c1[j] += t_1[ua];
+                c2[j] += t_2[ua];
+                c3[j] += t_3[ua];
+              }
+            }
+          }
+          for (; i < r1; ++i) {  // remainder rows, one at a time
+            int32_t* crow = c + i * n + jc;
+            if (!accumulate) std::memset(crow, 0, static_cast<size_t>(nc) * sizeof(int32_t));
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const size_t wn = static_cast<size_t>(w[i * k + kk]) & 0xF;
+              if (wn == 0) continue;
+              const int32_t* tw = t0 + wn * 256;
+              const uint8_t* xrow = xu + kk * n + jc;
+              for (int64_t j = 0; j < nc; ++j) crow[j] += tw[xrow[j]];
+            }
+          }
+        }
+      },
+      std::max<int64_t>(row_grain(k, n), MR_I));
+}
+
+void blocked_exact(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_t k,
+                   int64_t n, bool accumulate, ThreadPool& pool) {
+  pool.parallel_for(
+      m,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t jc = 0; jc < n; jc += NC_I) {
+          const int64_t nc = std::min(NC_I, n - jc);
+          int64_t i = r0;
+          for (; i + MR_I <= r1; i += MR_I) {
+            int32_t* c0 = c + (i + 0) * n + jc;
+            int32_t* c1 = c + (i + 1) * n + jc;
+            int32_t* c2 = c + (i + 2) * n + jc;
+            int32_t* c3 = c + (i + 3) * n + jc;
+            if (!accumulate) {
+              std::memset(c0, 0, static_cast<size_t>(nc) * sizeof(int32_t));
+              std::memset(c1, 0, static_cast<size_t>(nc) * sizeof(int32_t));
+              std::memset(c2, 0, static_cast<size_t>(nc) * sizeof(int32_t));
+              std::memset(c3, 0, static_cast<size_t>(nc) * sizeof(int32_t));
+            }
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const int32_t w0 = w[(i + 0) * k + kk];
+              const int32_t w1 = w[(i + 1) * k + kk];
+              const int32_t w2 = w[(i + 2) * k + kk];
+              const int32_t w3 = w[(i + 3) * k + kk];
+              if ((w0 | w1 | w2 | w3) == 0) continue;
+              const int8_t* xrow = x + kk * n + jc;
+              for (int64_t j = 0; j < nc; ++j) {
+                const int32_t xv = xrow[j];
+                c0[j] += w0 * xv;
+                c1[j] += w1 * xv;
+                c2[j] += w2 * xv;
+                c3[j] += w3 * xv;
+              }
+            }
+          }
+          for (; i < r1; ++i) {
+            int32_t* crow = c + i * n + jc;
+            if (!accumulate) std::memset(crow, 0, static_cast<size_t>(nc) * sizeof(int32_t));
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const int32_t qw = w[i * k + kk];
+              if (qw == 0) continue;
+              const int8_t* xrow = x + kk * n + jc;
+              for (int64_t j = 0; j < nc; ++j) crow[j] += qw * xrow[j];
+            }
+          }
+        }
+      },
+      std::max<int64_t>(row_grain(k, n), MR_I));
+}
+
+}  // namespace
+
+void gemm_approx(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
+                 int64_t m, int64_t k, int64_t n, const approx::SignedMulTable& tab,
+                 Backend backend, ThreadPool* pool) {
+  check_desc(desc, "kernels::gemm_approx");
+  if (handle_trivial(desc.accumulate, c, m, k, n)) return;
+  ThreadPool& p = resolve_pool(pool);
+  if (backend == Backend::kBlocked)
+    blocked_approx(w, x, c, m, k, n, tab, desc.accumulate, p);
+  else
+    naive_approx(w, x, c, m, k, n, tab, desc.accumulate, p);
+}
+
+void gemm_exact(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
+                int64_t m, int64_t k, int64_t n, Backend backend, ThreadPool* pool) {
+  check_desc(desc, "kernels::gemm_exact");
+  if (handle_trivial(desc.accumulate, c, m, k, n)) return;
+  ThreadPool& p = resolve_pool(pool);
+  if (backend == Backend::kBlocked)
+    blocked_exact(w, x, c, m, k, n, desc.accumulate, p);
+  else
+    naive_exact(w, x, c, m, k, n, desc.accumulate, p);
+}
+
+void gemm_approx_accum(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
+                       int64_t m, int64_t k, int64_t n, const approx::SignedMulTable& tab,
+                       const axmul::Adder& adder, Backend backend, ThreadPool* pool) {
+  check_desc(desc, "kernels::gemm_approx_accum");
+  if (handle_trivial(desc.accumulate, c, m, k, n)) return;
+  (void)backend;  // the adder chain fixes the reduction order; one impl serves both
+  const int32_t* t = tab.data();
+  resolve_pool(pool).parallel_for(
+      m,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          int32_t* crow = c + i * n;
+          const int8_t* wrow = w + i * k;
+          // Accumulate column-wise per output element so the adder sees the
+          // same reduction order as the hardware MAC chain.
+          for (int64_t j = 0; j < n; ++j) {
+            int32_t acc = desc.accumulate ? crow[j] : 0;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const int8_t qw = wrow[kk];
+              if (qw == 0) continue;
+              const int32_t p =
+                  t[(static_cast<size_t>(static_cast<uint8_t>(x[kk * n + j])) << 4) |
+                    (static_cast<size_t>(qw) & 0xF)];
+              acc = adder.add(acc, p);
+            }
+            crow[j] = acc;
+          }
+        }
+      },
+      row_grain(k, n));
+}
+
+}  // namespace axnn::kernels

@@ -40,14 +40,27 @@ struct ExecContext {
     return mode == ExecMode::kQuantExact || mode == ExecMode::kQuantApprox;
   }
 
-  static ExecContext fp(bool training = false) { return {ExecMode::kFloat, nullptr, nullptr, training}; }
-  static ExecContext calibrate() { return {ExecMode::kCalibrate, nullptr, nullptr, false}; }
+  // Factories name every field they set (designated initializers), so adding
+  // a member to this struct can never silently shift a positional argument
+  // into the wrong slot or default-initialize a trailing field by accident.
+  static ExecContext fp(bool training = false) {
+    return {.mode = ExecMode::kFloat, .training = training};
+  }
+  static ExecContext calibrate() { return {.mode = ExecMode::kCalibrate}; }
   static ExecContext quant_exact(bool training = false) {
-    return {ExecMode::kQuantExact, nullptr, nullptr, training};
+    return {.mode = ExecMode::kQuantExact, .training = training};
   }
   static ExecContext quant_approx(const approx::SignedMulTable& mul,
                                   const ge::ErrorFit* fit = nullptr, bool training = false) {
-    return {ExecMode::kQuantApprox, &mul, fit, training};
+    return {.mode = ExecMode::kQuantApprox, .mul = &mul, .ge_fit = fit, .training = training};
+  }
+
+  /// Chainable setter routing conv/FC partial sums through an adder model
+  /// (the gemm_approx_accum path). The adder must outlive the context.
+  ExecContext with_adder(const axmul::Adder& a) const {
+    ExecContext c = *this;
+    c.adder = &a;
+    return c;
   }
 };
 

@@ -3,9 +3,10 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "axnn/approx/approx_gemm.hpp"
+#include "axnn/approx/kernels.hpp"
 #include "axnn/nn/qutils.hpp"
 #include "axnn/tensor/gemm.hpp"
+#include "axnn/tensor/kernels.hpp"
 #include "axnn/tensor/ops.hpp"
 
 namespace axnn::nn {
@@ -82,8 +83,8 @@ Tensor Conv2d::run_gemm_float(const Tensor& w_mat, const Tensor& cols) const {
   const int64_t p = cols.shape()[1];
   Tensor out(Shape{o, p});
   for (int64_t g = 0; g < grp; ++g)
-    gemm_f32(w_mat.data() + g * og * kg, cols.data() + g * kg * p, out.data() + g * og * p,
-             og, kg, p);
+    kernels::gemm({}, w_mat.data() + g * og * kg, cols.data() + g * kg * p,
+                  out.data() + g * og * p, og, kg, p);
   return out;
 }
 
@@ -162,12 +163,11 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
       TensorI32 acc(Shape{o, p});
       for (int64_t g = 0; g < grp; ++g) {
         if (ctx.adder != nullptr)
-          approx::gemm_approx_accum_i32(qw.data() + g * og * kg, qcols.data() + g * kg * p,
-                                        acc.data() + g * og * p, og, kg, p, *mul,
-                                        *ctx.adder);
+          kernels::gemm_approx_accum({}, qw.data() + g * og * kg, qcols.data() + g * kg * p,
+                                     acc.data() + g * og * p, og, kg, p, *mul, *ctx.adder);
         else
-          approx::gemm_approx_i32(qw.data() + g * og * kg, qcols.data() + g * kg * p,
-                                  acc.data() + g * og * p, og, kg, p, *mul);
+          kernels::gemm_approx({}, qw.data() + g * og * kg, qcols.data() + g * kg * p,
+                               acc.data() + g * og * p, og, kg, p, *mul);
       }
       // Dequantize accumulators; also materialise the float caches the STE
       // backward needs (Eq. 5 uses the *exact* GEMM of the quantized values).
@@ -222,14 +222,15 @@ Tensor Conv2d::backward(const Tensor& dy) {
 
   Tensor dw_mat(Shape{o, kg});
   for (int64_t g = 0; g < grp; ++g)
-    gemm_nt_f32(dyw->data() + g * og * p, cached_cols_.data() + g * kg * p,
-                dw_mat.data() + g * og * kg, og, p, kg);
+    kernels::gemm({.trans_b = true}, dyw->data() + g * og * p,
+                  cached_cols_.data() + g * kg * p, dw_mat.data() + g * og * kg, og, p, kg);
   ops::add_inplace(weight_.grad, dw_mat.reshaped(weight_.grad.shape()));
 
   Tensor dcols(Shape{grp * kg, p}, 0.0f);
   for (int64_t g = 0; g < grp; ++g)
-    gemm_tn_f32_acc(cached_w_mat_.data() + g * og * kg, dy_mat.data() + g * og * p,
-                    dcols.data() + g * kg * p, kg, og, p);
+    kernels::gemm({.trans_a = true, .accumulate = true},
+                  cached_w_mat_.data() + g * og * kg, dy_mat.data() + g * og * p,
+                  dcols.data() + g * kg * p, kg, og, p);
   Tensor dx = col2im(dcols, geom_);
 
   // Clipped STE on activations: gradients are blocked where the input

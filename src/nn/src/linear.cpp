@@ -2,9 +2,10 @@
 
 #include <stdexcept>
 
-#include "axnn/approx/approx_gemm.hpp"
+#include "axnn/approx/kernels.hpp"
 #include "axnn/nn/qutils.hpp"
 #include "axnn/tensor/gemm.hpp"
+#include "axnn/tensor/kernels.hpp"
 #include "axnn/tensor/ops.hpp"
 
 namespace axnn::nn {
@@ -46,7 +47,7 @@ namespace {
 Tensor linear_forward_float(const Tensor& x, const Tensor& w, const Tensor* bias) {
   const int64_t n = x.shape()[0], f = x.shape()[1], o = w.shape()[0];
   Tensor y(Shape{n, o});
-  gemm_nt_f32(x.data(), w.data(), y.data(), n, f, o);
+  kernels::gemm({.trans_b = true}, x.data(), w.data(), y.data(), n, f, o);
   if (bias != nullptr)
     for (int64_t i = 0; i < n; ++i)
       for (int64_t j = 0; j < o; ++j) y(i, j) += (*bias)[j];
@@ -107,10 +108,10 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
         for (int64_t j = 0; j < in_; ++j) qxt(j, i) = qx(i, j);
       TensorI32 acc(Shape{out_, n});
       if (ctx.adder != nullptr)
-        approx::gemm_approx_accum_i32(qw.data(), qxt.data(), acc.data(), out_, in_, n, *mul,
-                                      *ctx.adder);
+        kernels::gemm_approx_accum({}, qw.data(), qxt.data(), acc.data(), out_, in_, n,
+                                   *mul, *ctx.adder);
       else
-        approx::gemm_approx_i32(qw.data(), qxt.data(), acc.data(), out_, in_, n, *mul);
+        kernels::gemm_approx({}, qw.data(), qxt.data(), acc.data(), out_, in_, n, *mul);
 
       const float s = act_qp_.step * wgt_qp_.step;
       Tensor y(Shape{n, out_});
@@ -156,11 +157,12 @@ Tensor Linear::backward(const Tensor& dy) {
   }
 
   // dW[O,F] += dyᵀ · x
-  gemm_tn_f32_acc(dyw->data(), cached_x_.data(), weight_.grad.data(), out_, n, in_);
+  kernels::gemm({.trans_a = true, .accumulate = true}, dyw->data(), cached_x_.data(),
+                weight_.grad.data(), out_, n, in_);
 
   // dx[N,F] = dy · W
   Tensor dx(Shape{n, in_});
-  gemm_f32(dy.data(), cached_w_.data(), dx.data(), n, out_, in_);
+  kernels::gemm({}, dy.data(), cached_w_.data(), dx.data(), n, out_, in_);
   if (!cached_act_mask_.empty())
     for (int64_t i = 0; i < dx.numel(); ++i) dx[i] *= cached_act_mask_[i];
   return dx;

@@ -1,5 +1,10 @@
-// axnn — float GEMM kernels used by the exact (FP and quantized-exact)
-// forward/backward paths.
+// axnn — float GEMM entry points.
+//
+// The kernels themselves live behind the unified dispatch API in
+// axnn/tensor/kernels.hpp (axnn::kernels::gemm with a GemmDesc + Backend).
+// The free functions below are thin deprecated wrappers kept so out-of-tree
+// code written against the original API still compiles; in-tree code uses
+// axnn::kernels directly.
 //
 // Conventions: row-major matrices; C is fully overwritten unless the _acc
 // variant is used. Parallelised over output rows via the global thread pool.
@@ -7,21 +12,38 @@
 
 #include <cstdint>
 
+#include "axnn/tensor/kernels.hpp"
 #include "axnn/tensor/tensor.hpp"
 
 namespace axnn {
 
 /// C[M,N] = A[M,K] · B[K,N]
-void gemm_f32(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+[[deprecated("use axnn::kernels::gemm with GemmDesc{}")]]
+inline void gemm_f32(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                     int64_t n) {
+  kernels::gemm({}, a, b, c, m, k, n);
+}
 
 /// C[M,N] += A[M,K] · B[K,N]
-void gemm_f32_acc(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+[[deprecated("use axnn::kernels::gemm with GemmDesc{.accumulate = true}")]]
+inline void gemm_f32_acc(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                         int64_t n) {
+  kernels::gemm({.accumulate = true}, a, b, c, m, k, n);
+}
 
 /// C[M,N] = A[M,K] · B[N,K]ᵀ  (B stored row-major as [N,K])
-void gemm_nt_f32(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+[[deprecated("use axnn::kernels::gemm with GemmDesc{.trans_b = true}")]]
+inline void gemm_nt_f32(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                        int64_t n) {
+  kernels::gemm({.trans_b = true}, a, b, c, m, k, n);
+}
 
 /// C[M,N] += A[K,M]ᵀ · B[K,N] (A stored row-major as [K,M])
-void gemm_tn_f32_acc(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+[[deprecated("use axnn::kernels::gemm with GemmDesc{.trans_a = true, .accumulate = true}")]]
+inline void gemm_tn_f32_acc(const float* a, const float* b, float* c, int64_t m,
+                            int64_t k, int64_t n) {
+  kernels::gemm({.trans_a = true, .accumulate = true}, a, b, c, m, k, n);
+}
 
 /// Tensor-level convenience: returns A·B for 2-D tensors.
 Tensor matmul(const Tensor& a, const Tensor& b);

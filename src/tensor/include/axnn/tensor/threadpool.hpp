@@ -3,14 +3,19 @@
 // All compute kernels (float GEMM, approximate integer GEMM, im2col) split
 // work through ThreadPool::global(). Parallelism is deterministic with
 // respect to results: work items never race on output ranges.
+//
+// parallel_for is templated on the callable: chunks are enqueued as small
+// POD tasks pointing at the caller's stack frame, so dispatch costs no
+// per-chunk heap allocation or std::function indirection.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace axnn {
@@ -26,33 +31,77 @@ public:
 
   int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Process-wide pool. Size can be pinned before first use with
-  /// set_global_threads(); defaults to hardware concurrency.
+  /// Process-wide pool, created on first use. Size can be pinned beforehand
+  /// with set_global_threads(); defaults to hardware concurrency.
   static ThreadPool& global();
 
-  /// Must be called before the first global() call to take effect.
+  /// Pin the size of the global pool. Contract: must be called before the
+  /// first global() call (i.e. before any kernel runs). Once the global pool
+  /// exists its size is immutable — calling with a different size then
+  /// throws std::logic_error instead of silently doing nothing. Re-requesting
+  /// the current size is a no-op. Kernels that must run on a specific thread
+  /// count should construct their own ThreadPool and pass it explicitly.
   static void set_global_threads(int threads);
 
-  /// Run fn(begin, end) over [0, n) split into roughly even chunks across the
-  /// pool (plus the calling thread). Blocks until every chunk completes.
-  /// Falls back to inline execution for small n or single-worker pools.
-  void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
-                    int64_t grain = 1);
+  /// Run fn(begin, end) over [0, n) split into roughly even chunks of at
+  /// least `grain` items across the pool (plus the calling thread). Blocks
+  /// until every chunk completes. Falls back to inline execution for small n
+  /// or single-worker pools.
+  template <typename Fn>
+  void parallel_for(int64_t n, Fn&& fn, int64_t grain = 1) {
+    if (n <= 0) return;
+    if (grain < 1) grain = 1;
+    const int workers = size();
+    if (workers <= 1 || n <= grain) {
+      fn(0, n);
+      return;
+    }
+    const int64_t max_chunks = (n + grain - 1) / grain;
+    const int64_t chunks = std::min<int64_t>(workers, max_chunks);
+    if (chunks <= 1) {
+      fn(0, n);
+      return;
+    }
+    const int64_t chunk = (n + chunks - 1) / chunks;
+    run_chunks(n, chunk, chunks, &invoke_thunk<std::remove_reference_t<Fn>>, &fn);
+  }
 
 private:
+  using ChunkFn = void (*)(const void*, int64_t, int64_t);
+
+  /// One parallel_for invocation; lives on the caller's stack for its
+  /// duration, so queued tasks only carry {job, begin, end}.
+  struct Job {
+    ChunkFn invoke;
+    const void* ctx;
+    std::atomic<int64_t> remaining;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  struct Task {
+    Job* job;
+    int64_t begin, end;
+  };
+
+  template <typename Fn>
+  static void invoke_thunk(const void* fn, int64_t begin, int64_t end) {
+    (*static_cast<const Fn*>(fn))(begin, end);
+  }
+
+  void run_chunks(int64_t n, int64_t chunk, int64_t chunks, ChunkFn invoke, const void* ctx);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
 };
 
 /// Convenience wrapper over ThreadPool::global().parallel_for.
-inline void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
-                         int64_t grain = 1) {
-  ThreadPool::global().parallel_for(n, fn, grain);
+template <typename Fn>
+inline void parallel_for(int64_t n, Fn&& fn, int64_t grain = 1) {
+  ThreadPool::global().parallel_for(n, static_cast<Fn&&>(fn), grain);
 }
 
 }  // namespace axnn

@@ -1,77 +1,10 @@
 #include "axnn/tensor/gemm.hpp"
 
-#include <cstring>
 #include <stdexcept>
 
-#include "axnn/tensor/threadpool.hpp"
+#include "axnn/tensor/kernels.hpp"
 
 namespace axnn {
-
-namespace {
-// Rows-per-task granularity: keep tasks chunky enough to amortise pool
-// overhead on the small matrices common in reduced-width models.
-constexpr int64_t kRowGrain = 8;
-}  // namespace
-
-void gemm_f32(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
-  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
-  gemm_f32_acc(a, b, c, m, k, n);
-}
-
-void gemm_f32_acc(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
-  parallel_for(
-      m,
-      [&](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          const float* arow = a + i * k;
-          float* crow = c + i * n;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f) continue;
-            const float* brow = b + kk * n;
-            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
-      },
-      kRowGrain);
-}
-
-void gemm_nt_f32(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
-  parallel_for(
-      m,
-      [&](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          const float* arow = a + i * k;
-          float* crow = c + i * n;
-          for (int64_t j = 0; j < n; ++j) {
-            const float* brow = b + j * k;
-            double acc = 0.0;
-            for (int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
-            crow[j] = static_cast<float>(acc);
-          }
-        }
-      },
-      kRowGrain);
-}
-
-void gemm_tn_f32_acc(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
-  // C[M,N] += Aᵀ·B with A:[K,M], B:[K,N]. Parallelise over output rows (M);
-  // each output row i gathers column i of A.
-  parallel_for(
-      m,
-      [&](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          float* crow = c + i * n;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float av = a[kk * m + i];
-            if (av == 0.0f) continue;
-            const float* brow = b + kk * n;
-            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
-      },
-      kRowGrain);
-}
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   if (a.shape().rank() != 2 || b.shape().rank() != 2)
@@ -80,7 +13,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   if (b.shape()[0] != k) throw std::invalid_argument("matmul: inner dimension mismatch");
   const int64_t n = b.shape()[1];
   Tensor c(Shape{m, n});
-  gemm_f32(a.data(), b.data(), c.data(), m, k, n);
+  kernels::gemm({}, a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 

@@ -1,20 +1,26 @@
 #include "axnn/tensor/threadpool.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace axnn {
 
 namespace {
+
 std::atomic<int> g_requested_threads{0};
+std::atomic<bool> g_global_created{false};
+
+int resolve_thread_count(int threads) {
+  if (threads > 0) return threads;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
 }
 
+}  // namespace
+
 ThreadPool::ThreadPool(int threads) {
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
+  threads = resolve_thread_count(threads);
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
 }
@@ -30,62 +36,59 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
+      task = tasks_.front();
       tasks_.pop();
     }
-    task();
+    task.job->invoke(task.job->ctx, task.begin, task.end);
+    if (task.job->remaining.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> dlk(task.job->mu);
+      task.job->cv.notify_one();
+    }
   }
 }
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool(g_requested_threads.load());
+  g_global_created.store(true);
   return pool;
 }
 
-void ThreadPool::set_global_threads(int threads) { g_requested_threads.store(threads); }
-
-void ThreadPool::parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
-                              int64_t grain) {
-  if (n <= 0) return;
-  const int workers = size();
-  if (workers <= 1 || n <= grain) {
-    fn(0, n);
-    return;
+void ThreadPool::set_global_threads(int threads) {
+  const int resolved = resolve_thread_count(threads);
+  if (g_global_created.load()) {
+    if (resolved == global().size()) return;  // already what the caller wants
+    throw std::logic_error(
+        "ThreadPool::set_global_threads(" + std::to_string(threads) +
+        "): global pool already created with " + std::to_string(global().size()) +
+        " threads; pin the size before the first kernel runs, or pass an explicit "
+        "ThreadPool to the kernel");
   }
-  const int64_t max_chunks = (n + grain - 1) / grain;
-  const int64_t chunks = std::min<int64_t>(workers, max_chunks);
-  const int64_t chunk = (n + chunks - 1) / chunks;
+  g_requested_threads.store(threads);
+}
 
-  std::atomic<int64_t> remaining{chunks};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-
+void ThreadPool::run_chunks(int64_t n, int64_t chunk, int64_t chunks, ChunkFn invoke,
+                            const void* ctx) {
+  Job job{invoke, ctx, {chunks}, {}, {}};
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (int64_t c = 1; c < chunks; ++c) {
       const int64_t b = c * chunk;
       const int64_t e = std::min<int64_t>(n, b + chunk);
-      tasks_.push([&, b, e] {
-        fn(b, e);
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> dlk(done_mu);
-          done_cv.notify_one();
-        }
-      });
+      tasks_.push(Task{&job, b, e});
     }
   }
   cv_.notify_all();
 
   // The calling thread takes the first chunk.
-  fn(0, std::min<int64_t>(n, chunk));
-  if (remaining.fetch_sub(1) != 1) {
-    std::unique_lock<std::mutex> lk(done_mu);
-    done_cv.wait(lk, [&] { return remaining.load() == 0; });
+  invoke(ctx, 0, std::min<int64_t>(n, chunk));
+  if (job.remaining.fetch_sub(1) != 1) {
+    std::unique_lock<std::mutex> lk(job.mu);
+    job.cv.wait(lk, [&] { return job.remaining.load() == 0; });
   }
 }
 

@@ -3,7 +3,7 @@
 
 #include <cmath>
 
-#include "axnn/approx/approx_gemm.hpp"
+#include "axnn/approx/kernels.hpp"
 #include "axnn/axmul/adder.hpp"
 #include "axnn/axmul/registry.hpp"
 #include "axnn/nn/conv2d.hpp"
@@ -109,9 +109,10 @@ TEST(AccumGemm, ExactAdderMatchesFastPath) {
   const approx::SignedMulTable tab(make_lut("trunc3"));
 
   TensorI32 fast(Shape{4, 7}), accum(Shape{4, 7});
-  approx::gemm_approx_i32(w.data(), x.data(), fast.data(), 4, 19, 7, tab);
+  kernels::gemm_approx({}, w.data(), x.data(), fast.data(), 4, 19, 7, tab);
   const ExactAdder exact_add;
-  approx::gemm_approx_accum_i32(w.data(), x.data(), accum.data(), 4, 19, 7, tab, exact_add);
+  kernels::gemm_approx_accum({}, w.data(), x.data(), accum.data(), 4, 19, 7, tab,
+                             exact_add);
   for (int64_t i = 0; i < fast.numel(); ++i) EXPECT_EQ(fast[i], accum[i]);
 }
 
@@ -125,9 +126,9 @@ TEST(AccumGemm, ApproximateAdderPerturbsResult) {
   const approx::SignedMulTable tab;  // exact multiplier, approximate adder
 
   TensorI32 ref(Shape{3, 5}), out(Shape{3, 5});
-  approx::gemm_exact_i32(w.data(), x.data(), ref.data(), 3, 40, 5);
+  kernels::gemm_exact({}, w.data(), x.data(), ref.data(), 3, 40, 5);
   const TruncatedAdder trunc(6);
-  approx::gemm_approx_accum_i32(w.data(), x.data(), out.data(), 3, 40, 5, tab, trunc);
+  kernels::gemm_approx_accum({}, w.data(), x.data(), out.data(), 3, 40, 5, tab, trunc);
   int64_t diff = 0;
   for (int64_t i = 0; i < ref.numel(); ++i) diff += (ref[i] != out[i]);
   EXPECT_GT(diff, 0);
@@ -148,13 +149,11 @@ TEST(AccumGemm, ConvLayerHonoursContextAdder) {
   const Tensor ref = conv.forward(input, ctx);
 
   const TruncatedAdder trunc(7);
-  ctx.adder = &trunc;
-  const Tensor approx_out = conv.forward(input, ctx);
+  const Tensor approx_out = conv.forward(input, ctx.with_adder(trunc));
   EXPECT_GT(ops::mse(ref, approx_out), 0.0);
 
   const ExactAdder exact_add;
-  ctx.adder = &exact_add;
-  const Tensor same = conv.forward(input, ctx);
+  const Tensor same = conv.forward(input, ctx.with_adder(exact_add));
   for (int64_t i = 0; i < ref.numel(); ++i) EXPECT_FLOAT_EQ(same[i], ref[i]);
 }
 

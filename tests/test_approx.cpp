@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "axnn/approx/approx_gemm.hpp"
+#include "axnn/approx/kernels.hpp"
 #include "axnn/approx/signed_lut.hpp"
 #include "axnn/axmul/registry.hpp"
 #include "axnn/axmul/truncated.hpp"
@@ -54,7 +55,7 @@ TEST(ApproxGemm, ExactTableMatchesIntegerGemm) {
   const TensorI32 c = matmul_approx(w, x, tab);
 
   TensorI32 ref(Shape{5, 9});
-  gemm_exact_i32(w.data(), x.data(), ref.data(), 5, 17, 9);
+  kernels::gemm_exact({}, w.data(), x.data(), ref.data(), 5, 17, 9);
   for (int64_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c[i], ref[i]);
 }
 
@@ -95,7 +96,7 @@ TEST(ApproxGemm, TruncationUnderestimatesMagnitude) {
   SignedMulTable tab(axmul::make_lut("trunc5"));
   const TensorI32 approx = matmul_approx(w, x, tab);
   TensorI32 exact(Shape{6, 16});
-  gemm_exact_i32(w.data(), x.data(), exact.data(), 6, 32, 16);
+  kernels::gemm_exact({}, w.data(), x.data(), exact.data(), 6, 32, 16);
   for (int64_t i = 0; i < approx.numel(); ++i) EXPECT_LE(approx[i], exact[i]);
 }
 

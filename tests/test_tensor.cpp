@@ -7,6 +7,7 @@
 #include <set>
 
 #include "axnn/tensor/gemm.hpp"
+#include "axnn/tensor/kernels.hpp"
 #include "axnn/tensor/ops.hpp"
 #include "axnn/tensor/rng.hpp"
 #include "axnn/tensor/shape.hpp"
@@ -271,13 +272,14 @@ TEST_P(GemmSweep, TransposedVariantsConsistent) {
   // gemm_nt: A[M,K] * (Bt[N,K])^T
   const Tensor bt = transpose(b);
   Tensor c1(Shape{m, n});
-  gemm_nt_f32(a.data(), bt.data(), c1.data(), m, k, n);
+  kernels::gemm({.trans_b = true}, a.data(), bt.data(), c1.data(), m, k, n);
   for (int64_t i = 0; i < ref.numel(); ++i) EXPECT_NEAR(c1[i], ref[i], 1e-3f);
 
   // gemm_tn: (At[K,M])^T * B[K,N], accumulating into zeros
   const Tensor at = transpose(a);
   Tensor c2(Shape{m, n}, 0.0f);
-  gemm_tn_f32_acc(at.data(), b.data(), c2.data(), m, k, n);
+  kernels::gemm({.trans_a = true, .accumulate = true}, at.data(), b.data(), c2.data(),
+                m, k, n);
   for (int64_t i = 0; i < ref.numel(); ++i) EXPECT_NEAR(c2[i], ref[i], 1e-3f);
 }
 
