@@ -1,0 +1,129 @@
+// Resilience sweep: accuracy vs bit-flip rate for passively vs actively
+// fine-tuned approximate models.
+//
+// The paper's claim is that ApproxKD+GE recovers accuracy lost to wrong
+// arithmetic; this bench asks whether the recovered models are *also* more
+// tolerant to hardware faults. ResNet20 is fine-tuned under trunc5 with the
+// normal (passive) method and with ApproxKD+GE, then each model is
+// evaluated under three fault surfaces at increasing rates:
+//   * weight faults      — transient bit flips in the float weight tensors
+//   * activation faults  — transient flips in inter-layer activations
+//     (via ExecContext::with_faults)
+//   * LUT faults         — stuck-at defects in the multiplier product table
+// Each cell averages over several fault seeds.
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace axnn;
+
+constexpr uint64_t kSeeds[] = {11, 23, 47};
+
+double mean_acc_weight_faults(core::Workbench& wb, nn::Sequential& model,
+                              const approx::SignedMulTable& tab, double rate) {
+  double sum = 0.0;
+  for (const uint64_t seed : kSeeds) {
+    auto copy = wb.clone();
+    nn::copy_state(model, *copy);
+    resilience::FaultSpec fs;
+    fs.rate = rate;
+    fs.seed = seed;
+    const resilience::FaultInjector inj(fs);
+    std::vector<Tensor*> values;
+    for (nn::Param* p : nn::collect_params(*copy)) values.push_back(&p->value);
+    resilience::corrupt_tensors(values, inj);
+    sum += train::evaluate_accuracy(*copy, wb.data().test, nn::ExecContext::quant_approx(tab));
+  }
+  return sum / static_cast<double>(std::size(kSeeds));
+}
+
+double mean_acc_activation_faults(core::Workbench& wb, nn::Sequential& model,
+                                  const approx::SignedMulTable& tab, double rate) {
+  double sum = 0.0;
+  for (const uint64_t seed : kSeeds) {
+    resilience::FaultSpec fs;
+    fs.rate = rate;
+    fs.seed = seed;
+    // Restrict flips to mantissa + low exponent bits: a single top-exponent
+    // flip per image saturates any network and the sweep degenerates.
+    fs.bit_hi = 27;
+    const resilience::FaultInjector inj(fs);
+    sum += train::evaluate_accuracy(model, wb.data().test,
+                                    nn::ExecContext::quant_approx(tab).with_faults(inj));
+  }
+  return sum / static_cast<double>(std::size(kSeeds));
+}
+
+double mean_acc_lut_faults(core::Workbench& wb, nn::Sequential& model, const std::string& mult,
+                           double rate) {
+  double sum = 0.0;
+  for (const uint64_t seed : kSeeds) {
+    approx::SignedMulTable tab(axmul::make_lut(mult));
+    resilience::FaultSpec fs;
+    fs.rate = rate;
+    fs.kind = resilience::FaultKind::kStuckAt;
+    fs.bit_hi = 12;  // stuck bits within the 8x4 product magnitude range
+    fs.seed = seed;
+    resilience::corrupt_lut(tab, resilience::FaultInjector(fs));
+    sum += train::evaluate_accuracy(model, wb.data().test, nn::ExecContext::quant_approx(tab));
+  }
+  return sum / static_cast<double>(std::size(kSeeds));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fault sweep: accuracy vs bit-flip rate (ResNet20, trunc5)");
+  const std::string mult = "trunc5";
+
+  core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
+  (void)wb.run_quantization_stage(/*use_kd=*/true);
+
+  // Fine-tune once per method and snapshot the resulting weights.
+  struct MethodRun {
+    train::Method method;
+    std::unique_ptr<nn::Sequential> model;
+    double clean_acc = 0.0;
+  };
+  std::vector<MethodRun> runs;
+  const auto spec = axmul::find_spec(mult).value();
+  for (const train::Method m : {train::Method::kNormal, train::Method::kApproxKD_GE}) {
+    const auto r = wb.run_approximation_stage(mult, m, bench::best_t2_for(spec));
+    MethodRun mr;
+    mr.method = m;
+    mr.model = wb.clone();
+    mr.clean_acc = r.result.final_acc;
+    runs.push_back(std::move(mr));
+    std::printf("  fine-tuned %s: %.2f%%\n", train::to_string(m).c_str(),
+                100.0 * r.result.final_acc);
+  }
+
+  const approx::SignedMulTable tab(axmul::make_lut(mult));
+  const double rates[] = {0.0, 1e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2};
+
+  for (const char* surface : {"weights", "activations", "lut"}) {
+    core::Table table({"flip rate", std::string("acc[%] ") + train::to_string(runs[0].method),
+                       std::string("acc[%] ") + train::to_string(runs[1].method)});
+    for (const double rate : rates) {
+      std::vector<std::string> row{core::Table::num(rate, 5)};
+      for (auto& mr : runs) {
+        double acc = 0.0;
+        if (std::string(surface) == "weights")
+          acc = rate == 0.0 ? mr.clean_acc : mean_acc_weight_faults(wb, *mr.model, tab, rate);
+        else if (std::string(surface) == "activations")
+          acc = rate == 0.0 ? mr.clean_acc
+                            : mean_acc_activation_faults(wb, *mr.model, tab, rate);
+        else
+          acc = rate == 0.0 ? mr.clean_acc : mean_acc_lut_faults(wb, *mr.model, mult, rate);
+        row.push_back(bench::pct(acc));
+      }
+      table.add_row(row);
+    }
+    std::printf("\n-- %s faults (mean over %zu seeds) --\n", surface, std::size(kSeeds));
+    table.print();
+  }
+  return 0;
+}

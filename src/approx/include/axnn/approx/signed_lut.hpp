@@ -38,6 +38,11 @@ public:
 
   const int32_t* data() const { return tab_.data(); }
 
+  /// Mutable entry access for fault-injection experiments (resilience
+  /// module): lets a copy of the table model stuck-at/transient defects in
+  /// the hardware's product LUT.
+  int32_t* mutable_data() { return tab_.data(); }
+
 private:
   std::array<int32_t, axmul::kLutSize> tab_{};
   std::string name_;

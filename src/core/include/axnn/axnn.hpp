@@ -45,6 +45,9 @@
 #include "axnn/nn/sgd.hpp"
 #include "axnn/quant/calibration.hpp"
 #include "axnn/quant/quantizer.hpp"
+#include "axnn/resilience/crc32.hpp"
+#include "axnn/resilience/fault.hpp"
+#include "axnn/resilience/guard.hpp"
 #include "axnn/tensor/gemm.hpp"
 #include "axnn/tensor/ops.hpp"
 #include "axnn/tensor/rng.hpp"

@@ -41,6 +41,27 @@ void copy_quant_state(nn::Layer& src, nn::Layer& dst) {
   for (size_t i = 0; i < cs.size(); ++i) copy_quant_state(*cs[i], *cd[i]);
 }
 
+namespace {
+
+/// Load cached parameters into `target`, treating every failure mode (bad
+/// magic, unsupported version, CRC mismatch, truncation, count/shape
+/// mismatch) as a cache miss: log a warning and return false so the caller
+/// retrains instead of crashing on a stale or corrupt cache file. `target`
+/// may be partially overwritten on failure — only pass scratch models.
+bool try_load_cache(nn::Layer& target, const std::string& path, const char* what) {
+  if (!nn::is_param_file(path)) return false;
+  try {
+    nn::load_params(target, path);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[workbench] warning: unusable %s cache, retraining (%s)\n", what,
+                 e.what());
+    return false;
+  }
+}
+
+}  // namespace
+
 Workbench::Workbench(WorkbenchConfig cfg) : cfg_(std::move(cfg)) {
   data::SyntheticConfig dc;
   dc.image_size = cfg_.profile.image_size;
@@ -89,10 +110,15 @@ void Workbench::prepare_fp_model() {
   model_ = build_model();
   const std::string path = fp_cache_path();
   bool loaded = false;
-  if (cfg_.use_cache && nn::is_param_file(path)) {
-    nn::load_params(*model_, path);
-    loaded = true;
-    if (cfg_.verbose) std::printf("[workbench] loaded FP model from %s\n", path.c_str());
+  if (cfg_.use_cache) {
+    // Load into a scratch model first: a corrupt cache must not leave the
+    // working model half-overwritten before the retrain.
+    auto scratch = build_model();
+    if (try_load_cache(*scratch, path, "FP")) {
+      model_ = std::move(scratch);
+      loaded = true;
+      if (cfg_.verbose) std::printf("[workbench] loaded FP model from %s\n", path.c_str());
+    }
   }
   if (!loaded) {
     train::TrainConfig tc;
@@ -161,14 +187,22 @@ train::FineTuneResult Workbench::run_quantization_stage(bool use_kd, float t1) {
 
   const std::string path = stage1_cache_path(use_kd, t1);
   train::FineTuneResult result;
-  if (cfg_.use_cache && nn::is_param_file(path)) {
-    nn::load_params(*model_, path);
-    result.initial_acc = quant_acc_before_ft_;
-    result.final_acc =
-        train::evaluate_accuracy(*model_, data_.test, nn::ExecContext::quant_exact());
-    result.best_acc = result.final_acc;
-    if (cfg_.verbose) std::printf("[workbench] loaded stage-1 model from %s\n", path.c_str());
-  } else {
+  bool loaded = false;
+  if (cfg_.use_cache) {
+    // Load into a scratch clone (same structure + quant state) so a corrupt
+    // cache cannot poison the calibrated working model before the retrain.
+    auto scratch = clone();
+    if (try_load_cache(*scratch, path, "stage-1")) {
+      nn::copy_state(*scratch, *model_);
+      loaded = true;
+      result.initial_acc = quant_acc_before_ft_;
+      result.final_acc =
+          train::evaluate_accuracy(*model_, data_.test, nn::ExecContext::quant_exact());
+      result.best_acc = result.final_acc;
+      if (cfg_.verbose) std::printf("[workbench] loaded stage-1 model from %s\n", path.c_str());
+    }
+  }
+  if (!loaded) {
     std::unique_ptr<nn::Sequential> teacher_fp;
     if (use_kd) teacher_fp = clone();
     result = train::quantization_stage(*model_, teacher_fp.get(), data_.train, data_.test, fc);

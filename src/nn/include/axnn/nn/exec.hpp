@@ -15,6 +15,7 @@
 #include "axnn/axmul/adder.hpp"
 #include "axnn/ge/error_fit.hpp"
 #include "axnn/quant/calibration.hpp"
+#include "axnn/resilience/fault.hpp"
 
 namespace axnn::nn {
 
@@ -35,6 +36,11 @@ struct ExecContext {
   /// through this adder model instead of exact addition. Evaluation-oriented
   /// (one virtual call per MAC).
   const axmul::Adder* adder = nullptr;
+  /// Optional fault injector (resilience subsystem): when set, Sequential
+  /// containers corrupt the activations flowing between their children, so
+  /// any forward pass can run under seeded bit flips. Drivers call
+  /// faults->begin_pass() once per model forward.
+  const resilience::FaultInjector* faults = nullptr;
 
   bool quantized() const {
     return mode == ExecMode::kQuantExact || mode == ExecMode::kQuantApprox;
@@ -60,6 +66,15 @@ struct ExecContext {
   ExecContext with_adder(const axmul::Adder& a) const {
     ExecContext c = *this;
     c.adder = &a;
+    return c;
+  }
+
+  /// Chainable setter running the forward pass under fault injection
+  /// (activation bit flips between layers). The injector must outlive the
+  /// context.
+  ExecContext with_faults(const resilience::FaultInjector& f) const {
+    ExecContext c = *this;
+    c.faults = &f;
     return c;
   }
 };

@@ -32,7 +32,12 @@ public:
 
   Tensor forward(const Tensor& x, const ExecContext& ctx) override {
     Tensor h = x;
-    for (auto& l : layers_) h = l->forward(h, ctx);
+    for (auto& l : layers_) {
+      h = l->forward(h, ctx);
+      // Resilience: bit flips in the activations flowing between layers
+      // (nested Sequentials inject between their own children too).
+      if (ctx.faults != nullptr) ctx.faults->corrupt(h);
+    }
     return h;
   }
 

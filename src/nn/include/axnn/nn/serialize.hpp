@@ -1,8 +1,15 @@
 // axnn — parameter (de)serialization for model caching between runs.
 //
-// Binary format: magic "AXNP", u32 version, u64 param count, then per
-// parameter: u32 rank, i64 dims, f32 payload. Loading validates shapes
-// against the target network.
+// Binary format AXNP:
+//   magic "AXNP", u32 version, u64 param count, u64 buffer count, then per
+//   tensor: u32 rank, i64 dims, f32 payload.
+//   v3 appends a CRC32 footer (u32, IEEE 802.3) over every preceding byte,
+//   so truncation and bit flips are detected at load time. v2 files (no
+//   footer) remain loadable.
+//
+// Writes are atomic: the file is assembled in memory, written to
+// `path + ".tmp"` and renamed into place, so a crash mid-save never leaves
+// a half-written cache behind.
 #pragma once
 
 #include <string>
@@ -11,14 +18,22 @@
 
 namespace axnn::nn {
 
-/// Write every trainable parameter of the layer tree to `path`.
-void save_params(Layer& root, const std::string& path);
+/// Current AXNP version written by save_params.
+inline constexpr uint32_t kParamFormatVersion = 3;
+
+/// Write every trainable parameter and buffer of the layer tree to `path`
+/// (atomically, via temp file + rename). `version` selects the on-disk
+/// format: 3 (default, CRC-protected) or 2 (legacy, for compat tests).
+void save_params(Layer& root, const std::string& path, uint32_t version = kParamFormatVersion);
 
 /// Load parameters saved by save_params into the (structurally identical)
-/// layer tree. Throws std::runtime_error on format/shape mismatch.
+/// layer tree. Throws std::runtime_error on bad magic, unsupported version,
+/// checksum mismatch, truncation, or count/shape mismatch; messages name
+/// the offending parameter index and expected-vs-actual shape.
 void load_params(Layer& root, const std::string& path);
 
-/// True if `path` exists and carries the expected magic.
+/// True if `path` exists, is at least header-sized, and carries the
+/// expected magic and a supported version. Safe on short/empty files.
 bool is_param_file(const std::string& path);
 
 }  // namespace axnn::nn

@@ -34,6 +34,11 @@ public:
   void set_lr(float lr) { lr_ = lr; }
   const SgdConfig& config() const { return cfg_; }
 
+  /// Mutable momentum buffers (parallel to the param list). Exposed so the
+  /// divergence guard can snapshot/restore the full optimizer state — a
+  /// rollback that kept stale velocity would immediately re-diverge.
+  std::vector<Tensor>& velocity() { return velocity_; }
+
 private:
   std::vector<Param*> params_;
   std::vector<Tensor> velocity_;

@@ -1,80 +1,150 @@
 #include "axnn/nn/serialize.hpp"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+
+#include "axnn/resilience/crc32.hpp"
 
 namespace axnn::nn {
 
 namespace {
 
 constexpr char kMagic[4] = {'A', 'X', 'N', 'P'};
-constexpr uint32_t kVersion = 2;  // v2: parameters followed by buffers
+constexpr uint32_t kMinVersion = 2;  // v2: parameters followed by buffers
+constexpr size_t kFooterBytes = sizeof(uint32_t);
 
-void write_tensor(std::ofstream& f, const Tensor& t) {
+void append(std::string& buf, const void* data, size_t n) {
+  buf.append(static_cast<const char*>(data), n);
+}
+
+void append_tensor(std::string& buf, const Tensor& t) {
   const uint32_t rank = static_cast<uint32_t>(t.shape().rank());
-  f.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  append(buf, &rank, sizeof(rank));
   for (int d = 0; d < static_cast<int>(rank); ++d) {
     const int64_t dim = t.shape()[d];
-    f.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    append(buf, &dim, sizeof(dim));
   }
-  f.write(reinterpret_cast<const char*>(t.data()),
-          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  append(buf, t.data(), static_cast<size_t>(t.numel()) * sizeof(float));
 }
 
-void read_tensor_into(std::ifstream& f, Tensor& t, const std::string& path) {
-  uint32_t rank = 0;
-  f.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-  if (rank != static_cast<uint32_t>(t.shape().rank()))
-    throw std::runtime_error("load_params: rank mismatch in " + path);
-  for (int d = 0; d < static_cast<int>(rank); ++d) {
-    int64_t dim = 0;
-    f.read(reinterpret_cast<char*>(&dim), sizeof(dim));
-    if (dim != t.shape()[d]) throw std::runtime_error("load_params: shape mismatch in " + path);
+/// Bounds-checked cursor over the in-memory file image. Every read failure
+/// carries the file path and the reader's current context string.
+struct Reader {
+  const std::string& buf;
+  const std::string& path;
+  size_t pos = 0;
+
+  void read(void* out, size_t n, const std::string& what) {
+    if (pos + n > buf.size())
+      throw std::runtime_error("load_params: truncated file " + path + " (reading " + what +
+                               " at offset " + std::to_string(pos) + ")");
+    std::memcpy(out, buf.data() + pos, n);
+    pos += n;
   }
-  f.read(reinterpret_cast<char*>(t.data()),
-         static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  if (!f) throw std::runtime_error("load_params: truncated file " + path);
-}
+
+  void read_tensor_into(Tensor& t, const std::string& what) {
+    uint32_t rank = 0;
+    read(&rank, sizeof(rank), what + " rank");
+    if (rank != static_cast<uint32_t>(t.shape().rank()))
+      throw std::runtime_error("load_params: rank mismatch for " + what + " in " + path +
+                               ": expected " + std::to_string(t.shape().rank()) + ", got " +
+                               std::to_string(rank));
+    Shape stored;
+    std::vector<int64_t> dims(rank);
+    for (uint32_t d = 0; d < rank; ++d) read(&dims[d], sizeof(int64_t), what + " dims");
+    stored = Shape(dims);
+    if (stored != t.shape())
+      throw std::runtime_error("load_params: shape mismatch for " + what + " in " + path +
+                               ": expected " + t.shape().to_string() + ", got " +
+                               stored.to_string());
+    read(t.data(), static_cast<size_t>(t.numel()) * sizeof(float), what + " payload");
+  }
+};
 
 }  // namespace
 
-void save_params(Layer& root, const std::string& path) {
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw std::runtime_error("save_params: cannot open " + path);
+void save_params(Layer& root, const std::string& path, uint32_t version) {
+  if (version < kMinVersion || version > kParamFormatVersion)
+    throw std::invalid_argument("save_params: unsupported version " + std::to_string(version));
   const auto params = collect_params(root);
   const auto buffers = collect_buffers(root);
-  f.write(kMagic, 4);
-  const uint32_t ver = kVersion;
-  f.write(reinterpret_cast<const char*>(&ver), sizeof(ver));
+
+  std::string buf;
+  append(buf, kMagic, 4);
+  append(buf, &version, sizeof(version));
   const uint64_t np = params.size(), nb = buffers.size();
-  f.write(reinterpret_cast<const char*>(&np), sizeof(np));
-  f.write(reinterpret_cast<const char*>(&nb), sizeof(nb));
-  for (const Param* p : params) write_tensor(f, p->value);
-  for (const Tensor* b : buffers) write_tensor(f, *b);
-  if (!f) throw std::runtime_error("save_params: write failed for " + path);
+  append(buf, &np, sizeof(np));
+  append(buf, &nb, sizeof(nb));
+  for (const Param* p : params) append_tensor(buf, p->value);
+  for (const Tensor* b : buffers) append_tensor(buf, *b);
+  if (version >= 3) {
+    const uint32_t crc = resilience::crc32(buf.data(), buf.size());
+    append(buf, &crc, sizeof(crc));
+  }
+
+  // Atomic write: assemble in a sibling temp file, then rename into place,
+  // so an interrupted save can never leave a half-written cache at `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("save_params: cannot open " + tmp);
+    f.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!f) throw std::runtime_error("save_params: write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("save_params: cannot rename " + tmp + " to " + path);
+  }
 }
 
 void load_params(Layer& root, const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("load_params: cannot open " + path);
+  std::string buf((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+
+  Reader r{buf, path};
   char magic[4];
-  f.read(magic, 4);
-  if (!f || std::memcmp(magic, kMagic, 4) != 0)
+  r.read(magic, 4, "magic");
+  if (std::memcmp(magic, kMagic, 4) != 0)
     throw std::runtime_error("load_params: bad magic in " + path);
   uint32_t ver = 0;
-  f.read(reinterpret_cast<char*>(&ver), sizeof(ver));
-  if (ver != kVersion) throw std::runtime_error("load_params: unsupported version");
+  r.read(&ver, sizeof(ver), "version");
+  if (ver < kMinVersion || ver > kParamFormatVersion)
+    throw std::runtime_error("load_params: unsupported version " + std::to_string(ver) +
+                             " in " + path);
+
+  if (ver >= 3) {
+    // Verify the CRC32 footer before trusting any payload bytes.
+    if (buf.size() < r.pos + kFooterBytes)
+      throw std::runtime_error("load_params: truncated file " + path + " (missing CRC footer)");
+    uint32_t stored = 0;
+    std::memcpy(&stored, buf.data() + buf.size() - kFooterBytes, kFooterBytes);
+    const uint32_t actual = resilience::crc32(buf.data(), buf.size() - kFooterBytes);
+    if (stored != actual)
+      throw std::runtime_error("load_params: checksum mismatch in " + path +
+                               " (file is corrupt or truncated)");
+    buf.resize(buf.size() - kFooterBytes);  // hide the footer from the reader
+  }
+
   uint64_t np = 0, nb = 0;
-  f.read(reinterpret_cast<char*>(&np), sizeof(np));
-  f.read(reinterpret_cast<char*>(&nb), sizeof(nb));
+  r.read(&np, sizeof(np), "param count");
+  r.read(&nb, sizeof(nb), "buffer count");
 
   const auto params = collect_params(root);
   const auto buffers = collect_buffers(root);
   if (np != params.size() || nb != buffers.size())
-    throw std::runtime_error("load_params: state count mismatch in " + path);
-  for (Param* p : params) read_tensor_into(f, p->value, path);
-  for (Tensor* b : buffers) read_tensor_into(f, *b, path);
+    throw std::runtime_error("load_params: state count mismatch in " + path + ": expected " +
+                             std::to_string(params.size()) + " params / " +
+                             std::to_string(buffers.size()) + " buffers, got " +
+                             std::to_string(np) + " / " + std::to_string(nb));
+  for (size_t i = 0; i < params.size(); ++i)
+    r.read_tensor_into(params[i]->value, "param " + std::to_string(i));
+  for (size_t i = 0; i < buffers.size(); ++i)
+    r.read_tensor_into(*buffers[i], "buffer " + std::to_string(i));
 }
 
 bool is_param_file(const std::string& path) {
@@ -82,7 +152,10 @@ bool is_param_file(const std::string& path) {
   if (!f) return false;
   char magic[4];
   f.read(magic, 4);
-  return f && std::memcmp(magic, kMagic, 4) == 0;
+  if (!f || std::memcmp(magic, kMagic, 4) != 0) return false;
+  uint32_t ver = 0;
+  f.read(reinterpret_cast<char*>(&ver), sizeof(ver));
+  return f && ver >= kMinVersion && ver <= kParamFormatVersion;
 }
 
 }  // namespace axnn::nn

@@ -1,0 +1,16 @@
+// axnn — CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the AXNP v3 checkpoint footer so a truncated or bit-flipped weight
+// cache is rejected at load time instead of silently corrupting a model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace axnn::resilience {
+
+/// CRC32 of `n` bytes. Pass a previous result as `crc` to checksum a stream
+/// incrementally: crc32(b, nb, crc32(a, na)) == crc32(concat(a, b)).
+uint32_t crc32(const void* data, size_t n, uint32_t crc = 0);
+
+}  // namespace axnn::resilience

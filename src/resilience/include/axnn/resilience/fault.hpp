@@ -1,0 +1,112 @@
+// axnn — seeded fault injection for weights, activations and multiplier LUTs.
+//
+// The paper argues approximate networks must stay accurate when their
+// arithmetic is wrong; this module makes "wrong" a first-class, reproducible
+// experiment axis. A FaultInjector flips bits in float tensors (weights,
+// inter-layer activations) or int32 LUT entries (multiplier tables) at a
+// configurable rate, deterministically from a seed:
+//
+//   * kTransient faults re-sample on every pass (soft errors / SEUs): the
+//     same element may be hit in one forward and clean in the next.
+//   * kStuckAt faults force the same bits of the same elements to a fixed
+//     hash-derived value on every pass (hard defects).
+//
+// Determinism contract: given (seed, kind, rate, bit range) and the same
+// sequence of begin_pass()/corrupt() calls, the exact same bits are flipped.
+// Drivers (train loops, evaluate_accuracy) call begin_pass() once per
+// forward; Sequential::forward corrupts the activations flowing between its
+// children whenever ExecContext.faults is set.
+//
+// The injector is cheap when disabled (rate 0 => every call is a no-op) and
+// O(n) hashing when enabled. Pass/site counters are atomics so a shared
+// injector tolerates concurrent readers, but the intended use is one
+// injector per experiment thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn::approx {
+class SignedMulTable;
+}
+
+namespace axnn::resilience {
+
+enum class FaultKind {
+  kTransient,  ///< re-sampled every pass (soft errors)
+  kStuckAt,    ///< same elements/bits forced to the same value every pass
+};
+
+struct FaultSpec {
+  /// Per-element fault probability per pass. 0 disables the injector.
+  double rate = 0.0;
+  FaultKind kind = FaultKind::kTransient;
+  /// Eligible bit positions [bit_lo, bit_hi): floats use the IEEE-754 bit
+  /// layout (0 = mantissa LSB, 30 = top exponent bit, 31 = sign), int32 LUT
+  /// entries their two's-complement bits. Clamped to [0, 32).
+  int bit_lo = 0;
+  int bit_hi = 32;
+  uint64_t seed = 0xFA17;
+  /// Faults only fire while first_pass <= pass < last_pass, where the pass
+  /// index starts at 0 and each begin_pass() call advances it. Lets tests
+  /// and benches model transient bursts that the training loop must survive.
+  int64_t first_pass = 0;
+  int64_t last_pass = std::numeric_limits<int64_t>::max();
+};
+
+class FaultInjector {
+public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultSpec spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// True when the spec can ever flip a bit (rate > 0 and non-empty range).
+  bool enabled() const { return threshold_ != 0; }
+
+  /// True when faults fire for the current pass.
+  bool active() const;
+
+  /// Advance to the next pass and reset the per-pass site counter. Call once
+  /// per model forward. Const so a const ExecContext can carry the injector.
+  void begin_pass() const;
+
+  /// Pass index the injector is currently in (0 before any begin_pass).
+  int64_t pass() const { return pass_.load(std::memory_order_relaxed); }
+
+  /// Total bits altered since construction (telemetry).
+  int64_t flips() const { return flips_.load(std::memory_order_relaxed); }
+
+  /// Corrupt a raw span. `site` distinguishes tensors within a pass so the
+  /// same element index in different tensors draws independent faults.
+  void corrupt(float* data, int64_t n, uint64_t site) const;
+  void corrupt(int32_t* data, int64_t n, uint64_t site) const;
+
+  /// Corrupt a tensor using the injector's running per-pass site counter
+  /// (what Sequential::forward uses between layers).
+  void corrupt(Tensor& t) const;
+
+private:
+  template <typename T>
+  void corrupt_impl(T* data, int64_t n, uint64_t site) const;
+
+  FaultSpec spec_;
+  uint64_t threshold_ = 0;  ///< rate mapped onto the full u64 range
+  mutable std::atomic<int64_t> pass_{0};
+  mutable std::atomic<uint64_t> site_{0};
+  mutable std::atomic<int64_t> flips_{0};
+};
+
+/// Flip bits in every tensor of the list (e.g. the collected parameter
+/// values of a model) under one injector pass.
+void corrupt_tensors(const std::vector<Tensor*>& tensors, const FaultInjector& inj);
+
+/// Corrupt multiplier LUT entries in place (stuck-at faults in the
+/// hardware's product table).
+void corrupt_lut(approx::SignedMulTable& table, const FaultInjector& inj);
+
+}  // namespace axnn::resilience

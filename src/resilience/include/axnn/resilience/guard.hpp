@@ -1,0 +1,102 @@
+// axnn — divergence detection and rollback for self-healing training loops.
+//
+// A DivergenceGuard watches a set of tensors (model parameters plus
+// optimizer velocity) and classifies each optimizer step: a NaN/Inf loss or
+// an exploding gradient norm triggers a rollback to the last committed
+// snapshot. The driving loop then halves its learning rate and retries the
+// epoch; after a bounded number of rollbacks the guard gives up and the
+// loop fails loudly with the structured DivergenceReport attached to its
+// result instead of silently burning the remaining epochs.
+//
+// Policy split: the guard owns detection, snapshotting, restoration and the
+// report; the training loop owns the learning-rate change and the control
+// flow (restart epoch vs stop), because only it can reach its optimizer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn::resilience {
+
+struct GuardConfig {
+  /// Master switch. Disabled guards never snapshot and observe() is a no-op
+  /// returning kContinue, so the default-on guard costs nothing extra beyond
+  /// one isfinite() per batch.
+  bool enabled = true;
+  /// Gradient L2-norm above this value counts as divergence; 0 restricts
+  /// detection to NaN/Inf loss (and skips the norm computation entirely).
+  double grad_norm_limit = 0.0;
+  /// Loss above this value counts as divergence even while finite; 0
+  /// disables the check. Useful under quantized execution, where corrupted
+  /// activations are clamped to huge-but-finite values that never reach NaN.
+  double loss_limit = 0.0;
+  /// Total rollbacks tolerated before the guard gives up.
+  int max_rollbacks = 3;
+  /// Learning-rate multiplier the loop applies after each rollback.
+  float lr_factor = 0.5f;
+};
+
+struct DivergenceEvent {
+  int epoch = 0;
+  int64_t batch = 0;
+  std::string cause;  ///< "nan-loss" | "loss-explosion" | "grad-explosion"
+  double loss = 0.0;
+  double grad_norm = 0.0;
+  float lr_before = 0.0f;
+  float lr_after = 0.0f;
+};
+
+struct DivergenceReport {
+  std::vector<DivergenceEvent> events;
+  int rollbacks = 0;
+  bool gave_up = false;  ///< rollback budget exhausted; training stopped early
+
+  bool clean() const { return events.empty(); }
+  /// One-line human summary ("2 rollbacks (nan-loss@e1b3, ...), recovered").
+  std::string summary() const;
+};
+
+class DivergenceGuard {
+public:
+  enum class Action {
+    kContinue,  ///< step is healthy
+    kRollback,  ///< watched tensors restored; halve lr and restart the epoch
+    kAbort,     ///< rollback budget exhausted; stop training
+  };
+
+  /// `watched` are the tensors snapshotted by commit() and restored on
+  /// rollback; they must outlive the guard.
+  DivergenceGuard(GuardConfig cfg, std::vector<Tensor*> watched);
+
+  const GuardConfig& config() const { return cfg_; }
+  bool enabled() const { return cfg_.enabled; }
+  /// True when observe() needs a gradient norm (avoids the O(n) reduction
+  /// when the norm check is off).
+  bool wants_grad_norm() const { return cfg_.enabled && cfg_.grad_norm_limit > 0.0; }
+
+  /// Snapshot the watched tensors as the last-known-good state. Call after
+  /// every healthy epoch (and once before training starts).
+  void commit();
+
+  /// Classify one optimizer step *before* it is applied. `lr` is the loop's
+  /// current learning rate; on rollback the event records lr and
+  /// lr * lr_factor as before/after.
+  Action observe(double loss, double grad_norm, int epoch, int64_t batch, float lr);
+
+  const DivergenceReport& report() const { return report_; }
+
+private:
+  GuardConfig cfg_;
+  std::vector<Tensor*> watched_;
+  std::vector<Tensor> good_;  ///< last committed values (parallel to watched_)
+  DivergenceReport report_;
+};
+
+/// L2 norm over a list of tensors (the global gradient norm when passed the
+/// gradient tensors of every parameter).
+double l2_norm(const std::vector<Tensor*>& tensors);
+
+}  // namespace axnn::resilience

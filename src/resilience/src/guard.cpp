@@ -1,0 +1,72 @@
+#include "axnn/resilience/guard.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace axnn::resilience {
+
+std::string DivergenceReport::summary() const {
+  if (events.empty()) return "clean";
+  std::ostringstream os;
+  os << rollbacks << " rollback" << (rollbacks == 1 ? "" : "s") << " (";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i) os << ", ";
+    os << events[i].cause << "@e" << events[i].epoch << "b" << events[i].batch;
+  }
+  os << "), " << (gave_up ? "gave up" : "recovered");
+  return os.str();
+}
+
+DivergenceGuard::DivergenceGuard(GuardConfig cfg, std::vector<Tensor*> watched)
+    : cfg_(cfg), watched_(std::move(watched)) {}
+
+void DivergenceGuard::commit() {
+  if (!cfg_.enabled) return;
+  good_.resize(watched_.size());
+  for (size_t i = 0; i < watched_.size(); ++i) good_[i] = *watched_[i];
+}
+
+DivergenceGuard::Action DivergenceGuard::observe(double loss, double grad_norm, int epoch,
+                                                 int64_t batch, float lr) {
+  if (!cfg_.enabled) return Action::kContinue;
+
+  const char* cause = nullptr;
+  if (!std::isfinite(loss)) cause = "nan-loss";
+  else if (cfg_.loss_limit > 0.0 && loss > cfg_.loss_limit) cause = "loss-explosion";
+  else if (cfg_.grad_norm_limit > 0.0 &&
+           (!std::isfinite(grad_norm) || grad_norm > cfg_.grad_norm_limit))
+    cause = "grad-explosion";
+  if (cause == nullptr) return Action::kContinue;
+
+  DivergenceEvent ev;
+  ev.epoch = epoch;
+  ev.batch = batch;
+  ev.cause = cause;
+  ev.loss = loss;
+  ev.grad_norm = grad_norm;
+  ev.lr_before = lr;
+  ev.lr_after = lr * cfg_.lr_factor;
+  report_.events.push_back(std::move(ev));
+
+  if (report_.rollbacks >= cfg_.max_rollbacks) {
+    report_.gave_up = true;
+    return Action::kAbort;
+  }
+  ++report_.rollbacks;
+  // Restore the last committed state; a guard that never committed has
+  // nothing to restore (good_ empty) but still reports the event.
+  for (size_t i = 0; i < good_.size(); ++i) *watched_[i] = good_[i];
+  return Action::kRollback;
+}
+
+double l2_norm(const std::vector<Tensor*>& tensors) {
+  double sq = 0.0;
+  for (const Tensor* t : tensors)
+    for (int64_t i = 0; i < t->numel(); ++i) {
+      const double v = (*t)[i];
+      sq += v * v;
+    }
+  return std::sqrt(sq);
+}
+
+}  // namespace axnn::resilience

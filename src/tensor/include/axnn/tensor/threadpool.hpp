@@ -12,6 +12,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -47,6 +48,13 @@ public:
   /// least `grain` items across the pool (plus the calling thread). Blocks
   /// until every chunk completes. Falls back to inline execution for small n
   /// or single-worker pools.
+  ///
+  /// Exception safety: the first exception thrown by any chunk (on a worker
+  /// or the calling thread) is captured and rethrown here on the submitting
+  /// thread after all chunks of this invocation finish — a throwing task
+  /// surfaces as a normal catchable exception instead of std::terminate.
+  /// Remaining chunks still run (no cancellation); later exceptions of the
+  /// same invocation are dropped. The pool stays usable afterwards.
   template <typename Fn>
   void parallel_for(int64_t n, Fn&& fn, int64_t grain = 1) {
     if (n <= 0) return;
@@ -77,6 +85,7 @@ private:
     std::atomic<int64_t> remaining;
     std::mutex mu;
     std::condition_variable cv;
+    std::exception_ptr error;  ///< first chunk exception (guarded by mu)
   };
   struct Task {
     Job* job;

@@ -44,7 +44,14 @@ void ThreadPool::worker_loop() {
       task = tasks_.front();
       tasks_.pop();
     }
-    task.job->invoke(task.job->ctx, task.begin, task.end);
+    try {
+      task.job->invoke(task.job->ctx, task.begin, task.end);
+    } catch (...) {
+      // Keep the first exception; the submitting thread rethrows it after
+      // the whole invocation drains (the Job lives on its stack).
+      std::lock_guard<std::mutex> elk(task.job->mu);
+      if (!task.job->error) task.job->error = std::current_exception();
+    }
     if (task.job->remaining.fetch_sub(1) == 1) {
       std::lock_guard<std::mutex> dlk(task.job->mu);
       task.job->cv.notify_one();
@@ -73,7 +80,7 @@ void ThreadPool::set_global_threads(int threads) {
 
 void ThreadPool::run_chunks(int64_t n, int64_t chunk, int64_t chunks, ChunkFn invoke,
                             const void* ctx) {
-  Job job{invoke, ctx, {chunks}, {}, {}};
+  Job job{invoke, ctx, {chunks}, {}, {}, nullptr};
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (int64_t c = 1; c < chunks; ++c) {
@@ -84,12 +91,20 @@ void ThreadPool::run_chunks(int64_t n, int64_t chunk, int64_t chunks, ChunkFn in
   }
   cv_.notify_all();
 
-  // The calling thread takes the first chunk.
-  invoke(ctx, 0, std::min<int64_t>(n, chunk));
+  // The calling thread takes the first chunk. Its exception is captured too
+  // so the wait below always happens — queued tasks point at this frame.
+  try {
+    invoke(ctx, 0, std::min<int64_t>(n, chunk));
+  } catch (...) {
+    std::lock_guard<std::mutex> elk(job.mu);
+    if (!job.error) job.error = std::current_exception();
+  }
   if (job.remaining.fetch_sub(1) != 1) {
     std::unique_lock<std::mutex> lk(job.mu);
     job.cv.wait(lk, [&] { return job.remaining.load() == 0; });
   }
+  // All chunks are done; rethrow the first failure on the submitting thread.
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 }  // namespace axnn

@@ -47,6 +47,12 @@ struct FineTuneConfig {
   bool eval_every_epoch = true;
   int64_t eval_batch = 256;
   bool verbose = false;
+  /// Self-healing policy (see TrainConfig::guard): rollback + lr halving on
+  /// NaN/Inf loss or exploding gradients, bounded retries.
+  resilience::GuardConfig guard;
+  /// Optional fault injector for the student's training forwards (teacher
+  /// and evaluation passes stay clean). Must outlive the run.
+  const resilience::FaultInjector* faults = nullptr;
 };
 
 struct FineTuneResult {
@@ -55,6 +61,8 @@ struct FineTuneResult {
   double best_acc = 0.0;     ///< best epoch accuracy observed
   std::vector<EpochStat> history;
   double seconds = 0.0;      ///< total fine-tuning wall-clock
+  /// Rollback/divergence log; health.gave_up marks an early stop.
+  resilience::DivergenceReport health;
 };
 
 /// Quantization stage (Algorithm 1, first loop). `model` must already be

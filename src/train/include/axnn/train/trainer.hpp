@@ -6,6 +6,8 @@
 
 #include "axnn/data/dataset.hpp"
 #include "axnn/nn/sequential.hpp"
+#include "axnn/resilience/fault.hpp"
+#include "axnn/resilience/guard.hpp"
 
 namespace axnn::train {
 
@@ -27,12 +29,22 @@ struct TrainConfig {
   uint64_t seed = 3;
   bool eval_every_epoch = true;
   bool verbose = false;
+  /// Self-healing policy: on NaN/Inf loss (or exploding gradient norm, if
+  /// grad_norm_limit > 0) roll back to the last good epoch snapshot, halve
+  /// the learning rate and retry, up to guard.max_rollbacks times.
+  resilience::GuardConfig guard;
+  /// Optional fault injector: training forwards run under activation bit
+  /// flips (evaluation stays clean). Must outlive the run.
+  const resilience::FaultInjector* faults = nullptr;
 };
 
 struct TrainResult {
   std::vector<EpochStat> history;
   double final_acc = 0.0;
   double seconds = 0.0;
+  /// Rollback/divergence log of the run; health.gave_up marks a run that
+  /// exhausted the rollback budget and stopped early.
+  resilience::DivergenceReport health;
 };
 
 /// SGD training of `model` in full precision with hard cross-entropy.

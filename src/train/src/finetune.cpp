@@ -10,6 +10,7 @@
 #include "axnn/nn/sgd.hpp"
 #include "axnn/tensor/ops.hpp"
 #include "axnn/train/evaluate.hpp"
+#include "loop_common.hpp"
 
 namespace axnn::train {
 
@@ -51,27 +52,47 @@ FineTuneResult run_finetune_loop(nn::Layer& model, const data::Dataset& train_ds
   result.best_acc = result.initial_acc;
   result.final_acc = result.initial_acc;
 
-  nn::Sgd sgd(nn::collect_params(model),
+  const auto params = nn::collect_params(model);
+  nn::Sgd sgd(params,
               {cfg.lr, cfg.momentum, /*weight_decay=*/0.0f, cfg.lr_decay, cfg.decay_every});
   Rng rng(cfg.seed);
   data::BatchIterator iter(train_ds, cfg.batch_size, rng);
 
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  nn::ExecContext student_ctx = hooks.student_ctx;
+  if (cfg.faults != nullptr) student_ctx = student_ctx.with_faults(*cfg.faults);
+  detail::GuardedLoop gl(cfg.guard, sgd, params, tag);
+
+  for (int epoch = 0; epoch < cfg.epochs && !gl.aborted(); ++epoch) {
     const auto e0 = Clock::now();
-    iter.reset();
     Tensor images;
     std::vector<int> labels;
     double loss_sum = 0.0;
     int64_t batches = 0;
-    while (iter.next(images, labels)) {
-      model.zero_grad();
-      const Tensor logits = model.forward(images, hooks.student_ctx);
-      const nn::LossResult loss = hooks.loss_fn(images, logits, labels);
-      (void)model.backward(loss.grad);
-      sgd.step();
-      loss_sum += loss.value;
-      ++batches;
+    // Rollback restores the last epoch snapshot with a halved lr and
+    // restarts the epoch; abort ends the run with the report set.
+    bool retry = true;
+    while (retry && !gl.aborted()) {
+      retry = false;
+      iter.reset();
+      loss_sum = 0.0;
+      batches = 0;
+      while (iter.next(images, labels)) {
+        if (cfg.faults != nullptr) cfg.faults->begin_pass();
+        model.zero_grad();
+        const Tensor logits = model.forward(images, student_ctx);
+        const nn::LossResult loss = hooks.loss_fn(images, logits, labels);
+        (void)model.backward(loss.grad);
+        if (!gl.step_ok(loss.value, epoch, batches)) {
+          retry = !gl.aborted();
+          break;
+        }
+        sgd.step();
+        loss_sum += loss.value;
+        ++batches;
+      }
     }
+    if (gl.aborted()) break;
+    gl.epoch_done();
     sgd.on_epoch_end();
 
     EpochStat st;
@@ -89,6 +110,7 @@ FineTuneResult run_finetune_loop(nn::Layer& model, const data::Dataset& train_ds
     result.history.push_back(st);
   }
   result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.health = gl.report();
   return result;
 }
 

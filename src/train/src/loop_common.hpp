@@ -1,0 +1,82 @@
+// axnn — internal helper shared by train_fp and the fine-tuning loops:
+// divergence-guard bookkeeping around one SGD training loop.
+//
+// Usage pattern (see trainer.cpp / finetune.cpp):
+//
+//   detail::GuardedLoop gl(cfg.guard, sgd, params, tag);
+//   for each epoch (while !gl.aborted()):
+//     retry-loop:
+//       for each batch: forward/backward; if (!gl.step_ok(...)) restart or stop
+//     gl.epoch_done();
+//   result.health = gl.report();
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "axnn/nn/layer.hpp"
+#include "axnn/nn/sgd.hpp"
+#include "axnn/resilience/guard.hpp"
+
+namespace axnn::train::detail {
+
+class GuardedLoop {
+public:
+  GuardedLoop(const resilience::GuardConfig& cfg, nn::Sgd& sgd,
+              const std::vector<nn::Param*>& params, const char* tag)
+      : guard_(cfg, watched_state(sgd, params)), sgd_(sgd), tag_(tag) {
+    for (nn::Param* p : params) grads_.push_back(&p->grad);
+    guard_.commit();
+  }
+
+  /// Classify one batch after backward and *before* sgd.step(), so a
+  /// diverged batch never writes NaN into the weights. Returns true when
+  /// the step may be applied. On false, check aborted(): either the epoch
+  /// must restart from the restored snapshot (lr already halved), or the
+  /// rollback budget is exhausted and the run must stop.
+  bool step_ok(double loss, int epoch, int64_t batch) {
+    if (!guard_.enabled()) return true;
+    const double gn = guard_.wants_grad_norm() ? resilience::l2_norm(grads_) : 0.0;
+    const auto action = guard_.observe(loss, gn, epoch, batch, sgd_.lr());
+    if (action == resilience::DivergenceGuard::Action::kContinue) return true;
+    const auto& ev = guard_.report().events.back();
+    if (action == resilience::DivergenceGuard::Action::kRollback) {
+      sgd_.set_lr(ev.lr_after);
+      std::fprintf(stderr,
+                   "[%s] warning: %s at epoch %d batch %lld (loss %g, |g| %g); "
+                   "rolled back, lr %g -> %g\n",
+                   tag_, ev.cause.c_str(), epoch, static_cast<long long>(batch), loss, gn,
+                   ev.lr_before, ev.lr_after);
+    } else {
+      aborted_ = true;
+      std::fprintf(stderr, "[%s] error: %s at epoch %d batch %lld after %d rollbacks; giving up\n",
+                   tag_, ev.cause.c_str(), epoch, static_cast<long long>(batch),
+                   guard_.report().rollbacks);
+    }
+    return false;
+  }
+
+  /// Commit the epoch's weights/velocity as the new last-known-good state.
+  void epoch_done() { guard_.commit(); }
+
+  bool aborted() const { return aborted_; }
+  const resilience::DivergenceReport& report() const { return guard_.report(); }
+
+private:
+  static std::vector<Tensor*> watched_state(nn::Sgd& sgd,
+                                            const std::vector<nn::Param*>& params) {
+    std::vector<Tensor*> watched;
+    watched.reserve(params.size() + sgd.velocity().size());
+    for (nn::Param* p : params) watched.push_back(&p->value);
+    for (Tensor& v : sgd.velocity()) watched.push_back(&v);
+    return watched;
+  }
+
+  resilience::DivergenceGuard guard_;
+  nn::Sgd& sgd_;
+  std::vector<Tensor*> grads_;
+  const char* tag_;
+  bool aborted_ = false;
+};
+
+}  // namespace axnn::train::detail

@@ -6,6 +6,7 @@
 #include "axnn/nn/loss.hpp"
 #include "axnn/nn/sgd.hpp"
 #include "axnn/train/evaluate.hpp"
+#include "loop_common.hpp"
 
 namespace axnn::train {
 
@@ -14,28 +15,47 @@ TrainResult train_fp(nn::Layer& model, const data::Dataset& train_ds,
   using Clock = std::chrono::steady_clock;
   const auto t0 = Clock::now();
 
-  nn::Sgd sgd(nn::collect_params(model),
-              {cfg.lr, cfg.momentum, cfg.weight_decay, cfg.lr_decay, cfg.decay_every});
+  const auto params = nn::collect_params(model);
+  nn::Sgd sgd(params, {cfg.lr, cfg.momentum, cfg.weight_decay, cfg.lr_decay, cfg.decay_every});
   Rng rng(cfg.seed);
   data::BatchIterator iter(train_ds, cfg.batch_size, rng);
 
+  nn::ExecContext train_ctx = nn::ExecContext::fp(/*training=*/true);
+  if (cfg.faults != nullptr) train_ctx = train_ctx.with_faults(*cfg.faults);
+  detail::GuardedLoop gl(cfg.guard, sgd, params, "fp");
+
   TrainResult result;
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  for (int epoch = 0; epoch < cfg.epochs && !gl.aborted(); ++epoch) {
     const auto e0 = Clock::now();
-    iter.reset();
     Tensor images;
     std::vector<int> labels;
     double loss_sum = 0.0;
     int64_t batches = 0;
-    while (iter.next(images, labels)) {
-      model.zero_grad();
-      const Tensor logits = model.forward(images, nn::ExecContext::fp(/*training=*/true));
-      const nn::LossResult loss = nn::cross_entropy(logits, labels);
-      (void)model.backward(loss.grad);
-      sgd.step();
-      loss_sum += loss.value;
-      ++batches;
+    // A divergence rollback restores the last epoch snapshot (with a halved
+    // lr) and restarts the epoch; abort stops the run with the report set.
+    bool retry = true;
+    while (retry && !gl.aborted()) {
+      retry = false;
+      iter.reset();
+      loss_sum = 0.0;
+      batches = 0;
+      while (iter.next(images, labels)) {
+        if (cfg.faults != nullptr) cfg.faults->begin_pass();
+        model.zero_grad();
+        const Tensor logits = model.forward(images, train_ctx);
+        const nn::LossResult loss = nn::cross_entropy(logits, labels);
+        (void)model.backward(loss.grad);
+        if (!gl.step_ok(loss.value, epoch, batches)) {
+          retry = !gl.aborted();
+          break;
+        }
+        sgd.step();
+        loss_sum += loss.value;
+        ++batches;
+      }
     }
+    if (gl.aborted()) break;
+    gl.epoch_done();
     sgd.on_epoch_end();
 
     EpochStat st;
@@ -51,6 +71,7 @@ TrainResult train_fp(nn::Layer& model, const data::Dataset& train_ds,
   }
   result.final_acc = result.history.empty() ? 0.0 : result.history.back().test_acc;
   result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.health = gl.report();
   return result;
 }
 

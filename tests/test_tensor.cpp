@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "axnn/tensor/gemm.hpp"
 #include "axnn/tensor/kernels.hpp"
@@ -331,6 +333,46 @@ TEST(ThreadPool, ManyInvocationsStable) {
     });
     EXPECT_EQ(sum.load(), 257 * 256 / 2);
   }
+}
+
+TEST(ThreadPool, WorkerExceptionRethrownOnSubmittingThread) {
+  ThreadPool pool(4);
+  // Every chunk throws; exactly one exception (the first) must surface, as a
+  // normal catchable exception on the calling thread.
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [](int64_t b, int64_t) {
+                                   throw std::out_of_range("chunk " + std::to_string(b));
+                                 }),
+               std::out_of_range);
+
+  // Non-throwing chunks of a partially-failing invocation still run.
+  std::vector<std::atomic<int>> hits(1000);
+  try {
+    pool.parallel_for(1000, [&](int64_t b, int64_t e) {
+      if (b == 0) throw std::runtime_error("first chunk fails");
+      for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+    });
+    FAIL() << "expected the chunk exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first chunk fails");
+  }
+  int covered = 0;
+  for (auto& h : hits) covered += h.load();
+  EXPECT_GT(covered, 0);
+
+  // The pool survives throwing tasks and keeps working.
+  std::atomic<int64_t> sum{0};
+  pool.parallel_for(257, [&](int64_t b, int64_t e) { sum += e - b; });
+  EXPECT_EQ(sum.load(), 257);
+}
+
+TEST(ThreadPool, InlinePathPropagatesExceptions) {
+  ThreadPool pool(1);  // single worker: parallel_for runs inline
+  EXPECT_THROW(pool.parallel_for(10, [](int64_t, int64_t) { throw std::logic_error("inline"); }),
+               std::logic_error);
+  std::atomic<int64_t> sum{0};
+  pool.parallel_for(10, [&](int64_t b, int64_t e) { sum += e - b; });
+  EXPECT_EQ(sum.load(), 10);
 }
 
 }  // namespace

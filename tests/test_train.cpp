@@ -202,6 +202,59 @@ TEST_F(StageFixture, ApproximationStageAllMethodsRun) {
   }
 }
 
+TEST(TrainFp, RecoversFromTransientFaultBurst) {
+  const auto data = micro_data();
+  auto net = micro_net();
+  // Activation faults fire only during passes [2, 4): with 120/30 = 4 batches
+  // per epoch the burst hits epoch 0, every element's top exponent bit flips,
+  // and the loss (or the gradient norm backstop) must trip the guard. The
+  // epoch retry then runs past the window, so training finishes normally.
+  resilience::FaultSpec fs;
+  fs.rate = 1.0;
+  fs.bit_lo = 30;
+  fs.bit_hi = 31;
+  fs.first_pass = 2;
+  fs.last_pass = 4;
+  const resilience::FaultInjector inj(fs);
+
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 30;
+  cfg.lr = 0.05f;
+  cfg.faults = &inj;
+  cfg.guard.max_rollbacks = 6;
+  cfg.guard.loss_limit = 1e6;       // backstop when the burst stays finite
+  cfg.guard.grad_norm_limit = 1e6;
+  const auto result = train_fp(*net, data.train, data.test, cfg);
+
+  EXPECT_GT(inj.flips(), 0);  // the burst actually corrupted activations
+  ASSERT_GE(result.health.rollbacks, 1);
+  EXPECT_FALSE(result.health.gave_up);
+  ASSERT_EQ(result.history.size(), 6u);  // run completed despite the burst
+  for (const auto& ev : result.health.events) {
+    EXPECT_FLOAT_EQ(ev.lr_after, 0.5f * ev.lr_before);
+  }
+  // Weights stayed usable: post-burst training still learns (the halved lr
+  // makes convergence slower than the clean 8-epoch fixture, so the bar is
+  // "clearly above the 10% chance level", not the clean-run accuracy).
+  EXPECT_GT(result.final_acc, 0.15);
+}
+
+TEST(TrainFp, GuardGivesUpAfterRollbackBudget) {
+  const auto data = micro_data();
+  auto net = micro_net();
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.batch_size = 30;
+  cfg.guard.max_rollbacks = 2;
+  cfg.guard.grad_norm_limit = 1e-12;  // every step counts as an explosion
+  const auto result = train_fp(*net, data.train, data.test, cfg);
+  EXPECT_TRUE(result.health.gave_up);
+  EXPECT_EQ(result.health.rollbacks, 2);
+  EXPECT_LT(result.history.size(), 5u);  // aborted early instead of burning epochs
+  EXPECT_FALSE(result.health.summary().empty());
+}
+
 TEST_F(StageFixture, FineTuningImprovesApproximateAccuracy) {
   const approx::SignedMulTable tab(axmul::make_lut("trunc4"));
   ApproxStageSetup setup;
@@ -210,6 +263,35 @@ TEST_F(StageFixture, FineTuningImprovesApproximateAccuracy) {
   auto fc = micro_ft(4);
   const auto result = approximation_stage(*net_, setup, data_.train, data_.test, fc);
   EXPECT_GE(result.best_acc, result.initial_acc);
+}
+
+TEST_F(StageFixture, ApproximationStageSurvivesFaultBurst) {
+  const approx::SignedMulTable tab(axmul::make_lut("trunc3"));
+  ApproxStageSetup setup;
+  setup.mul = &tab;
+  setup.method = Method::kNormal;
+
+  resilience::FaultSpec fs;
+  fs.rate = 1.0;
+  fs.bit_lo = 30;
+  fs.bit_hi = 31;
+  fs.first_pass = 2;
+  fs.last_pass = 3;
+  const resilience::FaultInjector inj(fs);
+
+  auto fc = micro_ft(2);
+  fc.faults = &inj;
+  fc.guard.max_rollbacks = 6;
+  // Quantized execution clamps corrupted activations to finite garbage, so
+  // a NaN loss is not guaranteed; the loss/grad limits catch the finite
+  // blow-up (top-exponent flips push some logit towards ~1e38).
+  fc.guard.loss_limit = 1e6;
+  fc.guard.grad_norm_limit = 1e6;
+  const auto result = approximation_stage(*net_, setup, data_.train, data_.test, fc);
+  EXPECT_GT(inj.flips(), 0);
+  EXPECT_GE(result.health.rollbacks, 1);
+  EXPECT_FALSE(result.health.gave_up);
+  EXPECT_EQ(result.history.size(), 2u);
 }
 
 }  // namespace

@@ -30,6 +30,7 @@ struct CliOptions {
   std::optional<int> epochs;
   std::optional<float> lr;
   std::optional<int64_t> batch;
+  std::optional<double> fault_rate;  ///< weight bit-flip smoke sweep after run
   bool kd_stage1 = true;
   bool full = false;
   bool verbose = false;
@@ -45,6 +46,8 @@ void print_usage() {
       "  --epochs <n>             fine-tuning epochs (default: profile)\n"
       "  --lr <f>                 fine-tuning learning rate\n"
       "  --batch <n>              fine-tuning batch size\n"
+      "  --fault-rate <p>         after 'run': re-evaluate under weight bit flips at\n"
+      "                           per-element rate p (fault-sweep smoke check)\n"
       "  --no-kd-stage1           plain fine-tuning in the quantization stage\n"
       "  --full                   paper-scale profile (same as AXNN_REPRO_FULL=1)\n"
       "  --verbose                per-epoch progress\n");
@@ -107,6 +110,10 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
       opt.batch = std::atoll(v);
+    } else if (arg == "--fault-rate") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.fault_rate = std::atof(v);
     } else if (arg == "--no-kd-stage1") {
       opt.kd_stage1 = false;
     } else if (arg == "--full") {
@@ -194,6 +201,28 @@ int cmd_run(const CliOptions& opt) {
               opt.multiplier.c_str(), train::to_string(opt.method).c_str(), t2,
               100.0 * run.initial_acc, 100.0 * run.result.final_acc,
               100.0 * run.result.best_acc, run.result.seconds);
+  if (!run.result.health.clean())
+    std::printf("health: %s\n", run.result.health.summary().c_str());
+
+  if (opt.fault_rate) {
+    // Fault-sweep smoke check: corrupt a copy of the fine-tuned weights with
+    // transient bit flips and re-evaluate (see bench_fault_sweep for the
+    // full accuracy-vs-rate table).
+    resilience::FaultSpec fs;
+    fs.rate = *opt.fault_rate;
+    fs.seed = 0xFA17;
+    const resilience::FaultInjector inj(fs);
+    auto faulty = wb.clone();
+    std::vector<Tensor*> values;
+    for (nn::Param* p : nn::collect_params(*faulty)) values.push_back(&p->value);
+    resilience::corrupt_tensors(values, inj);
+    const approx::SignedMulTable tab(axmul::make_lut(opt.multiplier));
+    const double acc = train::evaluate_accuracy(*faulty, wb.data().test,
+                                                nn::ExecContext::quant_approx(tab));
+    std::printf("fault sweep: weight flip rate %g -> %.2f%% (clean %.2f%%, %lld bits flipped)\n",
+                *opt.fault_rate, 100.0 * acc, 100.0 * run.result.final_acc,
+                static_cast<long long>(inj.flips()));
+  }
   return 0;
 }
 
@@ -221,17 +250,20 @@ int cmd_sweep(const CliOptions& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = parse(argc, argv);
-  if (!opt) return 1;
+  // Every failure path exits with a one-line error and nonzero status; an
+  // unhandled-exception abort from a CLI tool is never acceptable.
   try {
+    const auto opt = parse(argc, argv);
+    if (!opt) return 1;
     if (opt->command == "run") return cmd_run(*opt);
     if (opt->command == "inspect") return cmd_inspect(*opt);
     if (opt->command == "sweep") return cmd_sweep(*opt);
+    std::fprintf(stderr, "unknown command '%s'\n", opt->command.c_str());
+    print_usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown exception\n");
   }
-  std::fprintf(stderr, "unknown command '%s'\n", opt->command.c_str());
-  print_usage();
   return 1;
 }
