@@ -2,29 +2,16 @@
 //
 // The paper evaluates *uniform* approximation (one multiplier for every
 // layer) and names mixed approximation as future work. This example
-// demonstrates the library's per-layer multiplier overrides: a resiliency
-// sweep ranks conv layers by how much a drastic multiplier hurts when
-// applied to that layer alone, then the most resilient layers run trunc5
-// while sensitive layers keep a gentler unit — recovering accuracy between
-// the two uniform extremes at intermediate energy savings.
+// demonstrates per-layer execution plans (nn::NetPlan): a resiliency sweep
+// ranks conv layers by how much a drastic multiplier hurts when applied to
+// that layer alone, then the most resilient layers run trunc5 while
+// sensitive layers keep a gentler unit — recovering accuracy between the
+// two uniform extremes at intermediate energy savings.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "axnn/axnn.hpp"
-
-namespace {
-
-using namespace axnn;
-
-void collect_gemm_layers(nn::Layer& root, std::vector<nn::Conv2d*>& convs,
-                         std::vector<nn::Linear*>& linears) {
-  if (auto* c = dynamic_cast<nn::Conv2d*>(&root)) convs.push_back(c);
-  if (auto* l = dynamic_cast<nn::Linear*>(&root)) linears.push_back(l);
-  for (auto* ch : root.children()) collect_gemm_layers(*ch, convs, linears);
-}
-
-}  // namespace
 
 int main() {
   using namespace axnn;
@@ -35,19 +22,14 @@ int main() {
   core::Workbench wb(cfg);
   (void)wb.run_quantization_stage(/*use_kd=*/true);
 
-  std::vector<nn::Conv2d*> convs;
-  std::vector<nn::Linear*> linears;
-  collect_gemm_layers(wb.model(), convs, linears);
-  std::printf("found %zu conv and %zu FC layers\n", convs.size(), linears.size());
+  // Every conv/FC leaf with its plan-addressable path.
+  std::vector<nn::GemmLeaf> convs;
+  for (const auto& leaf : nn::enumerate_gemm_leaves(wb.model()))
+    if (leaf.is_conv) convs.push_back(leaf);
+  std::printf("found %zu conv layers\n", convs.size());
 
-  const approx::SignedMulTable aggressive(axmul::make_lut("trunc5"));
   const approx::SignedMulTable gentle(axmul::make_lut("trunc2"));
-
-  const auto eval_mixed = [&]() {
-    // Context multiplier is the gentle unit; overrides select trunc5.
-    return train::evaluate_accuracy(wb.model(), wb.data().test,
-                                    nn::ExecContext::quant_approx(gentle));
-  };
+  const approx::SignedMulTable aggressive(axmul::make_lut("trunc5"));
 
   // Uniform baselines.
   const double acc_gentle = train::evaluate_accuracy(
@@ -57,36 +39,43 @@ int main() {
   std::printf("uniform trunc2: %.2f%% | uniform trunc5: %.2f%%\n", 100.0 * acc_gentle,
               100.0 * acc_aggr);
 
-  // Resiliency sweep: approximate one conv layer at a time with trunc5.
+  // Resiliency sweep: a plan that puts exactly one conv on trunc5 and
+  // everything else on trunc2.
+  const auto eval_plan = [&](const nn::NetPlan& plan) {
+    const nn::PlanResolution res = plan.resolve(wb.model());
+    return train::evaluate_accuracy(wb.model(), wb.data().test,
+                                    nn::ExecContext::quant_approx(gentle).with_plan(res));
+  };
   struct LayerScore {
     size_t index;
     double acc;
   };
   std::vector<LayerScore> scores;
   for (size_t i = 0; i < convs.size(); ++i) {
-    convs[i]->set_multiplier_override(&aggressive);
-    scores.push_back({i, eval_mixed()});
-    convs[i]->set_multiplier_override(nullptr);
+    nn::NetPlan probe(nn::LayerPlan{.multiplier = "trunc2"});
+    probe.set(convs[i].path, nn::LayerPlan{.multiplier = "trunc5"});
+    scores.push_back({i, eval_plan(probe)});
   }
   std::sort(scores.begin(), scores.end(),
             [](const LayerScore& a, const LayerScore& b) { return a.acc > b.acc; });
 
   core::Table resil({"rank", "conv layer", "acc with only this layer on trunc5[%]"});
   for (size_t r = 0; r < scores.size(); ++r)
-    resil.add_row({std::to_string(r), convs[scores[r].index]->name(),
+    resil.add_row({std::to_string(r), convs[scores[r].index].path,
                    core::Table::num(100.0 * scores[r].acc, 2)});
   resil.print();
 
-  // Apply trunc5 to the most resilient half, keep trunc2 elsewhere.
+  // Apply trunc5 to the most resilient half, keep trunc2 elsewhere. The
+  // mixed configuration is one declarative, serializable plan.
+  nn::NetPlan mixed(nn::LayerPlan{.multiplier = "trunc2"});
   const size_t n_aggr = scores.size() / 2;
   for (size_t r = 0; r < n_aggr; ++r)
-    convs[scores[r].index]->set_multiplier_override(&aggressive);
-  const double acc_mixed = eval_mixed();
-  std::printf("\nmixed (top-%zu resilient layers on trunc5, rest trunc2): %.2f%%\n", n_aggr,
+    mixed.set(convs[scores[r].index].path, nn::LayerPlan{.multiplier = "trunc5"});
+  const double acc_mixed = eval_plan(mixed);
+  std::printf("\nmixed plan: %s\n", mixed.to_string().c_str());
+  std::printf("mixed (top-%zu resilient layers on trunc5, rest trunc2): %.2f%%\n", n_aggr,
               100.0 * acc_mixed);
   std::printf("expected: uniform-trunc2 >= mixed >= uniform-trunc5, with energy savings\n"
               "between the 8%% and 38%% uniform points.\n");
-
-  for (auto* c : convs) c->set_multiplier_override(nullptr);
   return 0;
 }

@@ -6,48 +6,18 @@
 //
 // The kernels live behind the unified dispatch API in
 // axnn/approx/kernels.hpp (axnn::kernels::gemm_approx / gemm_exact /
-// gemm_approx_accum). The free functions below are thin deprecated wrappers
-// kept so out-of-tree code still compiles; in-tree code uses axnn::kernels.
+// gemm_approx_accum); all callers use that dispatch directly. This header
+// keeps only the tensor-level convenience used by tests.
 #pragma once
 
-#include <cstdint>
-
-#include "axnn/approx/kernels.hpp"
 #include "axnn/approx/signed_lut.hpp"
-#include "axnn/axmul/adder.hpp"
 #include "axnn/tensor/tensor.hpp"
 
 namespace axnn::approx {
 
-/// C[M,N] = W[M,K] ·~ X[K,N] with int8 operands and int32 accumulators.
-/// W holds int4-range weights (the 4-bit operand), X holds int8-range
-/// activations (the 8-bit operand). C is overwritten.
-[[deprecated("use axnn::kernels::gemm_approx")]]
-inline void gemm_approx_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m,
-                            int64_t k, int64_t n, const SignedMulTable& tab) {
-  kernels::gemm_approx({}, w, x, c, m, k, n, tab);
-}
-
-/// Tensor-level convenience for tests: returns int32 accumulators.
+/// Tensor-level convenience for tests: C[M,N] = W[M,K] ·~ X[K,N], returning
+/// int32 accumulators. W holds int4-range weights (the 4-bit operand), X
+/// holds int8-range activations (the 8-bit operand).
 TensorI32 matmul_approx(const TensorI8& w, const TensorI8& x, const SignedMulTable& tab);
-
-/// Reference exact int GEMM (for error measurements in tests/benches).
-[[deprecated("use axnn::kernels::gemm_exact")]]
-inline void gemm_exact_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m,
-                           int64_t k, int64_t n) {
-  kernels::gemm_exact({}, w, x, c, m, k, n);
-}
-
-/// Approximate GEMM with an approximate *accumulator* as well: partial sums
-/// are combined through the given adder model (paper outlook — multiple
-/// approximation techniques in one computation). Slower than the plain
-/// approximate GEMM (one virtual call per MAC); intended for evaluation
-/// passes rather than the fine-tuning hot loop.
-[[deprecated("use axnn::kernels::gemm_approx_accum")]]
-inline void gemm_approx_accum_i32(const int8_t* w, const int8_t* x, int32_t* c, int64_t m,
-                                  int64_t k, int64_t n, const SignedMulTable& tab,
-                                  const axmul::Adder& adder) {
-  kernels::gemm_approx_accum({}, w, x, c, m, k, n, tab, adder);
-}
 
 }  // namespace axnn::approx

@@ -27,6 +27,7 @@
 #include "axnn/data/synthetic.hpp"
 #include "axnn/energy/energy.hpp"
 #include "axnn/ge/error_fit.hpp"
+#include "axnn/ge/fit_registry.hpp"
 #include "axnn/ge/monte_carlo.hpp"
 #include "axnn/kd/distill.hpp"
 #include "axnn/models/blocks.hpp"
@@ -39,6 +40,7 @@
 #include "axnn/nn/layer.hpp"
 #include "axnn/nn/linear.hpp"
 #include "axnn/nn/loss.hpp"
+#include "axnn/nn/plan.hpp"
 #include "axnn/nn/pooling.hpp"
 #include "axnn/nn/sequential.hpp"
 #include "axnn/nn/serialize.hpp"

@@ -75,11 +75,12 @@ public:
 
   /// One approximation-stage experiment.
   struct ApproxRun {
-    std::string multiplier;
+    std::string multiplier;     ///< multiplier id, or the plan text for plan runs
     train::Method method = train::Method::kNormal;
     float t2 = 1.0f;
     double initial_acc = 0.0;   ///< approximate accuracy before fine-tuning
-    ge::ErrorFit fit;           ///< error fit used (GE methods)
+    ge::ErrorFit fit;           ///< uniform error fit used (GE methods, uniform runs)
+    size_t plan_fits = 0;       ///< distinct per-layer fits (plan runs with GE)
     train::FineTuneResult result;
   };
 
@@ -90,9 +91,22 @@ public:
                                     float t2, std::optional<train::FineTuneConfig> override_cfg =
                                                   std::nullopt);
 
+  /// Plan-driven approximation stage: heterogeneous per-layer multipliers /
+  /// adders / mode overrides, and — for GE methods — per-layer error fits
+  /// from each layer's actual GEMM shape. Every leaf must be runnable from
+  /// the plan alone (a multiplier or an exact/float mode override); the
+  /// plan's bit-widths must match the calibrated widths (the Workbench
+  /// calibrates once, see DESIGN.md §5d).
+  ApproxRun run_approximation_stage(const nn::NetPlan& plan, train::Method method, float t2,
+                                    std::optional<train::FineTuneConfig> override_cfg =
+                                        std::nullopt);
+
   /// Approximate accuracy of the stage-1 model under a multiplier, without
   /// any fine-tuning ("Initial Acc." columns).
   double approx_initial_accuracy(const std::string& multiplier_id);
+
+  /// Approximate accuracy of the stage-1 model under a per-layer plan.
+  double approx_initial_accuracy(const nn::NetPlan& plan);
 
   /// Default fine-tuning schedule from the profile (lr 1e-4, decay 0.1).
   train::FineTuneConfig default_ft_config() const;

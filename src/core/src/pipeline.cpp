@@ -229,6 +229,74 @@ double Workbench::approx_initial_accuracy(const std::string& multiplier_id) {
   return train::evaluate_accuracy(*stage1_, data_.test, nn::ExecContext::quant_approx(tab));
 }
 
+namespace {
+
+/// The Workbench calibrates once (8A4W by default); a plan asking for other
+/// widths would silently run with steps chosen for the calibrated widths,
+/// so mismatches are an error, not a degradation.
+void check_plan_bit_widths(const nn::PlanResolution& res) {
+  for (const auto& e : res.entries()) {
+    int wgt = 0, act = 0;
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(e.layer)) {
+      wgt = conv->weight_bits();
+      act = conv->activation_bits();
+    } else if (auto* lin = dynamic_cast<nn::Linear*>(e.layer)) {
+      wgt = lin->weight_bits();
+      act = lin->activation_bits();
+    }
+    if (wgt != e.plan.weight_bits || act != e.plan.activation_bits)
+      throw std::invalid_argument(
+          "Workbench: plan bit-widths at '" + e.path + "' (" +
+          std::to_string(e.plan.weight_bits) + "W/" + std::to_string(e.plan.activation_bits) +
+          "A) differ from the calibrated widths (" + std::to_string(wgt) + "W/" +
+          std::to_string(act) + "A); apply_bit_widths + recalibrate before the stage");
+  }
+}
+
+}  // namespace
+
+double Workbench::approx_initial_accuracy(const nn::NetPlan& plan) {
+  if (!stage1_) throw std::logic_error("Workbench: run_quantization_stage first");
+  const nn::PlanResolution res = plan.resolve(*stage1_);
+  res.require_approximable();
+  check_plan_bit_widths(res);
+  const nn::ExecContext ctx{.mode = nn::ExecMode::kQuantApprox, .plan = &res};
+  return train::evaluate_accuracy(*stage1_, data_.test, ctx);
+}
+
+Workbench::ApproxRun Workbench::run_approximation_stage(
+    const nn::NetPlan& plan, train::Method method, float t2,
+    std::optional<train::FineTuneConfig> override_cfg) {
+  if (!stage1_) throw std::logic_error("Workbench: run_quantization_stage first");
+
+  // Each experiment starts from the same stage-1 weights.
+  nn::copy_state(*stage1_, *model_);
+
+  ApproxRun run;
+  run.multiplier = plan.to_string();
+  run.method = method;
+  run.t2 = t2;
+
+  nn::ResolveOptions ro;
+  ro.fit_ge = train::uses_ge(method);  // per-layer fits from each layer's GEMM shape
+  const nn::PlanResolution res = plan.resolve(*model_, ro);
+  res.require_approximable();
+  check_plan_bit_widths(res);
+  run.plan_fits = res.fits().num_fits();
+
+  train::FineTuneConfig fc = override_cfg ? *override_cfg : default_ft_config();
+  fc.temperature = t2;
+
+  train::ApproxStageSetup setup;
+  setup.method = method;
+  setup.teacher_q = teacher_q_.get();
+  setup.plan = &res;
+
+  run.result = train::approximation_stage(*model_, setup, data_.train, data_.test, fc);
+  run.initial_acc = run.result.initial_acc;
+  return run;
+}
+
 Workbench::ApproxRun Workbench::run_approximation_stage(
     const std::string& multiplier_id, train::Method method, float t2,
     std::optional<train::FineTuneConfig> override_cfg) {

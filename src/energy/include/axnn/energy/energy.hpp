@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "axnn/axmul/registry.hpp"
 
@@ -31,5 +33,13 @@ struct EnergyEstimate {
 /// described by `spec`.
 EnergyEstimate estimate(int64_t macs, const axmul::MultiplierSpec& spec,
                         const EnergyModel& model = {});
+
+/// Energy of a heterogeneous network: each share is (MAC count, multiplier)
+/// for one group of layers — e.g. one entry per plan leaf. The exact and
+/// approximate energies sum over shares; savings_pct is the network-level
+/// figure the mixed-multiplier bench reports.
+EnergyEstimate estimate_mixed(
+    const std::vector<std::pair<int64_t, axmul::MultiplierSpec>>& shares,
+    const EnergyModel& model = {});
 
 }  // namespace axnn::energy

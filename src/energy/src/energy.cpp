@@ -21,4 +21,20 @@ EnergyEstimate estimate(int64_t macs, const axmul::MultiplierSpec& spec,
   return e;
 }
 
+EnergyEstimate estimate_mixed(
+    const std::vector<std::pair<int64_t, axmul::MultiplierSpec>>& shares,
+    const EnergyModel& model) {
+  EnergyEstimate total;
+  for (const auto& [macs, spec] : shares) {
+    const EnergyEstimate e = estimate(macs, spec, model);
+    total.macs += e.macs;
+    total.exact_energy += e.exact_energy;
+    total.approx_energy += e.approx_energy;
+  }
+  total.savings_pct = total.exact_energy > 0.0
+                          ? (1.0 - total.approx_energy / total.exact_energy) * 100.0
+                          : 0.0;
+  return total;
+}
+
 }  // namespace axnn::energy

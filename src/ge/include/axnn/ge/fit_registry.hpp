@@ -1,0 +1,54 @@
+// axnn — per-layer gradient-estimation fit registry.
+//
+// The paper fits the accumulated-error function f(y) per convolution
+// (Sec. III-B): the Monte-Carlo simulation draws dot products of the
+// layer's actual accumulation length, so two layers with different GEMM
+// shapes get different fits. This registry owns those fits and exposes two
+// views:
+//
+//   * by shape  — (multiplier id, dot length) -> ErrorFit. Layers that share
+//     a multiplier and an accumulation length share one fit, so a ResNet's
+//     many identical 3x3 convolutions cost a single Monte-Carlo run.
+//   * by path   — layer path -> ErrorFit*. Built by NetPlan::resolve so the
+//     fit each layer trains with can be inspected and reported.
+//
+// Fits are stored in node-stable maps: pointers handed out stay valid for
+// the registry's lifetime, including after it is moved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "axnn/ge/monte_carlo.hpp"
+
+namespace axnn::ge {
+
+class FitRegistry {
+public:
+  /// Fit (or reuse the memoized fit) for a multiplier at the given
+  /// accumulation length. `base` supplies every Monte-Carlo knob except
+  /// dot_length, which is overridden by the layer's own shape.
+  const ErrorFit& fit_for_shape(const approx::SignedMulTable& tab, const std::string& mul_id,
+                                int64_t dot_length, const McConfig& base = {});
+
+  /// Associate a layer path with a fit owned by this registry.
+  void register_path(const std::string& path, const ErrorFit* fit);
+
+  /// Fit registered for a layer path; nullptr when the path has none.
+  const ErrorFit* find(const std::string& path) const;
+
+  /// Distinct Monte-Carlo fits computed (one per (multiplier, shape) pair).
+  size_t num_fits() const { return by_shape_.size(); }
+  /// Layer paths with a registered fit.
+  size_t num_paths() const { return by_path_.size(); }
+
+  const std::map<std::string, const ErrorFit*>& paths() const { return by_path_; }
+
+private:
+  std::map<std::pair<std::string, int64_t>, ErrorFit> by_shape_;
+  std::map<std::string, const ErrorFit*> by_path_;
+};
+
+}  // namespace axnn::ge

@@ -1,0 +1,31 @@
+#include "axnn/ge/fit_registry.hpp"
+
+#include <stdexcept>
+
+namespace axnn::ge {
+
+const ErrorFit& FitRegistry::fit_for_shape(const approx::SignedMulTable& tab,
+                                           const std::string& mul_id, int64_t dot_length,
+                                           const McConfig& base) {
+  if (dot_length <= 0)
+    throw std::invalid_argument("FitRegistry::fit_for_shape: dot_length must be positive");
+  const auto key = std::make_pair(mul_id, dot_length);
+  const auto it = by_shape_.find(key);
+  if (it != by_shape_.end()) return it->second;
+  McConfig mc = base;
+  mc.dot_length = static_cast<int>(dot_length);
+  return by_shape_.emplace(key, fit_multiplier_error(tab, mc)).first->second;
+}
+
+void FitRegistry::register_path(const std::string& path, const ErrorFit* fit) {
+  if (fit == nullptr)
+    throw std::invalid_argument("FitRegistry::register_path: null fit for " + path);
+  by_path_[path] = fit;
+}
+
+const ErrorFit* FitRegistry::find(const std::string& path) const {
+  const auto it = by_path_.find(path);
+  return it == by_path_.end() ? nullptr : it->second;
+}
+
+}  // namespace axnn::ge

@@ -6,6 +6,11 @@
 // multiplier table (Eq. 4); the backward pass uses the straight-through
 // estimator of the exact GEMM (Eq. 5), optionally refined by the
 // gradient-estimation scale (1 + K) on the weight gradient (Eq. 12).
+//
+// Per-layer heterogeneity (mixed multipliers, adders, mode overrides, GE
+// fits) comes from the execution plan: the forward resolves its effective
+// parameters through plan_leaf_exec (axnn/nn/plan.hpp), which returns the
+// plain context fields when no plan is attached.
 #pragma once
 
 #include <optional>
@@ -56,14 +61,6 @@ public:
   int weight_bits() const { return wgt_bits_; }
   int activation_bits() const { return act_bits_; }
 
-  /// Per-layer multiplier override (paper outlook: "incorporation of more
-  /// than one approximation technique"): when set, this table is used in
-  /// kQuantApprox mode instead of the context-wide one, enabling layer-wise
-  /// non-uniform approximation. Pass nullptr to clear. The pointed-to table
-  /// must outlive the layer's use.
-  void set_multiplier_override(const approx::SignedMulTable* mul) { mul_override_ = mul; }
-  const approx::SignedMulTable* multiplier_override() const { return mul_override_; }
-
   /// Per-output-channel affine fold (BatchNorm folding):
   /// W[o,...] *= scale[o]; b[o] = b[o]*scale[o] + shift[o].
   /// Enables the bias term if it was disabled.
@@ -85,7 +82,6 @@ private:
   int act_bits_ = quant::kActivationBits;
   quant::QuantParams wgt_qp_{1.0f, quant::kWeightBits};
   quant::QuantParams act_qp_{1.0f, quant::kActivationBits};
-  const approx::SignedMulTable* mul_override_ = nullptr;
   bool calibrated_ = false;
   quant::RangeObserver act_obs_;
   std::optional<Tensor> calib_cols_;    ///< cached cols for MinPropQE

@@ -19,6 +19,8 @@
 
 namespace axnn::nn {
 
+class PlanResolution;  // axnn/nn/plan.hpp
+
 enum class ExecMode { kFloat, kCalibrate, kQuantExact, kQuantApprox };
 
 struct ExecContext {
@@ -38,9 +40,19 @@ struct ExecContext {
   const axmul::Adder* adder = nullptr;
   /// Optional fault injector (resilience subsystem): when set, Sequential
   /// containers corrupt the activations flowing between their children, so
-  /// any forward pass can run under seeded bit flips. Drivers call
-  /// faults->begin_pass() once per model forward.
+  /// any forward pass can run under seeded bit flips. The root Sequential
+  /// calls faults->begin_pass() once per forward (see fault_pass_begun);
+  /// drivers never call it themselves.
   const resilience::FaultInjector* faults = nullptr;
+  /// Optional per-layer execution plan (axnn/nn/plan.hpp): when set, conv/FC
+  /// leaves look up their resolved plan entry and let it override mul /
+  /// ge_fit / adder / mode in quantized passes. The resolution must outlive
+  /// the context. Null reproduces the pre-plan uniform behavior exactly.
+  const PlanResolution* plan = nullptr;
+  /// Set by the outermost Sequential after it calls faults->begin_pass(), so
+  /// nested containers sharing the context do not advance the pass counter
+  /// again. Not meant to be set by drivers.
+  bool fault_pass_begun = false;
 
   bool quantized() const {
     return mode == ExecMode::kQuantExact || mode == ExecMode::kQuantApprox;
@@ -75,6 +87,14 @@ struct ExecContext {
   ExecContext with_faults(const resilience::FaultInjector& f) const {
     ExecContext c = *this;
     c.faults = &f;
+    return c;
+  }
+
+  /// Chainable setter attaching a resolved per-layer plan. The resolution
+  /// must outlive the context.
+  ExecContext with_plan(const PlanResolution& p) const {
+    ExecContext c = *this;
+    c.plan = &p;
     return c;
   }
 };

@@ -1,7 +1,9 @@
 // axnn — fully-connected layer with quantized-exact and approximate paths.
 //
 // Same execution model as Conv2d: y[N, O] = x[N, F] · W[O, F]ᵀ + b, lowered
-// to the shared approximate GEMM in kQuantApprox mode.
+// to the shared approximate GEMM in kQuantApprox mode. Per-layer multiplier
+// / adder / mode / GE-fit heterogeneity resolves through plan_leaf_exec
+// (axnn/nn/plan.hpp), exactly as in Conv2d.
 #pragma once
 
 #include <optional>
@@ -38,11 +40,6 @@ public:
   int weight_bits() const { return wgt_bits_; }
   int activation_bits() const { return act_bits_; }
 
-  /// Per-layer multiplier override (layer-wise non-uniform approximation);
-  /// see Conv2d::set_multiplier_override.
-  void set_multiplier_override(const approx::SignedMulTable* mul) { mul_override_ = mul; }
-  const approx::SignedMulTable* multiplier_override() const { return mul_override_; }
-
 private:
   int64_t in_ = 0, out_ = 0;
   bool has_bias_ = true;
@@ -53,7 +50,6 @@ private:
   int act_bits_ = quant::kActivationBits;
   quant::QuantParams wgt_qp_{1.0f, quant::kWeightBits};
   quant::QuantParams act_qp_{1.0f, quant::kActivationBits};
-  const approx::SignedMulTable* mul_override_ = nullptr;
   bool calibrated_ = false;
   quant::RangeObserver act_obs_;
   std::optional<Tensor> calib_x_;

@@ -30,16 +30,12 @@ public:
 
   std::string name() const override { return name_.empty() ? "sequential" : name_; }
 
-  Tensor forward(const Tensor& x, const ExecContext& ctx) override {
-    Tensor h = x;
-    for (auto& l : layers_) {
-      h = l->forward(h, ctx);
-      // Resilience: bit flips in the activations flowing between layers
-      // (nested Sequentials inject between their own children too).
-      if (ctx.faults != nullptr) ctx.faults->corrupt(h);
-    }
-    return h;
-  }
+  /// Forward through the children in order. When the context carries a fault
+  /// injector and this is the outermost Sequential of the pass (the
+  /// context's fault_pass_begun flag is still clear), begins a new injector
+  /// pass first — nested containers see the flag set and never advance the
+  /// pass counter, so drivers don't call begin_pass() themselves.
+  Tensor forward(const Tensor& x, const ExecContext& ctx) override;
 
   Tensor backward(const Tensor& dy) override {
     Tensor g = dy;
@@ -66,7 +62,10 @@ private:
 void finalize_calibration_recursive(Layer& root, quant::Calibration method);
 
 /// Set the quantization bit-widths of every conv/FC layer in the tree
-/// (invalidates their calibration; recalibrate afterwards).
+/// (invalidates their calibration; recalibrate afterwards). Equivalent to
+/// applying a uniform NetPlan with these widths (axnn/nn/plan.hpp), which is
+/// exactly how it is implemented; use a NetPlan with overrides for per-layer
+/// widths.
 void set_bit_widths_recursive(Layer& root, int weight_bits, int activation_bits);
 
 }  // namespace axnn::nn

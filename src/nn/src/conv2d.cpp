@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "axnn/approx/kernels.hpp"
+#include "axnn/nn/plan.hpp"
 #include "axnn/nn/qutils.hpp"
 #include "axnn/tensor/gemm.hpp"
 #include "axnn/tensor/kernels.hpp"
@@ -106,7 +107,8 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
   if (x.shape().rank() != 4 || x.shape()[1] != cfg_.in_channels)
     throw std::invalid_argument("Conv2d::forward: bad input shape " + x.shape().to_string());
   geom_ = ConvGeom::of(x.shape(), cfg_.kernel, cfg_.stride, cfg_.padding);
-  cached_mode_ = ctx.mode;
+  const LeafExec ex = plan_leaf_exec(ctx, *this);
+  cached_mode_ = ex.mode;
   cached_fit_ = nullptr;
   cached_acc_ = Tensor{};
   cached_act_mask_ = Tensor{};
@@ -120,13 +122,13 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
 
   const Shape wmat_shape{o, kg};
 
-  switch (ctx.mode) {
+  switch (ex.mode) {
     case ExecMode::kFloat:
     case ExecMode::kCalibrate: {
       Tensor cols = im2col(x, geom_);
       Tensor w_mat = weight_.value.reshaped(wmat_shape);
       Tensor out_mat = run_gemm_float(w_mat, cols);
-      if (ctx.mode == ExecMode::kCalibrate) {
+      if (ex.mode == ExecMode::kCalibrate) {
         act_obs_.observe(x);
         calib_cols_ = cols;
         calib_out_fp_ = out_mat;
@@ -150,7 +152,7 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
 
     case ExecMode::kQuantApprox: {
       if (!calibrated_) throw std::logic_error("Conv2d: approx forward before calibration");
-      const approx::SignedMulTable* mul = mul_override_ ? mul_override_ : ctx.mul;
+      const approx::SignedMulTable* mul = ex.mul;
       if (mul == nullptr)
         throw std::logic_error("Conv2d: kQuantApprox requires a multiplier table");
       if (wgt_qp_.bits > 4)
@@ -162,9 +164,9 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
       const TensorI8 qw = quantize_i8(weight_.value, wgt_qp_);
       TensorI32 acc(Shape{o, p});
       for (int64_t g = 0; g < grp; ++g) {
-        if (ctx.adder != nullptr)
+        if (ex.adder != nullptr)
           kernels::gemm_approx_accum({}, qw.data() + g * og * kg, qcols.data() + g * kg * p,
-                                     acc.data() + g * og * p, og, kg, p, *mul, *ctx.adder);
+                                     acc.data() + g * og * p, og, kg, p, *mul, *ex.adder);
         else
           kernels::gemm_approx({}, qw.data() + g * og * kg, qcols.data() + g * kg * p,
                                acc.data() + g * og * p, og, kg, p, *mul);
@@ -177,8 +179,8 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
         out_mat[i] = static_cast<float>(acc[i]) * sx * sw;
       cached_cols_ = dequantize_i8(qcols, act_qp_);
       cached_w_mat_ = dequantize_i8(qw, wgt_qp_).reshaped(wmat_shape);
-      if (ctx.ge_fit != nullptr && !ctx.ge_fit->is_constant()) {
-        cached_fit_ = ctx.ge_fit;
+      if (ex.fit != nullptr && !ex.fit->is_constant()) {
+        cached_fit_ = ex.fit;
         Tensor acc_f(acc.shape());
         for (int64_t i = 0; i < acc.numel(); ++i) acc_f[i] = static_cast<float>(acc[i]);
         cached_acc_ = std::move(acc_f);

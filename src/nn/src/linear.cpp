@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "axnn/approx/kernels.hpp"
+#include "axnn/nn/plan.hpp"
 #include "axnn/nn/qutils.hpp"
 #include "axnn/tensor/gemm.hpp"
 #include "axnn/tensor/kernels.hpp"
@@ -64,12 +65,13 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
   cached_acc_ = Tensor{};
   cached_act_mask_ = Tensor{};
   const Tensor* bias = has_bias_ ? &bias_.value : nullptr;
+  const LeafExec ex = plan_leaf_exec(ctx, *this);
 
-  switch (ctx.mode) {
+  switch (ex.mode) {
     case ExecMode::kFloat:
     case ExecMode::kCalibrate: {
       Tensor y = linear_forward_float(x, weight_.value, bias);
-      if (ctx.mode == ExecMode::kCalibrate) {
+      if (ex.mode == ExecMode::kCalibrate) {
         act_obs_.observe(x);
         calib_x_ = x;
         calib_out_fp_ = linear_forward_float(x, weight_.value, nullptr);
@@ -92,7 +94,7 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
 
     case ExecMode::kQuantApprox: {
       if (!calibrated_) throw std::logic_error("Linear: approx forward before calibration");
-      const approx::SignedMulTable* mul = mul_override_ ? mul_override_ : ctx.mul;
+      const approx::SignedMulTable* mul = ex.mul;
       if (mul == nullptr)
         throw std::logic_error("Linear: kQuantApprox requires a multiplier table");
       if (wgt_qp_.bits > 4)
@@ -107,9 +109,9 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
       for (int64_t i = 0; i < n; ++i)
         for (int64_t j = 0; j < in_; ++j) qxt(j, i) = qx(i, j);
       TensorI32 acc(Shape{out_, n});
-      if (ctx.adder != nullptr)
+      if (ex.adder != nullptr)
         kernels::gemm_approx_accum({}, qw.data(), qxt.data(), acc.data(), out_, in_, n,
-                                   *mul, *ctx.adder);
+                                   *mul, *ex.adder);
       else
         kernels::gemm_approx({}, qw.data(), qxt.data(), acc.data(), out_, in_, n, *mul);
 
@@ -121,8 +123,8 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
 
       cached_x_ = dequantize_i8(qx, act_qp_);
       cached_w_ = dequantize_i8(qw, wgt_qp_);
-      if (ctx.ge_fit != nullptr && !ctx.ge_fit->is_constant()) {
-        cached_fit_ = ctx.ge_fit;
+      if (ex.fit != nullptr && !ex.fit->is_constant()) {
+        cached_fit_ = ex.fit;
         Tensor acc_f(Shape{n, out_});
         for (int64_t i = 0; i < n; ++i)
           for (int64_t j = 0; j < out_; ++j) acc_f(i, j) = static_cast<float>(acc(j, i));

@@ -4,9 +4,29 @@
 
 #include "axnn/nn/batchnorm.hpp"
 #include "axnn/nn/conv2d.hpp"
-#include "axnn/nn/linear.hpp"
+#include "axnn/nn/plan.hpp"
 
 namespace axnn::nn {
+
+Tensor Sequential::forward(const Tensor& x, const ExecContext& ctx) {
+  // Root-of-pass detection: the first Sequential to see an injector-carrying
+  // context begins the pass and marks the context copy it hands down, so the
+  // (pass, site) sequence is identical to the old driver-called contract.
+  if (ctx.faults != nullptr && !ctx.fault_pass_begun) {
+    ctx.faults->begin_pass();
+    ExecContext inner = ctx;
+    inner.fault_pass_begun = true;
+    return forward(x, inner);
+  }
+  Tensor h = x;
+  for (auto& l : layers_) {
+    h = l->forward(h, ctx);
+    // Resilience: bit flips in the activations flowing between layers
+    // (nested Sequentials inject between their own children too).
+    if (ctx.faults != nullptr) ctx.faults->corrupt(h);
+  }
+  return h;
+}
 
 void Sequential::fold_batchnorms() {
   for (size_t i = 0; i + 1 < layers_.size();) {
@@ -79,12 +99,10 @@ void finalize_calibration_recursive(Layer& root, quant::Calibration method) {
 }
 
 void set_bit_widths_recursive(Layer& root, int weight_bits, int activation_bits) {
-  if (auto* conv = dynamic_cast<Conv2d*>(&root)) {
-    conv->set_bit_widths(weight_bits, activation_bits);
-  } else if (auto* lin = dynamic_cast<Linear*>(&root)) {
-    lin->set_bit_widths(weight_bits, activation_bits);
-  }
-  for (Layer* c : root.children()) set_bit_widths_recursive(*c, weight_bits, activation_bits);
+  NetPlan plan;
+  plan.uniform().weight_bits = weight_bits;
+  plan.uniform().activation_bits = activation_bits;
+  plan.apply_bit_widths(root);
 }
 
 }  // namespace axnn::nn

@@ -13,9 +13,12 @@
 //
 // Determinism contract: given (seed, kind, rate, bit range) and the same
 // sequence of begin_pass()/corrupt() calls, the exact same bits are flipped.
-// Drivers (train loops, evaluate_accuracy) call begin_pass() once per
-// forward; Sequential::forward corrupts the activations flowing between its
-// children whenever ExecContext.faults is set.
+// The root Sequential::forward calls begin_pass() once per model forward
+// (nested containers see ExecContext::fault_pass_begun and never re-call
+// it) and corrupts the activations flowing between its children whenever
+// ExecContext.faults is set; drivers only attach the injector via
+// with_faults. Code corrupting raw tensors directly (weight sweeps, LUT
+// faults) still calls begin_pass() itself.
 //
 // The injector is cheap when disabled (rate 0 => every call is a no-op) and
 // O(n) hashing when enabled. Pass/site counters are atomics so a shared
@@ -71,8 +74,10 @@ public:
   /// True when faults fire for the current pass.
   bool active() const;
 
-  /// Advance to the next pass and reset the per-pass site counter. Call once
-  /// per model forward. Const so a const ExecContext can carry the injector.
+  /// Advance to the next pass and reset the per-pass site counter. The root
+  /// Sequential calls this once per model forward; call it directly only
+  /// when corrupting tensors outside a forward pass. Const so a const
+  /// ExecContext can carry the injector.
   void begin_pass() const;
 
   /// Pass index the injector is currently in (0 before any begin_pass).

@@ -20,6 +20,7 @@
 #include "axnn/approx/signed_lut.hpp"
 #include "axnn/data/dataset.hpp"
 #include "axnn/ge/error_fit.hpp"
+#include "axnn/nn/plan.hpp"
 #include "axnn/nn/sequential.hpp"
 #include "axnn/train/trainer.hpp"
 
@@ -74,13 +75,21 @@ FineTuneResult quantization_stage(nn::Layer& model, nn::Layer* teacher_fp,
 
 /// Everything the approximation stage needs besides the model.
 struct ApproxStageSetup {
-  const approx::SignedMulTable* mul = nullptr;  ///< required
+  /// Uniform multiplier table. Required unless `plan` supplies per-layer
+  /// tables; with a plan it remains the fallback for leaves whose plan entry
+  /// has no multiplier of its own.
+  const approx::SignedMulTable* mul = nullptr;
   Method method = Method::kNormal;
-  /// Error fit for GE methods (ignored otherwise; a constant fit silently
-  /// degrades GE to the plain STE, as in the paper).
+  /// Uniform error fit for GE methods (ignored otherwise; a constant fit
+  /// silently degrades GE to the plain STE, as in the paper). With a plan
+  /// carrying per-layer fits this is the fallback for un-fitted leaves.
   const ge::ErrorFit* fit = nullptr;
   /// Frozen quantized teacher (runs in kQuantExact) for KD / alpha methods.
   nn::Layer* teacher_q = nullptr;
+  /// Optional resolved per-layer plan (heterogeneous multipliers, adders,
+  /// mode overrides, per-layer GE fits). Must be resolved against `model`
+  /// and outlive the run. The teacher always runs plan-free.
+  const nn::PlanResolution* plan = nullptr;
 };
 
 /// Approximation stage (Algorithm 1, second loop). `model` must be

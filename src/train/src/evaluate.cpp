@@ -17,7 +17,6 @@ Tensor predict_logits(nn::Layer& model, const data::Dataset& ds, nn::ExecContext
     const int64_t count = std::min(batch_size, ds.size() - begin);
     auto [images, labels] = ds.slice(begin, count);
     (void)labels;
-    if (ctx.faults != nullptr) ctx.faults->begin_pass();
     const Tensor logits = model.forward(images, ctx);
     if (all.empty()) all = Tensor(Shape{ds.size(), logits.shape()[1]});
     std::memcpy(all.data() + written * logits.shape()[1], logits.data(),
@@ -34,7 +33,6 @@ double evaluate_accuracy(nn::Layer& model, const data::Dataset& ds, nn::ExecCont
   for (int64_t begin = 0; begin < ds.size(); begin += batch_size) {
     const int64_t count = std::min(batch_size, ds.size() - begin);
     auto [images, labels] = ds.slice(begin, count);
-    if (ctx.faults != nullptr) ctx.faults->begin_pass();
     const Tensor logits = model.forward(images, ctx);
     const auto pred = ops::argmax_rows(logits);
     for (int64_t i = 0; i < count; ++i)

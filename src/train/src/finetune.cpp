@@ -77,7 +77,6 @@ FineTuneResult run_finetune_loop(nn::Layer& model, const data::Dataset& train_ds
       loss_sum = 0.0;
       batches = 0;
       while (iter.next(images, labels)) {
-        if (cfg.faults != nullptr) cfg.faults->begin_pass();
         model.zero_grad();
         const Tensor logits = model.forward(images, student_ctx);
         const nn::LossResult loss = hooks.loss_fn(images, logits, labels);
@@ -142,20 +141,24 @@ FineTuneResult quantization_stage(nn::Layer& model, nn::Layer* teacher_fp,
 FineTuneResult approximation_stage(nn::Layer& model, const ApproxStageSetup& setup,
                                    const data::Dataset& train_ds, const data::Dataset& test_ds,
                                    const FineTuneConfig& cfg) {
-  if (setup.mul == nullptr)
-    throw std::invalid_argument("approximation_stage: multiplier table required");
+  if (setup.mul == nullptr && setup.plan == nullptr)
+    throw std::invalid_argument(
+        "approximation_stage: a multiplier table or a resolved plan is required");
   if (uses_kd(setup.method) && setup.teacher_q == nullptr)
     throw std::invalid_argument("approximation_stage: KD method requires a quantized teacher");
   if (setup.method == Method::kAlpha && setup.teacher_q == nullptr)
     throw std::invalid_argument("approximation_stage: alpha method requires a quantized teacher");
-  if (uses_ge(setup.method) && setup.fit == nullptr)
-    throw std::invalid_argument("approximation_stage: GE method requires an error fit");
+  if (uses_ge(setup.method) && setup.fit == nullptr &&
+      (setup.plan == nullptr || !setup.plan->has_fits()))
+    throw std::invalid_argument("approximation_stage: GE method requires an error fit "
+                                "(uniform, or per-layer fits in the plan)");
 
   const ge::ErrorFit* fit = uses_ge(setup.method) ? setup.fit : nullptr;
 
   LoopHooks hooks;
-  hooks.student_ctx = nn::ExecContext::quant_approx(*setup.mul, fit, /*training=*/true);
-  hooks.eval_ctx = nn::ExecContext::quant_approx(*setup.mul);
+  hooks.student_ctx = {.mode = nn::ExecMode::kQuantApprox, .mul = setup.mul, .ge_fit = fit,
+                       .training = true, .plan = setup.plan};
+  hooks.eval_ctx = {.mode = nn::ExecMode::kQuantApprox, .mul = setup.mul, .plan = setup.plan};
 
   nn::Layer* teacher = setup.teacher_q;
   switch (setup.method) {

@@ -40,7 +40,6 @@ TrainResult train_fp(nn::Layer& model, const data::Dataset& train_ds,
       loss_sum = 0.0;
       batches = 0;
       while (iter.next(images, labels)) {
-        if (cfg.faults != nullptr) cfg.faults->begin_pass();
         model.zero_grad();
         const Tensor logits = model.forward(images, train_ctx);
         const nn::LossResult loss = nn::cross_entropy(logits, labels);

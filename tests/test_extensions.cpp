@@ -1,5 +1,5 @@
 // Tests for the paper-outlook extensions: configurable quantization
-// bit-widths and per-layer multiplier overrides (non-uniform approximation).
+// bit-widths and per-layer plan overrides (non-uniform approximation).
 #include <gtest/gtest.h>
 
 #include "axnn/approx/signed_lut.hpp"
@@ -7,6 +7,7 @@
 #include "axnn/nn/activations.hpp"
 #include "axnn/nn/conv2d.hpp"
 #include "axnn/nn/linear.hpp"
+#include "axnn/nn/plan.hpp"
 #include "axnn/nn/sequential.hpp"
 #include "axnn/quant/calibration.hpp"
 #include "axnn/tensor/ops.hpp"
@@ -109,59 +110,57 @@ TEST(BitWidths, RecursiveSetterReachesAllGemmLayers) {
   EXPECT_EQ(lin.weight_bits(), 3);
 }
 
-TEST(MultiplierOverride, TakesPrecedenceOverContext) {
+TEST(PlanOverride, TakesPrecedenceOverContext) {
   Rng rng(8);
   const Tensor x = randn(Shape{2, 3, 6, 6}, rng, 0.3f, 0.4f);
   Conv2d conv = make_calibrated_conv(rng, x);
 
-  const approx::SignedMulTable exact_tab;
   const approx::SignedMulTable trunc5(axmul::make_lut("trunc5"));
 
-  // Context says trunc5, override says exact -> output equals quant-exact.
-  conv.set_multiplier_override(&exact_tab);
-  const Tensor y_override = conv.forward(x, ExecContext::quant_approx(trunc5));
-  conv.set_multiplier_override(nullptr);
+  // Context says trunc5, the plan says exact -> output equals quant-exact.
+  const PlanResolution exact_plan =
+      NetPlan(LayerPlan{.multiplier = "exact"}).resolve(conv);
+  const Tensor y_plan =
+      conv.forward(x, ExecContext::quant_approx(trunc5).with_plan(exact_plan));
   const Tensor y_exact = conv.forward(x, ExecContext::quant_exact());
-  for (int64_t i = 0; i < y_override.numel(); ++i)
-    EXPECT_NEAR(y_override[i], y_exact[i], 1e-3f);
+  for (int64_t i = 0; i < y_plan.numel(); ++i)
+    EXPECT_NEAR(y_plan[i], y_exact[i], 1e-3f);
 
-  // Without the override the damage shows.
+  // Without the plan the damage shows.
   const Tensor y_trunc = conv.forward(x, ExecContext::quant_approx(trunc5));
   EXPECT_GT(ops::mse(y_trunc, y_exact), 0.0);
 }
 
-TEST(MultiplierOverride, WorksWithoutContextMultiplier) {
-  // A layer with an override can run kQuantApprox even when the context
-  // carries no table (fully per-layer configuration).
+TEST(PlanOverride, WorksWithoutContextMultiplier) {
+  // A layer with a plan multiplier can run kQuantApprox even when the
+  // context carries no table (fully per-layer configuration).
   Rng rng(9);
   const Tensor x = randn(Shape{1, 2, 5, 5}, rng, 0.3f, 0.4f);
   Conv2d conv = make_calibrated_conv(rng, x);
-  const approx::SignedMulTable trunc3(axmul::make_lut("trunc3"));
-  conv.set_multiplier_override(&trunc3);
+  const PlanResolution res = NetPlan(LayerPlan{.multiplier = "trunc3"}).resolve(conv);
+  res.require_approximable();
   ExecContext ctx;
   ctx.mode = ExecMode::kQuantApprox;  // ctx.mul == nullptr
-  EXPECT_NO_THROW(conv.forward(x, ctx));
-  conv.set_multiplier_override(nullptr);
+  EXPECT_NO_THROW(conv.forward(x, ctx.with_plan(res)));
   EXPECT_THROW(conv.forward(x, ctx), std::logic_error);
 }
 
-TEST(MultiplierOverride, LinearSupportsOverrides) {
+TEST(PlanOverride, LinearSupportsPlans) {
   Rng rng(10);
   const Tensor x = randn(Shape{3, 6}, rng, 0.2f, 0.4f);
   Linear lin(6, 4, rng);
   (void)lin.forward(x, ExecContext::calibrate());
   lin.finalize_calibration(quant::Calibration::kMinPropQE);
 
-  const approx::SignedMulTable exact_tab;
   const approx::SignedMulTable trunc5(axmul::make_lut("trunc5"));
-  lin.set_multiplier_override(&exact_tab);
-  const Tensor y1 = lin.forward(x, ExecContext::quant_approx(trunc5));
-  lin.set_multiplier_override(nullptr);
+  const PlanResolution exact_plan =
+      NetPlan(LayerPlan{.multiplier = "exact"}).resolve(lin);
+  const Tensor y1 = lin.forward(x, ExecContext::quant_approx(trunc5).with_plan(exact_plan));
   const Tensor y2 = lin.forward(x, ExecContext::quant_exact());
   for (int64_t i = 0; i < y1.numel(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-3f);
 }
 
-TEST(MultiplierOverride, MixedNetworkIntermediateDamage) {
+TEST(PlanOverride, MixedNetworkIntermediateDamage) {
   // Uniform gentle >= mixed >= uniform aggressive (in expectation) on the
   // raw layer-output error of a two-conv stack.
   Rng rng(11);
@@ -178,11 +177,10 @@ TEST(MultiplierOverride, MixedNetworkIntermediateDamage) {
   const Tensor ref = net.forward(x, ExecContext::quant_exact());
 
   const Tensor y_gentle = net.forward(x, ExecContext::quant_approx(gentle));
-  auto* conv2 = dynamic_cast<Conv2d*>(&net[2]);
-  ASSERT_NE(conv2, nullptr);
-  conv2->set_multiplier_override(&aggressive);
-  const Tensor y_mixed = net.forward(x, ExecContext::quant_approx(gentle));
-  conv2->set_multiplier_override(nullptr);
+  NetPlan mixed(LayerPlan{.multiplier = "trunc1"});
+  mixed.set(enumerate_gemm_leaves(net).back().path, LayerPlan{.multiplier = "trunc5"});
+  const PlanResolution res = mixed.resolve(net);
+  const Tensor y_mixed = net.forward(x, ExecContext::quant_approx(gentle).with_plan(res));
   const Tensor y_aggr = net.forward(x, ExecContext::quant_approx(aggressive));
 
   EXPECT_LE(ops::mse(y_gentle, ref), ops::mse(y_mixed, ref) + 1e-9);

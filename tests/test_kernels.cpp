@@ -5,6 +5,7 @@
 // counts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -271,7 +272,9 @@ TEST(ThreadPoolGlobal, SetThreadsFailsLoudAfterFirstUse) {
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated free-function wrappers must keep compiling and agreeing.
+// Deprecated float free-function wrappers must keep compiling and agreeing.
+// (The axnn::approx int wrappers are gone; matmul_approx is the only
+// remaining convenience and routes through the same dispatch.)
 // ---------------------------------------------------------------------------
 
 #pragma GCC diagnostic push
@@ -301,27 +304,24 @@ TEST(DeprecatedWrappers, StillComputeTheSameResults) {
                 m, k, n);
   gemm_tn_f32_acc(at.data(), b.data(), got.data(), m, k, n);
   expect_close(ref, got, k, "gemm_tn_f32_acc");
+}
+#pragma GCC diagnostic pop
 
+// The tensor-level convenience agrees with the raw int dispatch it wraps.
+TEST(MatmulApprox, MatchesKernelDispatch) {
+  const int64_t m = 17, k = 33, n = 9;
   const approx::SignedMulTable tab(axmul::make_lut("trunc3"));
   const auto w = random_i8(m * k, 55, -7, 7);
   const auto xi = random_i8(k * n, 56, -127, 127);
+
+  TensorI8 wt(Shape{m, k}), xt(Shape{k, n});
+  std::copy(w.begin(), w.end(), wt.data());
+  std::copy(xi.begin(), xi.end(), xt.data());
+
   std::vector<int32_t> iref(static_cast<size_t>(m * n));
-  std::vector<int32_t> igot(static_cast<size_t>(m * n));
-
   kernels::gemm_approx({}, w.data(), xi.data(), iref.data(), m, k, n, tab);
-  approx::gemm_approx_i32(w.data(), xi.data(), igot.data(), m, k, n, tab);
-  EXPECT_EQ(iref, igot);
-
-  kernels::gemm_exact({}, w.data(), xi.data(), iref.data(), m, k, n);
-  approx::gemm_exact_i32(w.data(), xi.data(), igot.data(), m, k, n);
-  EXPECT_EQ(iref, igot);
-
-  const axmul::TruncatedAdder adder(3);
-  kernels::gemm_approx_accum({}, w.data(), xi.data(), iref.data(), m, k, n, tab,
-                             adder);
-  approx::gemm_approx_accum_i32(w.data(), xi.data(), igot.data(), m, k, n, tab, adder);
-  EXPECT_EQ(iref, igot);
+  const TensorI32 igot = approx::matmul_approx(wt, xt, tab);
+  for (int64_t i = 0; i < igot.numel(); ++i) EXPECT_EQ(iref[static_cast<size_t>(i)], igot[i]);
 }
-#pragma GCC diagnostic pop
 
 }  // namespace

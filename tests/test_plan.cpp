@@ -1,0 +1,287 @@
+// Tests for per-layer execution plans: path enumeration on nested models,
+// uniform-plan <-> legacy-context golden equivalence (bit-identical in all
+// four exec modes), the per-shape GE fit registry, path stability across
+// BatchNorm folding, root-only fault-pass bookkeeping, and the NetPlan text
+// form.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "axnn/axmul/registry.hpp"
+#include "axnn/data/dataset.hpp"
+#include "axnn/ge/fit_registry.hpp"
+#include "axnn/models/blocks.hpp"
+#include "axnn/models/resnet.hpp"
+#include "axnn/nn/activations.hpp"
+#include "axnn/nn/conv2d.hpp"
+#include "axnn/nn/linear.hpp"
+#include "axnn/nn/plan.hpp"
+#include "axnn/nn/pooling.hpp"
+#include "axnn/nn/sequential.hpp"
+#include "axnn/quant/calibration.hpp"
+#include "axnn/resilience/fault.hpp"
+#include "axnn/train/evaluate.hpp"
+
+namespace axnn::nn {
+namespace {
+
+std::vector<std::string> paths_of(Layer& root) {
+  std::vector<std::string> out;
+  for (const auto& leaf : enumerate_gemm_leaves(root)) out.push_back(leaf.path);
+  return out;
+}
+
+/// Small calibrated conv-relu-conv-pool-linear stack for golden comparisons.
+std::unique_ptr<Sequential> make_calibrated_net(Rng& rng, const Tensor& x) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(Conv2dConfig{2, 4, 3, 1, 1, 1, true}, rng);
+  net->emplace<ReLU>();
+  net->emplace<Conv2d>(Conv2dConfig{4, 4, 3, 1, 1, 1, true}, rng);
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(4, 3, rng);
+  (void)net->forward(x, ExecContext::calibrate());
+  finalize_calibration_recursive(*net, quant::Calibration::kMinPropQE);
+  return net;
+}
+
+void expect_bit_identical(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]) << "element " << i;
+}
+
+TEST(PlanPaths, Resnet20NestedBlocksGetStablePaths) {
+  auto net = models::make_resnet20();
+  const auto paths = paths_of(*net);
+
+  // Stem + 9 basic blocks x 2 convs + 2 projection shortcuts + classifier.
+  EXPECT_EQ(paths.size(), 22u);
+  const auto has = [&](const std::string& p) {
+    return std::find(paths.begin(), paths.end(), p) != paths.end();
+  };
+  // Unique sibling names carry no "#k" suffix...
+  EXPECT_TRUE(has("conv3x3_3->16"));
+  EXPECT_TRUE(has("linear_64->10"));
+  // ...repeated siblings are occurrence-indexed: nine "basic_block" children
+  // of the root, and two same-shape convs inside each block's main path.
+  EXPECT_TRUE(has("basic_block#0/basic_block_main/conv3x3_16->16#0"));
+  EXPECT_TRUE(has("basic_block#0/basic_block_main/conv3x3_16->16#1"));
+  EXPECT_TRUE(has("basic_block#8/basic_block_main/conv3x3_64->64#0"));
+  // Stage transitions have distinctly-shaped convs (no suffix) and a
+  // projection shortcut.
+  EXPECT_TRUE(has("basic_block#3/basic_block_main/conv3x3_16->32"));
+  EXPECT_TRUE(has("basic_block#3/basic_block_shortcut/conv1x1_16->32"));
+
+  // All paths unique.
+  auto sorted = paths;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(PlanPaths, FoldBatchnormsPreservesPlanKeys) {
+  auto net = models::make_resnet20();
+  const auto before = paths_of(*net);
+  // Fold needs calibration-independent BN stats only; fold directly.
+  net->fold_batchnorms();
+  EXPECT_EQ(paths_of(*net), before);
+}
+
+TEST(PlanGolden, UniformPlanBitIdenticalToLegacyContextInAllModes) {
+  Rng rng(3);
+  const Tensor x = randn(Shape{2, 2, 6, 6}, rng, 0.3f, 0.4f);
+  auto net = make_calibrated_net(rng, x);
+
+  const approx::SignedMulTable trunc3(axmul::make_lut("trunc3"));
+  NetPlan plan(LayerPlan{.multiplier = "trunc3"});
+  ResolveOptions ro;
+  ro.fit_ge = true;  // fits must not perturb any forward
+  const PlanResolution res = plan.resolve(*net, ro);
+  EXPECT_TRUE(res.has_fits());
+
+  const ExecContext legacy[] = {
+      ExecContext::fp(),
+      ExecContext::calibrate(),
+      ExecContext::quant_exact(),
+      ExecContext::quant_approx(trunc3),
+  };
+  for (const ExecContext& ctx : legacy) {
+    const Tensor y_legacy = net->forward(x, ctx);
+    const Tensor y_plan = net->forward(x, ctx.with_plan(res));
+    expect_bit_identical(y_legacy, y_plan);
+  }
+
+  // Training contexts (the ones that would consume the per-layer fits)
+  // produce the same logits too — fits only shape the backward pass.
+  ExecContext student = ExecContext::quant_approx(trunc3, nullptr, /*training=*/true);
+  expect_bit_identical(net->forward(x, student), net->forward(x, student.with_plan(res)));
+}
+
+TEST(PlanGolden, UniformPlanWithAdderMatchesContextAdder) {
+  Rng rng(4);
+  const Tensor x = randn(Shape{2, 2, 6, 6}, rng, 0.3f, 0.4f);
+  auto net = make_calibrated_net(rng, x);
+
+  const approx::SignedMulTable trunc3(axmul::make_lut("trunc3"));
+  const auto loa4 = axmul::make_adder("loa4");
+  NetPlan plan(LayerPlan{.multiplier = "trunc3", .adder = "loa4"});
+  const PlanResolution res = plan.resolve(*net);
+
+  const Tensor y_legacy = net->forward(x, ExecContext::quant_approx(trunc3).with_adder(*loa4));
+  const Tensor y_plan = net->forward(x, ExecContext::quant_approx(trunc3).with_plan(res));
+  expect_bit_identical(y_legacy, y_plan);
+}
+
+TEST(PlanModes, PerLayerModeOverrideKeepsALayerExact) {
+  Rng rng(5);
+  const Tensor x = randn(Shape{2, 2, 6, 6}, rng, 0.3f, 0.4f);
+  auto net = make_calibrated_net(rng, x);
+  const approx::SignedMulTable trunc5(axmul::make_lut("trunc5"));
+
+  // Everything exact except... nothing: mode=exact everywhere reproduces the
+  // quant-exact output even under a kQuantApprox context.
+  NetPlan all_exact(LayerPlan{.mode = ExecMode::kQuantExact});
+  const PlanResolution res = all_exact.resolve(*net);
+  res.require_approximable();  // exact-mode leaves need no multiplier
+  const Tensor y_exact = net->forward(x, ExecContext::quant_exact());
+  const Tensor y_plan = net->forward(x, ExecContext::quant_approx(trunc5).with_plan(res));
+  expect_bit_identical(y_exact, y_plan);
+}
+
+TEST(FitRegistry, DistinctShapesGetDistinctFitsAndMemoizationHolds) {
+  const approx::SignedMulTable trunc5(axmul::make_lut("trunc5"));
+  ge::FitRegistry reg;
+  const ge::ErrorFit& small = reg.fit_for_shape(trunc5, "trunc5", 9);
+  const ge::ErrorFit& large = reg.fit_for_shape(trunc5, "trunc5", 576);
+  EXPECT_EQ(reg.num_fits(), 2u);
+  // trunc5's error is biased: both fits carry slope, and the accumulated
+  // error scales with the accumulation length, so the fits differ.
+  EXPECT_FALSE(small.is_constant());
+  EXPECT_FALSE(large.is_constant());
+  EXPECT_NE(small.eval(1000.0), large.eval(1000.0));
+
+  // Same (multiplier, shape) -> the same fit object, no re-simulation.
+  const ge::ErrorFit& again = reg.fit_for_shape(trunc5, "trunc5", 9);
+  EXPECT_EQ(&again, &small);
+  EXPECT_EQ(reg.num_fits(), 2u);
+}
+
+TEST(FitRegistry, ResolveSharesFitsAcrossSameShapeLayers) {
+  auto net = models::make_resnet20();
+  NetPlan plan(LayerPlan{.multiplier = "trunc4"});
+  ResolveOptions ro;
+  ro.fit_ge = true;
+  ro.mc.num_sims = 4;  // keep the test fast; fit quality is irrelevant here
+  ro.mc.outputs_per_sim = 8;
+  const PlanResolution res = plan.resolve(*net, ro);
+  // 22 leaves but far fewer distinct accumulation lengths (3x3 convs at 3
+  // channel widths, 1x1 shortcuts, stem, FC).
+  EXPECT_EQ(res.fits().num_paths(), 22u);
+  EXPECT_LT(res.fits().num_fits(), 10u);
+  EXPECT_GT(res.fits().num_fits(), 2u);
+  // Same-shape layers literally share the fit object.
+  const ResolvedLayerPlan* a = nullptr;
+  const ResolvedLayerPlan* b = nullptr;
+  for (const auto& e : res.entries()) {
+    if (e.path == "basic_block#0/basic_block_main/conv3x3_16->16#0") a = &e;
+    if (e.path == "basic_block#1/basic_block_main/conv3x3_16->16#1") b = &e;
+  }
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->fit, b->fit);
+  ASSERT_NE(a->fit, nullptr);
+}
+
+TEST(PlanText, ParseToStringRoundTrips) {
+  const std::string text =
+      "default=trunc5; basic_block#0=trunc2:w3:a6:add=loa4:noge; "
+      "linear_64->10=:mode=exact";
+  const NetPlan plan = NetPlan::parse(text);
+  EXPECT_EQ(plan.uniform().multiplier, "trunc5");
+  const LayerPlan& blk = plan.overrides().at("basic_block#0");
+  EXPECT_EQ(blk.multiplier, "trunc2");
+  EXPECT_EQ(blk.weight_bits, 3);
+  EXPECT_EQ(blk.activation_bits, 6);
+  EXPECT_EQ(blk.adder, "loa4");
+  EXPECT_FALSE(blk.use_ge);
+  const LayerPlan& fc = plan.overrides().at("linear_64->10");
+  EXPECT_TRUE(fc.multiplier.empty());
+  ASSERT_TRUE(fc.mode.has_value());
+  EXPECT_EQ(*fc.mode, ExecMode::kQuantExact);
+
+  const NetPlan reparsed = NetPlan::parse(plan.to_string());
+  EXPECT_EQ(reparsed.to_string(), plan.to_string());
+}
+
+TEST(PlanText, ParseRejectsUnknownIdsAndModes) {
+  EXPECT_THROW(NetPlan::parse("default=nosuchmul"), std::invalid_argument);
+  EXPECT_THROW(NetPlan::parse("default=trunc3:add=nosuchadd"), std::invalid_argument);
+  EXPECT_THROW(NetPlan::parse("default=trunc3:mode=calibrate"), std::invalid_argument);
+  EXPECT_THROW(NetPlan::parse("default=trunc3:frobnicate"), std::invalid_argument);
+}
+
+TEST(PlanResolveErrors, UnmatchedOverrideThrowsWithLeafList) {
+  auto net = models::make_resnet20();
+  NetPlan plan(LayerPlan{.multiplier = "trunc3"});
+  plan.set("basic_block#42", LayerPlan{.multiplier = "trunc2"});
+  try {
+    (void)plan.resolve(*net);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("basic_block#42"), std::string::npos);
+    // The error lists the real leaf paths so typos are easy to fix.
+    EXPECT_NE(msg.find("linear_64->10"), std::string::npos);
+  }
+}
+
+TEST(PlanResolveErrors, RequireApproximableFlagsPlanlessLeaves) {
+  Rng rng(6);
+  const Tensor x = randn(Shape{1, 2, 5, 5}, rng, 0.3f, 0.4f);
+  auto net = make_calibrated_net(rng, x);
+  NetPlan plan;  // uniform plan with no multiplier and no mode override
+  const PlanResolution res = plan.resolve(*net);
+  EXPECT_THROW(res.require_approximable(), std::invalid_argument);
+}
+
+TEST(FaultPass, RootSequentialBeginsExactlyOnePassPerForward) {
+  Rng rng(7);
+  const Tensor x = randn(Shape{2, 2, 6, 6}, rng, 0.3f, 0.4f);
+  // Nested container: the inner Sequential must not re-begin the pass.
+  Sequential net;
+  auto& inner = net.emplace<Sequential>("inner");
+  inner.emplace<Conv2d>(Conv2dConfig{2, 3, 3, 1, 1, 1, true}, rng);
+  inner.emplace<ReLU>();
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Linear>(3, 2, rng);
+
+  resilience::FaultSpec fs;
+  fs.rate = 1e-3;
+  const resilience::FaultInjector inj(fs);
+  const ExecContext ctx = ExecContext::fp().with_faults(inj);
+  EXPECT_EQ(inj.pass(), 0);
+  (void)net.forward(x, ctx);
+  EXPECT_EQ(inj.pass(), 1);
+  (void)net.forward(x, ctx);
+  EXPECT_EQ(inj.pass(), 2);
+}
+
+TEST(FaultPass, EvaluateAccuracyAdvancesOnePassPerBatch) {
+  Rng rng(8);
+  Sequential net;
+  net.emplace<Conv2d>(Conv2dConfig{2, 3, 3, 1, 1, 1, true}, rng);
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Linear>(3, 2, rng);
+
+  data::Dataset ds;
+  ds.images = randn(Shape{8, 2, 6, 6}, rng, 0.3f, 0.4f);
+  ds.labels = {0, 1, 0, 1, 0, 1, 0, 1};
+
+  resilience::FaultSpec fs;
+  fs.rate = 1e-3;
+  const resilience::FaultInjector inj(fs);
+  (void)train::evaluate_accuracy(net, ds, ExecContext::fp().with_faults(inj),
+                                 /*batch=*/4);
+  EXPECT_EQ(inj.pass(), 2);  // 8 samples / batch 4, one pass each
+}
+
+}  // namespace
+}  // namespace axnn::nn

@@ -2,7 +2,7 @@
 //
 // Runs any single experiment configuration without writing code:
 //
-//   axnn_cli --model resnet20 --multiplier trunc5 --method approxkd+ge \
+//   axnn_cli --model resnet20 --multiplier trunc5 --method approxkd+ge
 //            --t2 5 --epochs 10 --lr 2e-4 [--no-kd-stage1] [--full]
 //
 // Subcommands:
@@ -31,6 +31,8 @@ struct CliOptions {
   std::optional<float> lr;
   std::optional<int64_t> batch;
   std::optional<double> fault_rate;  ///< weight bit-flip smoke sweep after run
+  std::vector<std::string> plan_entries;  ///< repeated --plan key=spec overrides
+  bool list_multipliers = false;
   bool kd_stage1 = true;
   bool full = false;
   bool verbose = false;
@@ -48,6 +50,13 @@ void print_usage() {
       "  --batch <n>              fine-tuning batch size\n"
       "  --fault-rate <p>         after 'run': re-evaluate under weight bit flips at\n"
       "                           per-element rate p (fault-sweep smoke check)\n"
+      "  --plan <key>=<spec>      per-layer plan override, repeatable; key is a layer\n"
+      "                           path prefix (see 'inspect' for paths) or 'default',\n"
+      "                           spec is <mul>[:wN][:aN][:add=<adder>][:noge]\n"
+      "                           [:mode=float|exact|approx]. --multiplier stays the\n"
+      "                           default for unmatched layers.\n"
+      "  --list-multipliers       print the registry (measured MRE, bias class,\n"
+      "                           energy savings) and exit\n"
       "  --no-kd-stage1           plain fine-tuning in the quantization stage\n"
       "  --full                   paper-scale profile (same as AXNN_REPRO_FULL=1)\n"
       "  --verbose                per-epoch progress\n");
@@ -114,6 +123,12 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
       opt.fault_rate = std::atof(v);
+    } else if (arg == "--plan") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.plan_entries.emplace_back(v);
+    } else if (arg == "--list-multipliers") {
+      opt.list_multipliers = true;
     } else if (arg == "--no-kd-stage1") {
       opt.kd_stage1 = false;
     } else if (arg == "--full") {
@@ -150,6 +165,48 @@ float pick_t2(const CliOptions& opt, const axmul::MultiplierSpec& spec) {
   return 10.0f;
 }
 
+// The multiplier registry at a glance: measured MRE (Eq. 14 over the full
+// signed 4x8-bit operand grid), whether the GE fit classifies the error as
+// biased (a non-constant fit => GE has something to compensate) and the
+// per-MAC energy savings. Needs no Workbench, so it runs instantly.
+int cmd_list_multipliers() {
+  const auto kind_name = [](axmul::MultiplierKind k) {
+    switch (k) {
+      case axmul::MultiplierKind::kExact: return "exact";
+      case axmul::MultiplierKind::kTruncated: return "trunc";
+      case axmul::MultiplierKind::kEvoApproxLike: return "evoapprox";
+    }
+    return "?";
+  };
+  core::Table table({"id", "kind", "MRE[%]", "paper[%]", "bias", "savings[%]"});
+  for (const auto& spec : axmul::paper_multipliers()) {
+    if (spec.kind == axmul::MultiplierKind::kExact) {
+      table.add_row({spec.id, kind_name(spec.kind), "0.00", "0.0", "unbiased", "0"});
+      continue;
+    }
+    const auto stats = axmul::compute_error_stats(*axmul::make_multiplier(spec));
+    const approx::SignedMulTable tab(axmul::make_lut(spec.id));
+    const ge::ErrorFit fit = ge::fit_multiplier_error(tab, {});
+    char mre[32], paper[32], savings[32];
+    std::snprintf(mre, sizeof mre, "%.2f", 100.0 * stats.mre);
+    std::snprintf(paper, sizeof paper, "%.1f", 100.0 * spec.paper_mre);
+    std::snprintf(savings, sizeof savings, "%.0f", spec.energy_savings_pct);
+    table.add_row({spec.id, kind_name(spec.kind), mre, paper,
+                   fit.is_constant() ? "unbiased" : "biased", savings});
+  }
+  table.print();
+  return 0;
+}
+
+// Compose the effective plan text from --multiplier (the default) and the
+// repeated --plan overrides. A later `--plan default=...` wins over
+// --multiplier because NetPlan::parse keeps the last default entry.
+std::string compose_plan_text(const CliOptions& opt) {
+  std::string text = "default=" + opt.multiplier;
+  for (const auto& e : opt.plan_entries) text += "; " + e;
+  return text;
+}
+
 int cmd_inspect(const CliOptions& opt) {
   core::Workbench wb = make_workbench(opt);
   const auto info = wb.info();
@@ -170,6 +227,10 @@ int cmd_inspect(const CliOptions& opt) {
   std::printf("GE fit: %s\n", fit.to_string().c_str());
   std::printf("network energy: %.0f -> %.0f units (%.0f%% savings)\n", energy.exact_energy,
               energy.approx_energy, energy.savings_pct);
+  std::printf("plan-addressable layers (use these paths with --plan):\n");
+  for (const auto& leaf : nn::enumerate_gemm_leaves(wb.model()))
+    std::printf("  %-52s %s dot=%lld\n", leaf.path.c_str(), leaf.is_conv ? "conv" : "fc  ",
+                static_cast<long long>(leaf.dot_length));
   return 0;
 }
 
@@ -195,10 +256,19 @@ int cmd_run(const CliOptions& opt) {
               opt.kd_stage1 ? "KD" : "normal");
 
   const float t2 = pick_t2(opt, *spec);
-  const auto run =
-      wb.run_approximation_stage(opt.multiplier, opt.method, t2, make_ft(opt, wb));
+  const bool use_plan = !opt.plan_entries.empty();
+  const std::string label = use_plan ? compose_plan_text(opt) : opt.multiplier;
+  core::Workbench::ApproxRun run;
+  if (use_plan) {
+    const nn::NetPlan plan = nn::NetPlan::parse(label);
+    run = wb.run_approximation_stage(plan, opt.method, t2, make_ft(opt, wb));
+    if (run.plan_fits > 0)
+      std::printf("plan: %zu per-layer GE fits\n", run.plan_fits);
+  } else {
+    run = wb.run_approximation_stage(opt.multiplier, opt.method, t2, make_ft(opt, wb));
+  }
   std::printf("%s + %s (T2=%.0f): %.2f%% -> %.2f%% (best %.2f%%) in %.1fs\n",
-              opt.multiplier.c_str(), train::to_string(opt.method).c_str(), t2,
+              label.c_str(), train::to_string(opt.method).c_str(), t2,
               100.0 * run.initial_acc, 100.0 * run.result.final_acc,
               100.0 * run.result.best_acc, run.result.seconds);
   if (!run.result.health.clean())
@@ -217,8 +287,13 @@ int cmd_run(const CliOptions& opt) {
     for (nn::Param* p : nn::collect_params(*faulty)) values.push_back(&p->value);
     resilience::corrupt_tensors(values, inj);
     const approx::SignedMulTable tab(axmul::make_lut(opt.multiplier));
-    const double acc = train::evaluate_accuracy(*faulty, wb.data().test,
-                                                nn::ExecContext::quant_approx(tab));
+    nn::ExecContext eval_ctx = nn::ExecContext::quant_approx(tab);
+    nn::PlanResolution res;  // must outlive the evaluation below
+    if (use_plan) {
+      res = nn::NetPlan::parse(label).resolve(*faulty);
+      eval_ctx = eval_ctx.with_plan(res);
+    }
+    const double acc = train::evaluate_accuracy(*faulty, wb.data().test, eval_ctx);
     std::printf("fault sweep: weight flip rate %g -> %.2f%% (clean %.2f%%, %lld bits flipped)\n",
                 *opt.fault_rate, 100.0 * acc, 100.0 * run.result.final_acc,
                 static_cast<long long>(inj.flips()));
@@ -255,6 +330,7 @@ int main(int argc, char** argv) {
   try {
     const auto opt = parse(argc, argv);
     if (!opt) return 1;
+    if (opt->list_multipliers) return cmd_list_multipliers();
     if (opt->command == "run") return cmd_run(*opt);
     if (opt->command == "inspect") return cmd_inspect(*opt);
     if (opt->command == "sweep") return cmd_sweep(*opt);

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public axnn header must compile on its
+# own (all of its dependencies reachable through its own #includes). Run from
+# the repository root; used by the CI 'headers' job.
+set -u
+
+cd "$(dirname "$0")/.."
+
+INCLUDES=()
+for dir in src/*/include; do
+  INCLUDES+=("-I" "$dir")
+done
+
+CXX="${CXX:-g++}"
+fails=0
+checked=0
+# Compile a one-line TU per header ("#pragma once in main file" would trip
+# -Werror if the header itself were the main file).
+tu=$(mktemp --suffix=.cpp)
+trap 'rm -f "$tu" /tmp/header_err.$$' EXIT
+for hpp in src/*/include/axnn/*.hpp src/*/include/axnn/*/*.hpp; do
+  [ -f "$hpp" ] || continue
+  checked=$((checked + 1))
+  printf '#include "%s"\n' "${hpp#src/*/include/}" > "$tu"
+  if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Werror \
+       "${INCLUDES[@]}" "$tu" 2>/tmp/header_err.$$; then
+    echo "NOT self-contained: $hpp"
+    sed 's/^/    /' /tmp/header_err.$$
+    fails=$((fails + 1))
+  fi
+done
+
+echo "checked $checked headers, $fails failed"
+[ "$fails" -eq 0 ]
