@@ -7,9 +7,8 @@
 // lower-part-OR or truncated adders of increasing depth.
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(ablation_adders, "Extension — approximate adders in the accumulation path") {
   using namespace axnn;
-  bench::print_header("Extension — approximate adders in the accumulation path");
 
   // Adder characterisation.
   core::Table chars({"Adder", "mean err (bias)", "rms err", "max |err|"});
@@ -21,29 +20,31 @@ int main() {
                    core::Table::num(stats.rms_error, 2),
                    core::Table::num(stats.max_abs_error, 0)});
   }
-  chars.print();
+  bench::emit_table(ctx, "adder_stats", chars);
 
   // Network impact: fine-tune once under trunc3, then evaluate with the
   // accumulator approximated at increasing depths.
   core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
   (void)wb.run_quantization_stage(/*use_kd=*/true);
-  const auto run = wb.run_approximation_stage("trunc3", train::Method::kApproxKD_GE, 5.0f);
+  const auto run = wb.run_approximation_stage(
+      core::ApproxStageSetup::uniform("trunc3", train::Method::kApproxKD_GE, 5.0f));
   std::printf("\ntrunc3 + ApproxKD+GE fine-tuned accuracy: %.2f%%\n\n",
               100.0 * run.result.final_acc);
+  ctx.metric("finetuned_acc", run.result.final_acc);
 
   const approx::SignedMulTable trunc3(axmul::make_lut("trunc3"));
   core::Table table({"Adder", "accuracy[%]"});
   for (const char* id : {"exact_add", "loa2", "loa4", "loa6", "loa8", "truncadd2",
                          "truncadd4", "truncadd6", "truncadd8"}) {
     const auto adder = axmul::make_adder(id);
-    const nn::ExecContext ctx =
+    const nn::ExecContext ec =
         nn::ExecContext::quant_approx(trunc3).with_adder(*adder);
-    const double acc = train::evaluate_accuracy(wb.model(), wb.data().test, ctx);
+    const double acc = train::evaluate_accuracy(wb.model(), wb.data().test, ec);
     table.add_row({id, bench::pct(acc)});
     std::printf("  %-10s %.2f%%\n", id, 100.0 * acc);
   }
   std::printf("\n");
-  table.print();
+  bench::emit_table(ctx, "adder_accuracy", table);
   std::printf("\nExpected shape: accuracy degrades monotonically with adder depth; LOA\n"
               "(carry-free OR) is gentler than truncation at equal depth.\n");
   return 0;

@@ -4,9 +4,8 @@
 // teacher, so the sweep re-locates the useful range).
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(ablation_alpha, "Ablation — alpha-regularization sweep (ResNet20 + trunc5)") {
   using namespace axnn;
-  bench::print_header("Ablation — alpha-regularization sweep (ResNet20 + trunc5)");
 
   const auto profile = core::BenchProfile::from_env();
   core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
@@ -19,16 +18,17 @@ int main() {
 
   core::Table table({"alpha", "final acc[%]", "best acc[%]"});
   for (const double alpha : alphas) {
-    auto fc = wb.default_ft_config();
-    fc.alpha = alpha;
-    fc.epochs = profile.ablation_epochs;
-    const auto run = wb.run_approximation_stage("trunc5", train::Method::kAlpha, 1.0f, fc);
+    auto setup = core::ApproxStageSetup::uniform("trunc5", train::Method::kAlpha, 1.0f);
+    setup.finetune = wb.default_ft_config();
+    setup.finetune->alpha = alpha;
+    setup.finetune->epochs = profile.ablation_epochs;
+    const auto run = wb.run_approximation_stage(setup);
     table.add_row({core::Table::num(alpha, alpha < 1e-3 ? 12 : 3),
                    bench::pct(run.result.final_acc), bench::pct(run.result.best_acc)});
     std::printf("  alpha=%g -> %.2f%%\n", alpha, 100.0 * run.result.final_acc);
   }
   std::printf("\n");
-  table.print();
+  bench::emit_table(ctx, "alpha_sweep", table);
   std::printf("\nPaper observation: alpha-regularization roughly tracks normal fine-tuning\n"
               "and underperforms when drastic approximations are applied.\n");
   return 0;

@@ -7,9 +7,8 @@
 // approximate accuracy under trunc3 before fine-tuning.
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(ablation_bitwidth, "Extension — weight bit-width sweep (8AxW, ResNet20)") {
   using namespace axnn;
-  bench::print_header("Extension — weight bit-width sweep (8AxW, ResNet20)");
 
   auto cfg = bench::workbench_config(core::ModelKind::kResNet20);
   const approx::SignedMulTable trunc3(axmul::make_lut("trunc3"));
@@ -32,7 +31,7 @@ int main() {
     std::printf("  W=%d done\n", wbits);
   }
   std::printf("\n");
-  table.print();
+  bench::emit_table(ctx, "bitwidth_sweep", table);
   std::printf("\nExpected shape: monotone accuracy loss as weight bits shrink; 4-bit is the\n"
               "paper's operating point, 2-3 bits need the same fine-tuning flow to recover.\n");
   return 0;

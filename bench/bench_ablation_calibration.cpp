@@ -7,9 +7,8 @@
 // which matters most at 4-bit weights.
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(ablation_calibration, "Ablation — weight-step calibration method") {
   using namespace axnn;
-  bench::print_header("Ablation — weight-step calibration method");
 
   struct Entry {
     quant::Calibration method;
@@ -33,7 +32,7 @@ int main() {
                                                 nn::ExecContext::quant_exact());
     table.add_row({entry.name, bench::pct(acc), bench::pct(wb.fp_accuracy() - acc)});
   }
-  table.print();
+  bench::emit_table(ctx, "calibration", table);
 
   std::printf("\nActivation-step choice (same model, MinPropQE weights):\n");
   std::printf("distribution-aware (min-MSE reservoir) activation steps are the library\n"

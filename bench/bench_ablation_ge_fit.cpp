@@ -7,9 +7,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(ablation_ge_fit, "Ablation — GE Monte-Carlo fit budget (trunc5)") {
   using namespace axnn;
-  bench::print_header("Ablation — GE Monte-Carlo fit budget (trunc5)");
 
   const approx::SignedMulTable tab(axmul::make_lut("trunc5"));
 
@@ -22,12 +21,15 @@ int main() {
     const double ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
             .count();
+    std::string clamp = "[";  // built incrementally: GCC 12 -Wrestrict
+    clamp += core::Table::num(fit.b, 0);  // false-positives on char* + &&
+    clamp += ", ";
+    clamp += core::Table::num(fit.a, 0);
+    clamp += "]";
     table.add_row({std::to_string(sims), core::Table::num(fit.k, 5),
-                   core::Table::num(fit.c, 1),
-                   "[" + core::Table::num(fit.b, 0) + ", " + core::Table::num(fit.a, 0) + "]",
-                   core::Table::num(ms, 1)});
+                   core::Table::num(fit.c, 1), clamp, core::Table::num(ms, 1)});
   }
-  table.print();
+  bench::emit_table(ctx, "fit_budget", table);
 
   // Effect of the fit on a short fine-tuning run: default (50 sims) vs a
   // deliberately tiny budget.
@@ -37,8 +39,15 @@ int main() {
 
   auto fc = wb.default_ft_config();
   fc.epochs = profile.ablation_epochs;
-  const auto run50 = wb.run_approximation_stage("trunc5", train::Method::kApproxKD_GE, 5.0f, fc);
-  const auto run_kd = wb.run_approximation_stage("trunc5", train::Method::kApproxKD, 5.0f, fc);
+  const auto run_of = [&](train::Method m) {
+    auto setup = core::ApproxStageSetup::uniform("trunc5", m, 5.0f);
+    setup.finetune = fc;
+    return wb.run_approximation_stage(setup);
+  };
+  const auto run50 = run_of(train::Method::kApproxKD_GE);
+  const auto run_kd = run_of(train::Method::kApproxKD);
+  ctx.metric("approxkd_ge_acc", run50.result.final_acc);
+  ctx.metric("approxkd_acc", run_kd.result.final_acc);
   std::printf("\nshort run (%d epochs): ApproxKD+GE(50 sims) %.2f%% vs ApproxKD %.2f%%\n",
               fc.epochs, 100.0 * run50.result.final_acc, 100.0 * run_kd.result.final_acc);
   std::printf("paper: 50 simulations fit in <1 s; the slope is stable from ~25 sims on.\n");

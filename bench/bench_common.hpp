@@ -1,4 +1,5 @@
-// Shared helpers for the bench harness.
+// Shared helpers for the bench harness. Benches are AXNN_BENCH_CASE
+// functions (axnn/obs/bench.hpp); the shared runner owns main().
 #pragma once
 
 #include <cstdio>
@@ -100,7 +101,9 @@ inline ComparisonRow run_comparison_row(core::Workbench& wb, const std::string& 
   fc.eval_every_epoch = false;
 
   const auto final_of = [&](train::Method m) {
-    return wb.run_approximation_stage(mult, m, t2, fc).result.final_acc;
+    auto setup = core::ApproxStageSetup::uniform(mult, m, t2);
+    setup.finetune = fc;
+    return wb.run_approximation_stage(setup).result.final_acc;
   };
   row.normal = final_of(train::Method::kNormal);
   row.ge = row.ge_distinct ? final_of(train::Method::kGE) : row.normal;
@@ -110,12 +113,33 @@ inline ComparisonRow run_comparison_row(core::Workbench& wb, const std::string& 
   return row;
 }
 
-inline void print_header(const char* what) {
-  const bool full = core::BenchProfile::from_env().full;
-  std::printf("\n===== %s [%s profile] =====\n", what, full ? "FULL (paper-scale)" : "fast");
-}
-
 /// Percentage string helper.
 inline std::string pct(double fraction) { return core::Table::num(100.0 * fraction, 2); }
+
+/// Print a table to stdout AND record it in the case's report.
+inline void emit_table(obs::bench::BenchContext& ctx, const std::string& key,
+                       const core::Table& t) {
+  t.print();
+  ctx.table(key, t.headers(), t.rows());
+}
+
+/// The comparison row as a report event (Table V/VI/VII rows).
+inline obs::Json row_to_json(const ComparisonRow& row) {
+  obs::Json j = obs::Json::object();
+  j["multiplier"] = row.multiplier;
+  j["mre"] = row.mre;
+  j["savings_pct"] = row.savings_pct;
+  j["initial_acc"] = row.initial_acc;
+  j["finetuned"] = row.finetuned;
+  if (row.finetuned) {
+    j["normal"] = row.normal;
+    j["ge"] = row.ge;
+    j["alpha"] = row.alpha;
+    j["approxkd"] = row.approxkd;
+    j["approxkd_ge"] = row.approxkd_ge;
+    j["ge_distinct"] = row.ge_distinct;
+  }
+  return j;
+}
 
 }  // namespace axnn::bench

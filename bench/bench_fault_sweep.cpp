@@ -75,8 +75,7 @@ double mean_acc_lut_faults(core::Workbench& wb, nn::Sequential& model, const std
 
 }  // namespace
 
-int main() {
-  bench::print_header("Fault sweep: accuracy vs bit-flip rate (ResNet20, trunc5)");
+AXNN_BENCH_CASE(fault_sweep, "Fault sweep: accuracy vs bit-flip rate (ResNet20, trunc5)") {
   const std::string mult = "trunc5";
 
   core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
@@ -91,7 +90,8 @@ int main() {
   std::vector<MethodRun> runs;
   const auto spec = axmul::find_spec(mult).value();
   for (const train::Method m : {train::Method::kNormal, train::Method::kApproxKD_GE}) {
-    const auto r = wb.run_approximation_stage(mult, m, bench::best_t2_for(spec));
+    const auto r = wb.run_approximation_stage(
+        core::ApproxStageSetup::uniform(mult, m, bench::best_t2_for(spec)));
     MethodRun mr;
     mr.method = m;
     mr.model = wb.clone();
@@ -123,7 +123,7 @@ int main() {
       table.add_row(row);
     }
     std::printf("\n-- %s faults (mean over %zu seeds) --\n", surface, std::size(kSeeds));
-    table.print();
+    bench::emit_table(ctx, std::string("faults_") + surface, table);
   }
   return 0;
 }

@@ -5,9 +5,8 @@
 // Expected shape (paper): biased error, negative slope, clamped tails.
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(fig2_error_fit, "Fig. 2 — error estimation, truncated multiplier 5") {
   using namespace axnn;
-  bench::print_header("Fig. 2 — error estimation, truncated multiplier 5");
 
   const approx::SignedMulTable tab(axmul::make_lut("trunc5"));
   ge::McConfig mc;  // 50 simulations, paper Sec. IV-B
@@ -49,7 +48,9 @@ int main() {
                    core::Table::num(fit.eval(yc), 1),
                    std::to_string(cnt[static_cast<size_t>(b)])});
   }
-  table.print();
+  bench::emit_table(ctx, "fig2", table);
+  ctx.metric("fit", core::to_json(fit));
+  ctx.metric("mc_samples", static_cast<int64_t>(samples.size()));
   std::printf("\nCSV series (for plotting):\n%s", table.to_csv().c_str());
   return 0;
 }

@@ -3,9 +3,8 @@
 // and GE degenerates to the plain STE (paper Sec. IV-B).
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(fig3_error_fit, "Fig. 3 — error of EvoApprox-like 228") {
   using namespace axnn;
-  bench::print_header("Fig. 3 — error of EvoApprox-like 228");
 
   const approx::SignedMulTable tab(axmul::make_lut("evoa228"));
   ge::McConfig mc;
@@ -42,7 +41,8 @@ int main() {
                    core::Table::num(fit.eval(yc), 1),
                    std::to_string(cnt[static_cast<size_t>(b)])});
   }
-  table.print();
+  bench::emit_table(ctx, "fig3", table);
+  ctx.metric("fit", core::to_json(fit));
 
   // Full-domain conditional profile (exhaustive, not MC) for reference.
   std::printf("\nExhaustive per-product error profile (E[eps | y] over the 256x16 domain):\n");
@@ -52,6 +52,6 @@ int main() {
     if (bin.count > 0)
       t2.add_row({core::Table::num(bin.y_center, 0), core::Table::num(bin.mean_eps, 2),
                   std::to_string(bin.count)});
-  t2.print();
+  bench::emit_table(ctx, "fig3_profile", t2);
   return 0;
 }

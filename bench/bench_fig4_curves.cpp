@@ -6,9 +6,8 @@
 // indistinguishable — it underperforms under drastic approximation).
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(fig4_curves, "Fig. 4 — accuracy vs epoch, ResNet20 + trunc5") {
   using namespace axnn;
-  bench::print_header("Fig. 4 — accuracy vs epoch, ResNet20 + trunc5");
 
   core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
   (void)wb.run_quantization_stage(/*use_kd=*/true);
@@ -20,11 +19,13 @@ int main() {
   std::vector<std::vector<double>> curves;
   int epochs = 0;
   for (const auto m : methods) {
-    const auto run = wb.run_approximation_stage("trunc5", m, /*t2=*/5.0f);
+    const auto run = wb.run_approximation_stage(
+        core::ApproxStageSetup::uniform("trunc5", m, /*t2=*/5.0f));
     std::vector<double> curve = {run.initial_acc};
     for (const auto& ep : run.result.history) curve.push_back(ep.test_acc);
     epochs = static_cast<int>(curve.size());
     curves.push_back(std::move(curve));
+    ctx.metric("final_acc." + train::to_string(m), run.result.final_acc);
     std::printf("  %-12s final %.2f%%\n", train::to_string(m).c_str(),
                 100.0 * run.result.final_acc);
   }
@@ -36,7 +37,7 @@ int main() {
     for (const auto& c : curves) row.push_back(bench::pct(c[static_cast<size_t>(e)]));
     table.add_row(row);
   }
-  table.print();
+  bench::emit_table(ctx, "fig4", table);
   std::printf("\nCSV series (for plotting):\n%s", table.to_csv().c_str());
   return 0;
 }

@@ -4,12 +4,20 @@
 // (0 = naive golden reference, 1 = cache-blocked) so `--benchmark_filter`
 // can compare them directly; the ResNet20 conv shape M=64, K=576, N=1024 is
 // the acceptance shape for the blocked kernels.
+//
+// The *Telemetry variants run the same GEMMs with an obs::Collector
+// attached — their delta against the base benches is the telemetry
+// overhead (acceptance: <3% on the ResNet20 shapes). main() is custom
+// (not BENCHMARK_MAIN): it forwards --benchmark_* flags unchanged and
+// additionally writes BENCH_micro_gemm.json in the harness report shape.
 #include <benchmark/benchmark.h>
 
 #include "axnn/approx/kernels.hpp"
 #include "axnn/axmul/registry.hpp"
 #include "axnn/ge/monte_carlo.hpp"
 #include "axnn/nn/im2col.hpp"
+#include "axnn/obs/report.hpp"
+#include "axnn/obs/telemetry.hpp"
 #include "axnn/quant/quantizer.hpp"
 #include "axnn/tensor/kernels.hpp"
 #include "axnn/tensor/rng.hpp"
@@ -165,6 +173,83 @@ void BM_ErrorFitMonteCarlo(benchmark::State& state) {
 }
 BENCHMARK(BM_ErrorFitMonteCarlo);
 
+// Telemetry overhead on the acceptance shapes: identical GEMM loops with a
+// collector attached, so record_gemm (and its timing clock) is live.
+// Compare against the base ResNet20 benches; acceptance is <3% delta.
+void BM_GemmF32ResNet20Telemetry(benchmark::State& state) {
+  constexpr int64_t M = 64, K = 576, N = 1024;
+  Rng rng(6);
+  const Tensor a = randn(Shape{M, K}, rng);
+  const Tensor b = randn(Shape{K, N}, rng);
+  Tensor c(Shape{M, N});
+  obs::Collector collector({.timing = true});
+  obs::ScopedCollector attach(collector);
+  set_backend_label(state);
+  for (auto _ : state) {
+    kernels::gemm({}, a.data(), b.data(), c.data(), M, K, N, backend_arg(state));
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * M * K * N);
+}
+BENCHMARK(BM_GemmF32ResNet20Telemetry)->Arg(0)->Arg(1)->ArgNames({"backend"});
+
+void BM_GemmApproxLutResNet20Telemetry(benchmark::State& state) {
+  constexpr int64_t M = 64, K = 576, N = 1024;
+  Rng rng(7);
+  const TensorI8 w = random_i8(Shape{M, K}, rng, -7, 7);
+  const TensorI8 x = random_i8(Shape{K, N}, rng, -127, 127);
+  TensorI32 c(Shape{M, N});
+  const approx::SignedMulTable tab(axmul::make_lut("trunc5"));
+  obs::Collector collector({.timing = true});
+  obs::ScopedCollector attach(collector);
+  set_backend_label(state);
+  for (auto _ : state) {
+    kernels::gemm_approx({}, w.data(), x.data(), c.data(), M, K, N, tab,
+                         backend_arg(state));
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * M * K * N);
+}
+BENCHMARK(BM_GemmApproxLutResNet20Telemetry)->Arg(0)->Arg(1)->ArgNames({"backend"});
+
+/// Console output as usual, plus every finished run captured as one event
+/// in the harness report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+public:
+  explicit CaptureReporter(obs::RunReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      obs::Json ev = obs::Json::object();
+      ev["type"] = "benchmark";
+      ev["name"] = r.benchmark_name();
+      ev["iterations"] = static_cast<int64_t>(r.iterations);
+      ev["real_time_ns"] = r.GetAdjustedRealTime();
+      ev["cpu_time_ns"] = r.GetAdjustedCPUTime();
+      report_.metric(r.benchmark_name(), r.GetAdjustedRealTime());
+      report_.add_event(std::move(ev));
+    }
+  }
+
+private:
+  obs::RunReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  obs::RunReport report("micro_gemm", "Kernel microbenchmarks (google-benchmark)");
+  CaptureReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  report.write("BENCH_micro_gemm.json");
+  report.write_jsonl("BENCH_micro_gemm.jsonl");
+  std::printf("report: BENCH_micro_gemm.json\n");
+  return 0;
+}

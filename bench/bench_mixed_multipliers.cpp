@@ -10,9 +10,9 @@
 // baselines, and the network-level energy of the mix (MAC-weighted).
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(mixed_multipliers,
+                "Extension — mixed multipliers via per-layer plans (ResNet20)") {
   using namespace axnn;
-  bench::print_header("Extension — mixed multipliers via per-layer plans (ResNet20)");
 
   core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
   const auto s1 = wb.run_quantization_stage(/*use_kd=*/true);
@@ -42,12 +42,14 @@ int main() {
   // Fine-tune the mixed network; GE uses one fit per distinct (multiplier,
   // dot-length) pair, so e.g. 3x3x16 and 3x3x32 convs get different slopes.
   const float t2 = bench::best_t2_for(axmul::find_spec("trunc5").value());
-  const auto run = wb.run_approximation_stage(plan, train::Method::kApproxKD_GE, t2);
+  const auto run = wb.run_approximation_stage(
+      core::ApproxStageSetup::with_plan(plan, train::Method::kApproxKD_GE, t2));
   std::printf("mixed + ApproxKD+GE (T2=%.0f, %zu per-layer GE fits): %.2f%% -> %.2f%% "
               "(best %.2f%%)\n",
               t2, run.plan_fits, 100.0 * run.initial_acc, 100.0 * run.result.final_acc,
               100.0 * run.result.best_acc);
-  const auto uniform = wb.run_approximation_stage("trunc5", train::Method::kApproxKD_GE, t2);
+  const auto uniform = wb.run_approximation_stage(
+      core::ApproxStageSetup::uniform("trunc5", train::Method::kApproxKD_GE, t2));
   std::printf("uniform trunc5 + ApproxKD+GE:  %.2f%% -> %.2f%%\n\n",
               100.0 * uniform.initial_acc, 100.0 * uniform.result.final_acc);
 
@@ -73,7 +75,9 @@ int main() {
   table.add_row({"uniform trunc5", bench::pct(uniform.initial_acc),
                  bench::pct(uniform.result.final_acc),
                  core::Table::num(aggr_e.savings_pct, 1)});
-  table.print();
+  bench::emit_table(ctx, "mixed_multipliers", table);
+  ctx.metric("mixed_energy", core::to_json(mixed_e));
+  ctx.metric("plan_fits", static_cast<int64_t>(run.plan_fits));
   std::printf("\nExpected shape: the mix recovers (almost) uniform-trunc2 accuracy while\n"
               "keeping most of uniform-trunc5's energy savings — the stem and classifier\n"
               "are a small fraction of the %lld MACs/sample.\n",

@@ -3,9 +3,8 @@
 // every registry multiplier, plus bias statistics and the GE fit class.
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(multiplier_mre, "Multiplier characterisation (Eq. 14 exhaustive sweep)") {
   using namespace axnn;
-  bench::print_header("Multiplier characterisation (Eq. 14 exhaustive sweep)");
 
   core::Table table({"Multiplier", "MRE[%] (Eq.14)", "paper MRE[%]", "Savings[%]",
                      "mean err (bias)", "rms err", "zero-err[%]", "GE fit"});
@@ -21,8 +20,9 @@ int main() {
                    core::Table::num(100.0 * stats.zero_error_fraction, 1),
                    fit.is_constant() ? "constant (GE=STE)"
                                      : "slope k=" + core::Table::num(fit.k, 4)});
+    ctx.metric("mre." + spec.id, stats.mre);
   }
-  table.print();
+  bench::emit_table(ctx, "multiplier_mre", table);
   std::printf(
       "\nNote: truncated-multiplier Eq.-14 values are those of the faithful\n"
       "column-truncation model; the paper's published values stem from its own\n"

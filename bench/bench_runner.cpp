@@ -1,0 +1,113 @@
+// Shared main() for every registered bench case (see axnn/obs/bench.hpp).
+//
+// Compiled into each bench binary by the axnn_bench() CMake function. Runs
+// all cases registered in the binary (normally one), printing the familiar
+// human-readable header/tables to stdout and writing a uniform
+// BENCH_<name>.json summary (plus BENCH_<name>.jsonl when the case emitted
+// events) into --json DIR (default: the working directory).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "axnn/core/profile.hpp"
+#include "axnn/core/report_adapters.hpp"
+#include "axnn/obs/bench.hpp"
+#include "axnn/obs/report.hpp"
+#include "axnn/obs/telemetry.hpp"
+
+namespace {
+
+void usage(const char* prog) {
+  std::printf(
+      "usage: %s [--list] [--full] [--timing] [--no-json] [--json DIR]\n"
+      "  --list     list the cases registered in this binary and exit\n"
+      "  --full     paper-scale profile (same as AXNN_REPRO_FULL=1)\n"
+      "  --timing   attach a telemetry collector; per-layer timings land in\n"
+      "             the report's \"telemetry\" section\n"
+      "  --json DIR write BENCH_<name>.json[l] into DIR (default \".\")\n"
+      "  --no-json  skip report files (stdout tables only)\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace axnn;
+
+  bool timing = false, list = false, write_json = true;
+  std::string outdir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--full") {
+      // The cases (and the Workbench caches they hit) read the profile from
+      // the environment; route the flag through it so both agree.
+      setenv("AXNN_REPRO_FULL", "1", 1);
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--no-json") {
+      write_json = false;
+    } else if (arg == "--json" && i + 1 < argc) {
+      outdir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const auto& cases = obs::bench::cases();
+  if (list) {
+    for (const auto& bc : cases) std::printf("%s\t%s\n", bc.name.c_str(), bc.title.c_str());
+    return 0;
+  }
+  if (cases.empty()) {
+    std::fprintf(stderr, "%s: no bench cases registered\n", argv[0]);
+    return 1;
+  }
+
+  if (write_json && outdir != ".") std::filesystem::create_directories(outdir);
+
+  const auto profile = core::BenchProfile::from_env();
+  profile.apply();
+
+  for (const auto& bc : cases) {
+    std::printf("\n===== %s [%s profile] =====\n", bc.title.c_str(),
+                profile.full ? "FULL (paper-scale)" : "fast");
+
+    obs::RunReport report(bc.name, bc.title);
+    report.set("profile", core::to_json(profile));
+
+    obs::Collector collector({.timing = true});
+    std::optional<obs::ScopedCollector> attach;
+    if (timing) attach.emplace(collector);
+
+    obs::bench::BenchContext ctx{profile.full, timing, report,
+                                 timing ? &collector : nullptr};
+    const int rc = bc.fn(ctx);
+    attach.reset();
+
+    if (timing) report.merge_telemetry(collector);
+    report.metric("exit_code", rc);
+
+    if (write_json) {
+      const std::string stem = outdir + "/BENCH_" + bc.name;
+      report.write(stem + ".json");
+      std::printf("\nreport: %s.json", stem.c_str());
+      if (!report.events().empty()) {
+        report.write_jsonl(stem + ".jsonl");
+        std::printf(" (+ %zu events in %s.jsonl)", report.events().size(), stem.c_str());
+      }
+      std::printf("\n");
+    }
+    if (rc != 0) return rc;
+  }
+  return 0;
+}

@@ -6,9 +6,8 @@
 // absolute counts shrink accordingly; relative ordering must hold.
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(table1_models, "Table I — evaluated CNNs") {
   using namespace axnn;
-  bench::print_header("Table I — evaluated CNNs");
 
   struct PaperRow {
     double params_m, gmacs, fp_acc;
@@ -31,7 +30,8 @@ int main() {
                    core::Table::num(paper.params_m, 1),
                    core::Table::num(paper.gmacs, 3),
                    core::Table::num(paper.fp_acc, 2)});
+    ctx.metric("fp_acc." + info.name, wb.fp_accuracy());
   }
-  table.print();
+  bench::emit_table(ctx, "table1", table);
   return 0;
 }

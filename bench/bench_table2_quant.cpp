@@ -7,9 +7,8 @@
 // fine-tuning, near-FP recovery after, KD slightly ahead of normal.
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(table2_quant, "Table II — 8A4W quantization") {
   using namespace axnn;
-  bench::print_header("Table II — 8A4W quantization");
 
   struct PaperRow {
     double before, normal_ft, kd_ft;
@@ -35,7 +34,8 @@ int main() {
                    bench::pct(wb_kd.quant_acc_before_ft()), bench::pct(r_normal.final_acc),
                    bench::pct(r_kd.final_acc), core::Table::num(paper.before, 2),
                    core::Table::num(paper.normal_ft, 2), core::Table::num(paper.kd_ft, 2)});
+    ctx.metric("kd_final_acc." + core::to_string(kind), r_kd.final_acc);
   }
-  table.print();
+  bench::emit_table(ctx, "table2", table);
   return 0;
 }

@@ -8,9 +8,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(table3_ablation, "Table III — ApproxKD temperature ablation (ResNet20)") {
   using namespace axnn;
-  bench::print_header("Table III — ApproxKD temperature ablation (ResNet20)");
 
   const auto profile = core::BenchProfile::from_env();
   core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
@@ -28,10 +27,10 @@ int main() {
     double best_acc = -1.0, worst_acc = std::numeric_limits<double>::infinity();
     float best_t = 0.0f, worst_t = 0.0f;
     for (const float t2 : temps) {
-      auto fc = wb.default_ft_config();
-      fc.epochs = profile.ablation_epochs;
-      const auto run =
-          wb.run_approximation_stage(mult, train::Method::kApproxKD, t2, fc);
+      auto setup = core::ApproxStageSetup::uniform(mult, train::Method::kApproxKD, t2);
+      setup.finetune = wb.default_ft_config();
+      setup.finetune->epochs = profile.ablation_epochs;
+      const auto run = wb.run_approximation_stage(setup);
       initial = run.initial_acc;
       if (run.result.final_acc > best_acc) {
         best_acc = run.result.final_acc;
@@ -50,7 +49,7 @@ int main() {
                    bench::pct(initial), bench::pct(worst_acc), bench::pct(best_acc)});
   }
   std::printf("\n");
-  table.print();
+  bench::emit_table(ctx, "table3", table);
   std::printf("\nPaper (Table III, 60 epochs, real CIFAR10): trunc3 best T=2, trunc5 best T=5,\n"
               "EvoApprox MRE>18%% best T=10 with >4%% best-worst gap; small-MRE multipliers\n"
               "prefer low temperatures.\n");

@@ -7,9 +7,8 @@
 // overhead (absolute seconds differ — CPU simulator vs their GPU).
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(table4_overhead, "Table IV — fine-tuning overhead") {
   using namespace axnn;
-  bench::print_header("Table IV — fine-tuning overhead");
 
   const auto profile = core::BenchProfile::from_env();
   core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
@@ -34,13 +33,16 @@ int main() {
   double normal_seconds = 0.0;
   core::Table table({"Method", "seconds", "overhead vs normal[%]", "paper overhead[%]"});
   for (const auto& cfg : configs) {
-    const auto run = wb.run_approximation_stage("trunc5", cfg.method, 5.0f, fc);
+    auto setup = core::ApproxStageSetup::uniform("trunc5", cfg.method, 5.0f);
+    setup.finetune = fc;
+    const auto run = wb.run_approximation_stage(setup);
     if (cfg.method == train::Method::kNormal) normal_seconds = run.result.seconds;
     const double overhead =
         normal_seconds > 0.0 ? (run.result.seconds / normal_seconds - 1.0) * 100.0 : 0.0;
     table.add_row({cfg.name, core::Table::num(run.result.seconds, 1),
                    core::Table::num(overhead, 1), core::Table::num(cfg.paper_overhead_pct, 0)});
+    ctx.metric(std::string("seconds.") + cfg.name, run.result.seconds);
   }
-  table.print();
+  bench::emit_table(ctx, "table4", table);
   return 0;
 }

@@ -11,9 +11,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(table5_resnet20, "Table V — retraining methods, approximate ResNet20") {
   using namespace axnn;
-  bench::print_header("Table V — retraining methods, approximate ResNet20");
 
   const auto profile = core::BenchProfile::from_env();
   core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
@@ -40,6 +39,7 @@ int main() {
                      "alpha", "ApproxKD", "ApproxKD+GE", "paper N/KD+GE"});
   for (const auto& mult : bench::table5_multipliers(profile.full)) {
     const auto row = bench::run_comparison_row(wb, mult, reference);
+    ctx.report.add_event(bench::row_to_json(row));
     std::string paper_ref = "-";
     if (const auto it = paper.find(mult); it != paper.end())
       paper_ref = core::Table::num(it->second[0], 2) + "/" +
@@ -60,6 +60,7 @@ int main() {
                 100.0 * row.approxkd_ge);
   }
   std::printf("\n");
-  table.print();
+  ctx.metric("reference_acc", reference);
+  bench::emit_table(ctx, "table5", table);
   return 0;
 }

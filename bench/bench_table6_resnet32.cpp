@@ -7,9 +7,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(table6_resnet32, "Table VI — retraining methods, approximate ResNet32") {
   using namespace axnn;
-  bench::print_header("Table VI — retraining methods, approximate ResNet32");
 
   const auto profile = core::BenchProfile::from_env();
   core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet32));
@@ -31,6 +30,7 @@ int main() {
                      "ApproxKD+GE", "paper N/KD+GE"});
   for (const auto& mult : bench::table6_multipliers(profile.full)) {
     const auto row = bench::run_comparison_row(wb, mult, reference);
+    ctx.report.add_event(bench::row_to_json(row));
     std::string paper_ref = "-";
     if (const auto it = paper.find(mult); it != paper.end())
       paper_ref = core::Table::num(it->second.first, 2) + "/" +
@@ -49,6 +49,7 @@ int main() {
                 100.0 * row.approxkd_ge);
   }
   std::printf("\n");
-  table.print();
+  ctx.metric("reference_acc", reference);
+  bench::emit_table(ctx, "table6", table);
   return 0;
 }

@@ -8,9 +8,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+AXNN_BENCH_CASE(table7_mobilenetv2, "Table VII — approximate MobileNetV2") {
   using namespace axnn;
-  bench::print_header("Table VII — approximate MobileNetV2");
 
   const auto profile = core::BenchProfile::from_env();
   core::Workbench wb(bench::workbench_config(core::ModelKind::kMobileNetV2));
@@ -47,17 +46,20 @@ int main() {
     }
     auto fc = wb.default_ft_config();
     fc.eval_every_epoch = false;
-    const auto normal =
-        wb.run_approximation_stage(mult, train::Method::kNormal, t2, fc).result.final_acc;
-    const auto kdge =
-        wb.run_approximation_stage(mult, train::Method::kApproxKD_GE, t2, fc)
-            .result.final_acc;
+    const auto final_of = [&](train::Method m) {
+      auto setup = core::ApproxStageSetup::uniform(mult, m, t2);
+      setup.finetune = fc;
+      return wb.run_approximation_stage(setup).result.final_acc;
+    };
+    const auto normal = final_of(train::Method::kNormal);
+    const auto kdge = final_of(train::Method::kApproxKD_GE);
     table.add_row({mult, bench::pct(initial), bench::pct(normal), bench::pct(kdge),
                    paper_ref});
     std::printf("  %-8s done: normal %.2f | kd+ge %.2f\n", mult.c_str(), 100.0 * normal,
                 100.0 * kdge);
   }
   std::printf("\n");
-  table.print();
+  ctx.metric("reference_acc", reference);
+  bench::emit_table(ctx, "table7", table);
   return 0;
 }

@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
     double final_acc = initial;
     if (s1.final_acc - initial > 0.01) {
       const float t2 = spec.paper_mre < 0.03 ? 2.0f : (spec.paper_mre < 0.13 ? 5.0f : 10.0f);
-      final_acc = wb.run_approximation_stage(mult, train::Method::kApproxKD_GE, t2)
+      final_acc = wb.run_approximation_stage(core::ApproxStageSetup::uniform(
+                                                 mult, train::Method::kApproxKD_GE, t2))
                       .result.final_acc;
     }
     table.add_row({mult, core::Table::num(energy.savings_pct, 0),

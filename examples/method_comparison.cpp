@@ -44,7 +44,9 @@ int main(int argc, char** argv) {
   for (const auto m : methods) {
     auto fc = wb.default_ft_config();
     if (epochs > 0) fc.epochs = epochs;
-    const auto run = wb.run_approximation_stage(mult, m, t2, fc);
+    auto setup = core::ApproxStageSetup::uniform(mult, m, t2);
+    setup.finetune = fc;
+    const auto run = wb.run_approximation_stage(setup);
     for (const auto& ep : run.result.history)
       curves.add_row({train::to_string(m), std::to_string(ep.epoch),
                       core::Table::pct(ep.test_acc)});

@@ -41,8 +41,8 @@ int main() {
   std::printf("initial approximate accuracy: %.2f%%\n",
               100.0 * wb.approx_initial_accuracy(mult));
 
-  const auto run =
-      wb.run_approximation_stage(mult, train::Method::kApproxKD_GE, /*t2=*/5.0f);
+  const auto run = wb.run_approximation_stage(
+      core::ApproxStageSetup::uniform(mult, train::Method::kApproxKD_GE, /*t2=*/5.0f));
   std::printf("error fit: %s\n", run.fit.to_string().c_str());
   std::printf("ApproxKD+GE: %.2f%% -> %.2f%% (best %.2f%%) in %.1fs\n",
               100.0 * run.initial_acc, 100.0 * run.result.final_acc,

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "axnn/obs/telemetry.hpp"
 #include "axnn/tensor/threadpool.hpp"
 
 namespace axnn::kernels {
@@ -224,10 +225,14 @@ void gemm_approx(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t
   check_desc(desc, "kernels::gemm_approx");
   if (handle_trivial(desc.accumulate, c, m, k, n)) return;
   ThreadPool& p = resolve_pool(pool);
+  const bool obs_on = obs::enabled();
+  const bool obs_time = obs_on && obs::collector()->config().timing;
+  const int64_t t0 = obs_time ? obs::now_ns() : 0;
   if (backend == Backend::kBlocked)
     blocked_approx(w, x, c, m, k, n, tab, desc.accumulate, p);
   else
     naive_approx(w, x, c, m, k, n, tab, desc.accumulate, p);
+  if (obs_on) obs::record_gemm("gemm_approx", m * k * n, obs_time ? obs::now_ns() - t0 : -1);
 }
 
 void gemm_exact(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
@@ -235,10 +240,14 @@ void gemm_exact(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t*
   check_desc(desc, "kernels::gemm_exact");
   if (handle_trivial(desc.accumulate, c, m, k, n)) return;
   ThreadPool& p = resolve_pool(pool);
+  const bool obs_on = obs::enabled();
+  const bool obs_time = obs_on && obs::collector()->config().timing;
+  const int64_t t0 = obs_time ? obs::now_ns() : 0;
   if (backend == Backend::kBlocked)
     blocked_exact(w, x, c, m, k, n, desc.accumulate, p);
   else
     naive_exact(w, x, c, m, k, n, desc.accumulate, p);
+  if (obs_on) obs::record_gemm("gemm_exact", m * k * n, obs_time ? obs::now_ns() - t0 : -1);
 }
 
 void gemm_approx_accum(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
@@ -247,6 +256,9 @@ void gemm_approx_accum(const GemmDesc& desc, const int8_t* w, const int8_t* x, i
   check_desc(desc, "kernels::gemm_approx_accum");
   if (handle_trivial(desc.accumulate, c, m, k, n)) return;
   (void)backend;  // the adder chain fixes the reduction order; one impl serves both
+  const bool obs_on = obs::enabled();
+  const bool obs_time = obs_on && obs::collector()->config().timing;
+  const int64_t t0 = obs_time ? obs::now_ns() : 0;
   const int32_t* t = tab.data();
   resolve_pool(pool).parallel_for(
       m,
@@ -271,6 +283,8 @@ void gemm_approx_accum(const GemmDesc& desc, const int8_t* w, const int8_t* x, i
         }
       },
       row_grain(k, n));
+  if (obs_on)
+    obs::record_gemm("gemm_approx_accum", m * k * n, obs_time ? obs::now_ns() - t0 : -1);
 }
 
 }  // namespace axnn::kernels

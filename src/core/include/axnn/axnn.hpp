@@ -7,9 +7,8 @@
 //   axnn::core::Workbench wb({.model = axnn::core::ModelKind::kResNet20,
 //                             .profile = axnn::core::BenchProfile::from_env()});
 //   wb.run_quantization_stage(/*use_kd=*/true);
-//   auto run = wb.run_approximation_stage("trunc5",
-//                                         axnn::train::Method::kApproxKD_GE,
-//                                         /*t2=*/5.0f);
+//   auto run = wb.run_approximation_stage(axnn::core::ApproxStageSetup::uniform(
+//       "trunc5", axnn::train::Method::kApproxKD_GE, /*t2=*/5.0f));
 #pragma once
 
 #include "axnn/approx/approx_gemm.hpp"
@@ -22,6 +21,7 @@
 #include "axnn/axmul/truncated.hpp"
 #include "axnn/core/pipeline.hpp"
 #include "axnn/core/profile.hpp"
+#include "axnn/core/report_adapters.hpp"
 #include "axnn/core/table.hpp"
 #include "axnn/data/dataset.hpp"
 #include "axnn/data/synthetic.hpp"
@@ -45,6 +45,10 @@
 #include "axnn/nn/sequential.hpp"
 #include "axnn/nn/serialize.hpp"
 #include "axnn/nn/sgd.hpp"
+#include "axnn/obs/bench.hpp"
+#include "axnn/obs/json.hpp"
+#include "axnn/obs/report.hpp"
+#include "axnn/obs/telemetry.hpp"
 #include "axnn/quant/calibration.hpp"
 #include "axnn/quant/quantizer.hpp"
 #include "axnn/resilience/crc32.hpp"

@@ -44,6 +44,39 @@ struct WorkbenchConfig {
 /// tree to a structurally identical one.
 void copy_quant_state(nn::Layer& src, nn::Layer& dst);
 
+/// Everything one approximation-stage experiment needs, NetPlan-first: the
+/// plan describes what every leaf runs (a uniform plan is just a plan with
+/// no overrides), and the fit scope picks between the paper's single
+/// network-wide Monte-Carlo error fit and per-layer shape-aware fits.
+/// This is the single entry point's argument — the former string / NetPlan
+/// overload pair of Workbench::run_approximation_stage collapses into it.
+/// (train::ApproxStageSetup is the lower-level resolved form the training
+/// loop consumes; this struct is what users describe experiments with.)
+struct ApproxStageSetup {
+  /// Where GE error fits come from (GE methods only; ignored otherwise).
+  enum class GeFitScope {
+    kPerLayer,  ///< fit each leaf from its actual GEMM shape (FitRegistry)
+    kUniform,   ///< one network-wide fit for the uniform multiplier
+                ///< (paper Sec. IV-B; bit-identical to the legacy flow)
+  };
+
+  nn::NetPlan plan;
+  train::Method method = train::Method::kNormal;
+  float t2 = 1.0f;  ///< distillation temperature T2 (KD methods)
+  /// Fine-tuning schedule; Workbench::default_ft_config() when unset.
+  std::optional<train::FineTuneConfig> finetune;
+  GeFitScope ge_fits = GeFitScope::kPerLayer;
+
+  /// Paper-faithful uniform run: one multiplier for the whole network and —
+  /// for GE methods — a single network-wide error fit.
+  static ApproxStageSetup uniform(std::string multiplier_id, train::Method method,
+                                  float t2 = 1.0f);
+
+  /// Heterogeneous run: per-layer multipliers / adders / mode overrides
+  /// from `plan`, GE fits per leaf shape.
+  static ApproxStageSetup with_plan(nn::NetPlan plan, train::Method method, float t2 = 1.0f);
+};
+
 class Workbench {
 public:
   explicit Workbench(WorkbenchConfig cfg);
@@ -84,19 +117,24 @@ public:
     train::FineTuneResult result;
   };
 
-  /// Fine-tune the approximate model with the given multiplier and method,
-  /// starting from the stage-1 weights (restores them first, so runs are
-  /// independent). Requires run_quantization_stage() to have been called.
+  /// Fine-tune the approximate model as described by `setup`, starting from
+  /// the stage-1 weights (restores them first, so runs are independent).
+  /// Requires run_quantization_stage() to have been called. Every leaf must
+  /// be runnable from the plan alone (a multiplier or an exact/float mode
+  /// override); the plan's bit-widths must match the calibrated widths (the
+  /// Workbench calibrates once, see DESIGN.md §5d).
+  ApproxRun run_approximation_stage(const ApproxStageSetup& setup);
+
+  /// Legacy uniform-multiplier entry point.
+  [[deprecated("use run_approximation_stage(ApproxStageSetup::uniform(id, method, t2)) — "
+               "the overload family collapsed into one NetPlan-first entry point")]]
   ApproxRun run_approximation_stage(const std::string& multiplier_id, train::Method method,
                                     float t2, std::optional<train::FineTuneConfig> override_cfg =
                                                   std::nullopt);
 
-  /// Plan-driven approximation stage: heterogeneous per-layer multipliers /
-  /// adders / mode overrides, and — for GE methods — per-layer error fits
-  /// from each layer's actual GEMM shape. Every leaf must be runnable from
-  /// the plan alone (a multiplier or an exact/float mode override); the
-  /// plan's bit-widths must match the calibrated widths (the Workbench
-  /// calibrates once, see DESIGN.md §5d).
+  /// Legacy plan entry point.
+  [[deprecated("use run_approximation_stage(ApproxStageSetup::with_plan(plan, method, t2)) — "
+               "the overload family collapsed into one NetPlan-first entry point")]]
   ApproxRun run_approximation_stage(const nn::NetPlan& plan, train::Method method, float t2,
                                     std::optional<train::FineTuneConfig> override_cfg =
                                         std::nullopt);

@@ -35,9 +35,18 @@ struct BenchProfile {
   /// Where cached trained models are stored.
   std::string cache_dir = ".axnn_cache";
 
-  /// Reads AXNN_REPRO_FULL / AXNN_THREADS / AXNN_CACHE_DIR; also pins the
-  /// global thread pool on first call.
+  /// Thread-pool size to pin via apply(); 0 keeps the pool's own default.
+  int threads = 0;
+
+  /// Reads AXNN_REPRO_FULL / AXNN_THREADS / AXNN_CACHE_DIR. Pure: the
+  /// profile is only described here — call apply() to act on it.
   static BenchProfile from_env();
+
+  /// Act on the profile's process-wide settings (currently: pin the global
+  /// thread pool to `threads` when set). Split from from_env() so reading
+  /// the environment has no side effects; the bench runner and the CLI call
+  /// this once at startup.
+  void apply() const;
 };
 
 }  // namespace axnn::core

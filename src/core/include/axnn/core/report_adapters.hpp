@@ -1,0 +1,33 @@
+// axnn — obs::Json adapters for the result structs the pipeline produces.
+//
+// One to_json overload per struct, so the CLI, benches and tests serialize
+// results into RunReports without hand-rolling field lists at every call
+// site. The adapters live in core (the topmost library) because they span
+// train/resilience/energy/ge types; the obs library itself stays
+// dependency-free.
+#pragma once
+
+#include "axnn/core/pipeline.hpp"
+#include "axnn/core/profile.hpp"
+#include "axnn/core/table.hpp"
+#include "axnn/energy/energy.hpp"
+#include "axnn/ge/error_fit.hpp"
+#include "axnn/obs/json.hpp"
+#include "axnn/resilience/guard.hpp"
+#include "axnn/train/finetune.hpp"
+#include "axnn/train/trainer.hpp"
+
+namespace axnn::core {
+
+obs::Json to_json(const train::EpochStat& st);
+obs::Json to_json(const train::TrainResult& r);
+obs::Json to_json(const train::FineTuneResult& r);
+obs::Json to_json(const resilience::DivergenceEvent& ev);
+obs::Json to_json(const resilience::DivergenceReport& rep);
+obs::Json to_json(const energy::EnergyEstimate& e);
+obs::Json to_json(const ge::ErrorFit& fit);
+obs::Json to_json(const BenchProfile& p);
+obs::Json to_json(const Table& t);
+obs::Json to_json(const Workbench::ApproxRun& run);
+
+}  // namespace axnn::core

@@ -26,6 +26,10 @@ public:
   static std::string num(double v, int precision = 2);
   static std::string pct(double fraction, int precision = 2);  ///< 0.905 -> "90.50"
 
+  /// Structured access (report serialization).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
 private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

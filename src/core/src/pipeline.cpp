@@ -11,6 +11,7 @@
 #include "axnn/nn/conv2d.hpp"
 #include "axnn/nn/linear.hpp"
 #include "axnn/nn/serialize.hpp"
+#include "axnn/obs/telemetry.hpp"
 #include "axnn/train/evaluate.hpp"
 #include "axnn/train/trainer.hpp"
 
@@ -264,67 +265,104 @@ double Workbench::approx_initial_accuracy(const nn::NetPlan& plan) {
   return train::evaluate_accuracy(*stage1_, data_.test, ctx);
 }
 
-Workbench::ApproxRun Workbench::run_approximation_stage(
-    const nn::NetPlan& plan, train::Method method, float t2,
-    std::optional<train::FineTuneConfig> override_cfg) {
+ApproxStageSetup ApproxStageSetup::uniform(std::string multiplier_id, train::Method method,
+                                           float t2) {
+  ApproxStageSetup s;
+  s.plan = nn::NetPlan(nn::LayerPlan{.multiplier = std::move(multiplier_id)});
+  s.method = method;
+  s.t2 = t2;
+  s.ge_fits = GeFitScope::kUniform;
+  return s;
+}
+
+ApproxStageSetup ApproxStageSetup::with_plan(nn::NetPlan plan, train::Method method, float t2) {
+  ApproxStageSetup s;
+  s.plan = std::move(plan);
+  s.method = method;
+  s.t2 = t2;
+  return s;
+}
+
+Workbench::ApproxRun Workbench::run_approximation_stage(const ApproxStageSetup& setup) {
   if (!stage1_) throw std::logic_error("Workbench: run_quantization_stage first");
 
   // Each experiment starts from the same stage-1 weights.
   nn::copy_state(*stage1_, *model_);
 
+  const bool uniform_only = setup.plan.overrides().empty();
   ApproxRun run;
-  run.multiplier = plan.to_string();
-  run.method = method;
-  run.t2 = t2;
+  run.multiplier = uniform_only ? setup.plan.uniform().multiplier : setup.plan.to_string();
+  run.method = setup.method;
+  run.t2 = setup.t2;
+
+  const bool ge = train::uses_ge(setup.method);
+  const bool per_layer_fits = ge && setup.ge_fits == ApproxStageSetup::GeFitScope::kPerLayer;
 
   nn::ResolveOptions ro;
-  ro.fit_ge = train::uses_ge(method);  // per-layer fits from each layer's GEMM shape
-  const nn::PlanResolution res = plan.resolve(*model_, ro);
+  ro.fit_ge = per_layer_fits;  // per-layer fits from each layer's GEMM shape
+  const nn::PlanResolution res = setup.plan.resolve(*model_, ro);
   res.require_approximable();
   check_plan_bit_widths(res);
   run.plan_fits = res.fits().num_fits();
 
-  train::FineTuneConfig fc = override_cfg ? *override_cfg : default_ft_config();
-  fc.temperature = t2;
+  // Uniform fit scope: one network-wide Monte-Carlo fit for the uniform
+  // multiplier, carried by the context (plan entries without their own fit
+  // fall back to it) — the paper's flow, bit-identical to the legacy
+  // uniform path.
+  if (ge && !per_layer_fits) {
+    if (setup.plan.uniform().multiplier.empty())
+      throw std::invalid_argument(
+          "Workbench: GeFitScope::kUniform needs a uniform plan multiplier to fit");
+    run.fit = fit_error(setup.plan.uniform().multiplier);
+  }
 
-  train::ApproxStageSetup setup;
-  setup.method = method;
-  setup.teacher_q = teacher_q_.get();
-  setup.plan = &res;
+  train::FineTuneConfig fc = setup.finetune ? *setup.finetune : default_ft_config();
+  fc.temperature = setup.t2;
 
-  run.result = train::approximation_stage(*model_, setup, data_.train, data_.test, fc);
+  train::ApproxStageSetup ts;
+  ts.method = setup.method;
+  ts.fit = (ge && !per_layer_fits) ? &run.fit : nullptr;
+  ts.teacher_q = teacher_q_.get();
+  ts.plan = &res;
+
+  run.result = train::approximation_stage(*model_, ts, data_.train, data_.test, fc);
   run.initial_acc = run.result.initial_acc;
+
+  if (obs::enabled()) {
+    obs::Json ev = obs::Json::object();
+    ev["type"] = "approx_run";
+    ev["multiplier"] = run.multiplier;
+    ev["method"] = train::to_string(run.method);
+    ev["t2"] = run.t2;
+    ev["initial_acc"] = run.initial_acc;
+    ev["final_acc"] = run.result.final_acc;
+    ev["plan_fits"] = static_cast<int64_t>(run.plan_fits);
+    obs::collector()->event(std::move(ev));
+  }
   return run;
+}
+
+// Deprecated thin adaptors over the unified entry point. Suppress the
+// deprecation diagnostics for their own definitions under -Werror builds.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+Workbench::ApproxRun Workbench::run_approximation_stage(
+    const nn::NetPlan& plan, train::Method method, float t2,
+    std::optional<train::FineTuneConfig> override_cfg) {
+  ApproxStageSetup setup = ApproxStageSetup::with_plan(plan, method, t2);
+  setup.finetune = std::move(override_cfg);
+  return run_approximation_stage(setup);
 }
 
 Workbench::ApproxRun Workbench::run_approximation_stage(
     const std::string& multiplier_id, train::Method method, float t2,
     std::optional<train::FineTuneConfig> override_cfg) {
-  if (!stage1_) throw std::logic_error("Workbench: run_quantization_stage first");
-
-  // Each experiment starts from the same stage-1 weights.
-  nn::copy_state(*stage1_, *model_);
-
-  ApproxRun run;
-  run.multiplier = multiplier_id;
-  run.method = method;
-  run.t2 = t2;
-
-  const approx::SignedMulTable tab(axmul::make_lut(multiplier_id));
-  if (train::uses_ge(method)) run.fit = fit_error(multiplier_id);
-
-  train::FineTuneConfig fc = override_cfg ? *override_cfg : default_ft_config();
-  fc.temperature = t2;
-
-  train::ApproxStageSetup setup;
-  setup.mul = &tab;
-  setup.method = method;
-  setup.fit = &run.fit;
-  setup.teacher_q = teacher_q_.get();
-
-  run.result = train::approximation_stage(*model_, setup, data_.train, data_.test, fc);
-  run.initial_acc = run.result.initial_acc;
-  return run;
+  ApproxStageSetup setup = ApproxStageSetup::uniform(multiplier_id, method, t2);
+  setup.finetune = std::move(override_cfg);
+  return run_approximation_stage(setup);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace axnn::core

@@ -28,8 +28,12 @@ BenchProfile BenchProfile::from_env() {
   if (const char* cache = std::getenv("AXNN_CACHE_DIR"); cache != nullptr && cache[0] != '\0')
     p.cache_dir = cache;
   if (const char* threads = std::getenv("AXNN_THREADS"); threads != nullptr)
-    ThreadPool::set_global_threads(std::atoi(threads));
+    p.threads = std::atoi(threads);
   return p;
+}
+
+void BenchProfile::apply() const {
+  if (threads > 0) ThreadPool::set_global_threads(threads);
 }
 
 }  // namespace axnn::core

@@ -4,6 +4,7 @@
 
 #include "axnn/nn/batchnorm.hpp"
 #include "axnn/nn/conv2d.hpp"
+#include "axnn/obs/telemetry.hpp"
 #include "axnn/tensor/ops.hpp"
 
 namespace axnn::models {
@@ -33,8 +34,20 @@ BasicBlock::BasicBlock(int64_t in_channels, int64_t out_channels, int64_t stride
 }
 
 Tensor BasicBlock::forward(const Tensor& x, const ExecContext& ctx) {
-  Tensor a = main_.forward(x, ctx);
-  Tensor b = shortcut_ ? shortcut_->forward(x, ctx) : x;
+  // Telemetry path segments match children() order (plan paths; the names
+  // are unique siblings, so no "#k" suffix is ever needed here).
+  Tensor a;
+  {
+    obs::ScopedPath scope("basic_block_main");
+    a = main_.forward(x, ctx);
+  }
+  Tensor b;
+  if (shortcut_) {
+    obs::ScopedPath scope("basic_block_shortcut");
+    b = shortcut_->forward(x, ctx);
+  } else {
+    b = x;
+  }
   Tensor y = ops::add(a, b);
   relu_mask_ = Tensor(y.shape());
   for (int64_t i = 0; i < y.numel(); ++i) {
@@ -82,7 +95,11 @@ InvertedResidual::InvertedResidual(int64_t in_channels, int64_t out_channels, in
 }
 
 Tensor InvertedResidual::forward(const Tensor& x, const ExecContext& ctx) {
-  Tensor y = path_.forward(x, ctx);
+  Tensor y;
+  {
+    obs::ScopedPath scope("inverted_residual_path");
+    y = path_.forward(x, ctx);
+  }
   if (use_skip_) ops::add_inplace(y, x);
   return y;
 }

@@ -96,6 +96,7 @@ private:
   const ge::ErrorFit* cached_fit_ = nullptr;
   ExecMode cached_mode_ = ExecMode::kFloat;
   int64_t last_macs_ = 0;
+  std::string obs_path_;  ///< telemetry path captured at forward (backward reuses it)
 };
 
 }  // namespace axnn::nn

@@ -61,6 +61,7 @@ private:
   Tensor cached_acc_;      ///< integer accumulators [N, O] (GE only)
   const ge::ErrorFit* cached_fit_ = nullptr;
   int64_t last_macs_ = 0;
+  std::string obs_path_;  ///< telemetry path captured at forward (backward reuses it)
 };
 
 }  // namespace axnn::nn

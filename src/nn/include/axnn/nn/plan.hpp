@@ -79,6 +79,13 @@ struct GemmLeaf {
 /// Depth-first enumeration of every Conv2d/Linear leaf with its path.
 std::vector<GemmLeaf> enumerate_gemm_leaves(Layer& root);
 
+/// Path segments of `node`'s direct children, exactly as plan paths build
+/// them ("#k" occurrence suffix when a name repeats among siblings). The
+/// containers use this to label telemetry scopes (obs::ScopedPath) so
+/// collected metrics land under the same paths enumerate_gemm_leaves
+/// reports.
+std::vector<std::string> child_path_segments(Layer& node);
+
 /// A LayerPlan bound to a concrete leaf, with registry objects materialized.
 struct ResolvedLayerPlan {
   std::string path;

@@ -6,9 +6,11 @@
 #include "axnn/approx/kernels.hpp"
 #include "axnn/nn/plan.hpp"
 #include "axnn/nn/qutils.hpp"
+#include "axnn/obs/telemetry.hpp"
 #include "axnn/tensor/gemm.hpp"
 #include "axnn/tensor/kernels.hpp"
 #include "axnn/tensor/ops.hpp"
+#include "obs_hooks.hpp"
 
 namespace axnn::nn {
 
@@ -122,6 +124,12 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
 
   const Shape wmat_shape{o, kg};
 
+  // Telemetry (zero-overhead when disabled): capture the metric path once —
+  // the backward pass runs outside the container scopes and reuses it.
+  const bool obs_on = obs::enabled();
+  if (obs_on) obs_path_ = detail::leaf_obs_path(*this);
+  obs::ScopedTimer timer("forward.ns", obs_path_);
+
   switch (ex.mode) {
     case ExecMode::kFloat:
     case ExecMode::kCalibrate: {
@@ -135,6 +143,7 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
       }
       cached_cols_ = std::move(cols);
       cached_w_mat_ = std::move(w_mat);
+      if (obs_on) detail::record_leaf_forward(obs_path_, ex.mode, last_macs_, Tensor{});
       return output_from_mat(out_mat, geom_);
     }
 
@@ -147,6 +156,7 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
       Tensor out_mat = run_gemm_float(wq, cols);
       cached_cols_ = std::move(cols);
       cached_w_mat_ = std::move(wq);
+      if (obs_on) detail::record_leaf_forward(obs_path_, ex.mode, last_macs_, cached_act_mask_);
       return output_from_mat(out_mat, geom_);
     }
 
@@ -185,6 +195,19 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
         for (int64_t i = 0; i < acc.numel(); ++i) acc_f[i] = static_cast<float>(acc[i]);
         cached_acc_ = std::move(acc_f);
       }
+      if (obs_on) {
+        detail::record_leaf_forward(obs_path_, ex.mode, last_macs_, cached_act_mask_);
+        obs::Collector* c = obs::collector();
+        if (c != nullptr && c->config().ge_residual) {
+          // Diagnostics: re-run the GEMM exactly to observe eps = y~ - y and
+          // its residual against the GE fit (roughly doubles forward cost).
+          TensorI32 exact(Shape{o, p});
+          for (int64_t g = 0; g < grp; ++g)
+            kernels::gemm_exact({}, qw.data() + g * og * kg, qcols.data() + g * kg * p,
+                                exact.data() + g * og * p, og, kg, p);
+          detail::record_ge_residual(obs_path_, ex.fit, acc.data(), exact.data(), acc.numel());
+        }
+      }
       return output_from_mat(out_mat, geom_);
     }
   }
@@ -220,6 +243,7 @@ Tensor Conv2d::backward(const Tensor& dy) {
     for (int64_t i = 0; i < dy_scaled.numel(); ++i)
       dy_scaled[i] *= static_cast<float>(1.0 + cached_fit_->derivative(cached_acc_[i]));
     dyw = &dy_scaled;
+    if (obs::enabled()) detail::record_ge_backward(obs_path_, *cached_fit_, cached_acc_);
   }
 
   Tensor dw_mat(Shape{o, kg});

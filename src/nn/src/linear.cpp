@@ -5,9 +5,11 @@
 #include "axnn/approx/kernels.hpp"
 #include "axnn/nn/plan.hpp"
 #include "axnn/nn/qutils.hpp"
+#include "axnn/obs/telemetry.hpp"
 #include "axnn/tensor/gemm.hpp"
 #include "axnn/tensor/kernels.hpp"
 #include "axnn/tensor/ops.hpp"
+#include "obs_hooks.hpp"
 
 namespace axnn::nn {
 
@@ -67,6 +69,11 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
   const Tensor* bias = has_bias_ ? &bias_.value : nullptr;
   const LeafExec ex = plan_leaf_exec(ctx, *this);
 
+  // Telemetry (zero-overhead when disabled); see Conv2d::forward.
+  const bool obs_on = obs::enabled();
+  if (obs_on) obs_path_ = detail::leaf_obs_path(*this);
+  obs::ScopedTimer timer("forward.ns", obs_path_);
+
   switch (ex.mode) {
     case ExecMode::kFloat:
     case ExecMode::kCalibrate: {
@@ -78,6 +85,7 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
       }
       cached_x_ = x;
       cached_w_ = weight_.value;
+      if (obs_on) detail::record_leaf_forward(obs_path_, ex.mode, last_macs_, Tensor{});
       return y;
     }
 
@@ -89,6 +97,7 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
       Tensor y = linear_forward_float(xq, wq, bias);
       cached_x_ = std::move(xq);
       cached_w_ = std::move(wq);
+      if (obs_on) detail::record_leaf_forward(obs_path_, ex.mode, last_macs_, cached_act_mask_);
       return y;
     }
 
@@ -130,6 +139,15 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
           for (int64_t j = 0; j < out_; ++j) acc_f(i, j) = static_cast<float>(acc(j, i));
         cached_acc_ = std::move(acc_f);
       }
+      if (obs_on) {
+        detail::record_leaf_forward(obs_path_, ex.mode, last_macs_, cached_act_mask_);
+        obs::Collector* c = obs::collector();
+        if (c != nullptr && c->config().ge_residual) {
+          TensorI32 exact(Shape{out_, n});
+          kernels::gemm_exact({}, qw.data(), qxt.data(), exact.data(), out_, in_, n);
+          detail::record_ge_residual(obs_path_, ex.fit, acc.data(), exact.data(), acc.numel());
+        }
+      }
       return y;
     }
   }
@@ -156,6 +174,7 @@ Tensor Linear::backward(const Tensor& dy) {
     for (int64_t i = 0; i < dy_scaled.numel(); ++i)
       dy_scaled[i] *= static_cast<float>(1.0 + cached_fit_->derivative(cached_acc_[i]));
     dyw = &dy_scaled;
+    if (obs::enabled()) detail::record_ge_backward(obs_path_, *cached_fit_, cached_acc_);
   }
 
   // dW[O,F] += dyᵀ · x

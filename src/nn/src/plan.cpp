@@ -9,19 +9,34 @@
 
 namespace axnn::nn {
 
-namespace {
-
-void walk_leaves(Layer& node, const std::string& prefix, std::vector<GemmLeaf>& out) {
+std::vector<std::string> child_path_segments(Layer& node) {
   const auto children = node.children();
   // Occurrence-disambiguate repeated sibling names ("#k", 0-based) so every
   // path is unique; unique names stay suffix-free, which keeps common paths
   // short and stable when unrelated siblings (e.g. BatchNorms) disappear.
   std::map<std::string, int> total, seen;
   for (Layer* c : children) ++total[c->name()];
+  std::vector<std::string> segs;
+  segs.reserve(children.size());
   for (Layer* c : children) {
     std::string seg = c->name();
-    if (total[seg] > 1) seg += "#" + std::to_string(seen[c->name()]++);
-    const std::string path = prefix.empty() ? seg : prefix + "/" + seg;
+    if (total[seg] > 1) {
+      seg += '#';
+      seg += std::to_string(seen[c->name()]++);
+    }
+    segs.push_back(std::move(seg));
+  }
+  return segs;
+}
+
+namespace {
+
+void walk_leaves(Layer& node, const std::string& prefix, std::vector<GemmLeaf>& out) {
+  const auto children = node.children();
+  const auto segs = child_path_segments(node);
+  for (size_t ci = 0; ci < children.size(); ++ci) {
+    Layer* c = children[ci];
+    const std::string path = prefix.empty() ? segs[ci] : prefix + "/" + segs[ci];
     if (auto* conv = dynamic_cast<Conv2d*>(c)) {
       const auto& cfg = conv->config();
       out.push_back({path, c, true, (cfg.in_channels / cfg.groups) * cfg.kernel * cfg.kernel});

@@ -5,6 +5,7 @@
 #include "axnn/nn/batchnorm.hpp"
 #include "axnn/nn/conv2d.hpp"
 #include "axnn/nn/plan.hpp"
+#include "axnn/obs/telemetry.hpp"
 
 namespace axnn::nn {
 
@@ -17,6 +18,19 @@ Tensor Sequential::forward(const Tensor& x, const ExecContext& ctx) {
     ExecContext inner = ctx;
     inner.fault_pass_begun = true;
     return forward(x, inner);
+  }
+  if (obs::enabled()) {
+    // Telemetry pass: scope each child under its plan-path segment so leaf
+    // metrics aggregate per plan-addressable path. Same computation as the
+    // plain loop below — the scopes only touch a thread-local string.
+    const auto segs = child_path_segments(*this);
+    Tensor h = x;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      obs::ScopedPath scope(segs[i]);
+      h = layers_[i]->forward(h, ctx);
+      if (ctx.faults != nullptr) ctx.faults->corrupt(h);
+    }
+    return h;
   }
   Tensor h = x;
   for (auto& l : layers_) {

@@ -1,0 +1,68 @@
+// axnn — registered bench cases.
+//
+// Bench binaries used to be ~18 copy-pasted mains, each printing an ad-hoc
+// table. Under the harness a bench is one function registered with
+// AXNN_BENCH_CASE; the shared runner (bench/bench_runner.cpp) owns main():
+// it applies the bench profile, runs every registered case, and writes a
+// uniform BENCH_<name>.json (plus BENCH_<name>.jsonl when the case emitted
+// events) next to the human-readable stdout tables.
+//
+//   AXNN_BENCH_CASE(table5, "Table 5: ResNet-20 accuracy per multiplier") {
+//     core::Table t = ...;
+//     ctx.table("table5", t_headers, t_rows);   // or via report_adapters
+//     ctx.metric("best_acc", best);
+//     return 0;
+//   }
+//
+// The registry lives in axnn_obs (dependency-free); the runner, which needs
+// axnn::core for profiles and workbenches, is compiled into each bench
+// target by the bench/ CMake function.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "axnn/obs/report.hpp"
+
+namespace axnn::obs::bench {
+
+/// What a running case sees: the profile scale, whether a telemetry
+/// collector is attached, and the report it fills in.
+struct BenchContext {
+  bool full = false;    ///< paper-scale profile (AXNN_REPRO_FULL / --full)
+  bool timing = false;  ///< --timing: collector attached for the whole case
+  RunReport& report;
+  Collector* collector = nullptr;  ///< non-null iff timing
+
+  void metric(const std::string& key, Json v) { report.metric(key, std::move(v)); }
+  void table(const std::string& key, const std::vector<std::string>& headers,
+             const std::vector<std::vector<std::string>>& rows) {
+    report.add_table(key, headers, rows);
+  }
+};
+
+struct BenchCase {
+  std::string name;   ///< report file stem: BENCH_<name>.json
+  std::string title;  ///< human header line
+  std::function<int(BenchContext&)> fn;
+};
+
+/// Registry (insertion order == static-init order within a TU).
+void register_case(BenchCase c);
+const std::vector<BenchCase>& cases();
+
+struct Registrar {
+  explicit Registrar(BenchCase c) { register_case(std::move(c)); }
+};
+
+}  // namespace axnn::obs::bench
+
+/// Define and register one bench case; the body is the case function,
+/// receiving `::axnn::obs::bench::BenchContext& ctx` and returning an exit
+/// code (0 = success).
+#define AXNN_BENCH_CASE(id, title_str)                                              \
+  static int axnn_bench_fn_##id(::axnn::obs::bench::BenchContext& ctx);             \
+  static const ::axnn::obs::bench::Registrar axnn_bench_reg_##id{                   \
+      {#id, title_str, &axnn_bench_fn_##id}};                                       \
+  static int axnn_bench_fn_##id([[maybe_unused]] ::axnn::obs::bench::BenchContext& ctx)

@@ -1,0 +1,88 @@
+// axnn — minimal JSON value type for telemetry reports.
+//
+// The obs layer serializes run reports without external dependencies, so
+// this is a small DOM: null / bool / number / string / array / object with
+// insertion-ordered members. The serializer emits non-finite numbers as
+// null (a report must never contain a bare NaN token — the CI schema
+// validator rejects nulls where numbers are required, which is how NaN
+// metrics fail loudly). The parser is complete enough for round-trip tests
+// and the bench-report validator: full JSON minus \uXXXX surrogate pairs
+// (escaped as-is by our own serializer, so round-trips are unaffected).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace axnn::obs {
+
+class Json {
+public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : Json(static_cast<double>(v)) {}
+  Json(int64_t v) : Json(static_cast<double>(v)) {}
+  Json(uint64_t v) : Json(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array() { return with_type(Type::kArray); }
+  static Json object() { return with_type(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool boolean(bool fallback = false) const { return type_ == Type::kBool ? bool_ : fallback; }
+  double number(double fallback = 0.0) const { return type_ == Type::kNumber ? num_ : fallback; }
+  const std::string& str() const { return str_; }  ///< empty unless kString
+
+  /// Array element count / object member count; 0 for scalars.
+  size_t size() const { return is_object() ? members_.size() : items_.size(); }
+
+  /// Append to an array (a null value silently becomes an empty array
+  /// first, so `Json j; j.push_back(...)` works).
+  void push_back(Json v);
+  const std::vector<Json>& items() const { return items_; }
+
+  /// Object member access; inserts (null) on a missing key. A null value
+  /// silently becomes an empty object first.
+  Json& operator[](const std::string& key);
+  /// Lookup without insertion; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const { return members_; }
+
+  /// Serialize. indent == 0 gives the compact one-line form (used for
+  /// JSON-lines events); indent > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document; throws std::invalid_argument with a
+  /// byte offset on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+private:
+  static Json with_type(Type t) {
+    Json j;
+    j.type_ = t;
+    return j;
+  }
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace axnn::obs

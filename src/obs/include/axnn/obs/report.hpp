@@ -1,0 +1,61 @@
+// axnn — structured run reports.
+//
+// A RunReport is the sink the bench harness and the CLI write into: a JSON
+// document with a fixed top-level shape (schema_version / name / title /
+// metrics / tables / telemetry) plus an ordered event stream emitted as
+// JSON-lines. schemas/bench_report.schema.json pins the shape the CI
+// validator checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "axnn/obs/json.hpp"
+#include "axnn/obs/telemetry.hpp"
+
+namespace axnn::obs {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+class RunReport {
+public:
+  explicit RunReport(std::string name, std::string title = {});
+
+  const std::string& name() const { return name_; }
+
+  /// The whole document, for ad-hoc additions beyond the helpers below.
+  Json& root() { return root_; }
+  const Json& root() const { return root_; }
+
+  /// Set a top-level key.
+  void set(const std::string& key, Json v) { root_[key] = std::move(v); }
+
+  /// Record one scalar/string result under "metrics".
+  void metric(const std::string& key, Json v) { root_["metrics"][key] = std::move(v); }
+
+  /// Record a table under "tables" as {headers: [...], rows: [[...], ...]}.
+  void add_table(const std::string& key, const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows);
+
+  /// Fold a collector snapshot into "telemetry" (path → metric →
+  /// {mean,sum,count,min,max}) and append its events to the event stream.
+  void merge_telemetry(const Collector& c);
+
+  void add_event(Json ev) { events_.push_back(std::move(ev)); }
+  const std::vector<Json>& events() const { return events_; }
+
+  /// Pretty-printed summary document.
+  std::string to_string() const { return root_.dump(2) + "\n"; }
+
+  /// Write the summary document / the events as JSON-lines. Throws
+  /// std::runtime_error when the file cannot be written.
+  void write(const std::string& path) const;
+  void write_jsonl(const std::string& path) const;
+
+private:
+  std::string name_;
+  Json root_;
+  std::vector<Json> events_;
+};
+
+}  // namespace axnn::obs

@@ -1,0 +1,179 @@
+// axnn — zero-overhead-when-disabled runtime telemetry.
+//
+// A Collector aggregates named metrics per *layer path* — the same stable
+// '/'-joined paths NetPlan uses to address layers — plus an ordered event
+// stream (epoch curves, divergence rollbacks). Nothing is collected unless
+// a collector is attached to the process-wide slot; every instrumentation
+// site guards on enabled(), a single relaxed atomic load, so the
+// instrumented forward/backward paths are bit-identical and effectively
+// free when telemetry is off.
+//
+// Paths are built by the containers: Sequential (and the residual blocks)
+// push one ScopedPath segment per child while running it, using the same
+// "#k" sibling-disambiguation rule as plan paths (child_path_segments), so
+// a metric recorded inside Conv2d::forward lands under exactly the path
+// enumerate_gemm_leaves would report for that leaf. The stack is
+// thread-local; the collector itself is mutex-guarded and shared.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "axnn/obs/json.hpp"
+
+namespace axnn::obs {
+
+/// Streaming aggregate of one metric: sum/count/min/max (mean derived).
+struct MetricStat {
+  double sum = 0.0;
+  int64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void add(double v) {
+    sum += v;
+    ++count;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  void merge(const MetricStat& o) {
+    sum += o.sum;
+    count += o.count;
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+  }
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+struct CollectorConfig {
+  /// Record scoped wall-clock timers (*.ns metrics).
+  bool timing = true;
+  /// Re-run each approximate GEMM exactly to measure the observed
+  /// accumulated error ε(y) and its residual against the GE fit f(y)
+  /// (ge.eps_abs / ge.fit_residual). Roughly doubles approximate-forward
+  /// cost — diagnostics only.
+  bool ge_residual = false;
+};
+
+/// Thread-safe metric/event sink. Metrics live in a two-level map:
+/// layer path ("stack#0/conv3x3_16->16#1", or a coarse bucket like
+/// "kernels", "train/approx") → metric name → MetricStat.
+class Collector {
+public:
+  explicit Collector(CollectorConfig cfg = {}) : cfg_(cfg) {}
+
+  const CollectorConfig& config() const { return cfg_; }
+
+  void add(const std::string& path, const std::string& metric, double value);
+  /// Fold a pre-aggregated batch of samples in one lock acquisition.
+  void add_samples(const std::string& path, const std::string& metric, double sum,
+                   int64_t count, double min, double max);
+  void event(Json ev);
+
+  /// Snapshot of one metric (zero-count stat when absent).
+  MetricStat stat(const std::string& path, const std::string& metric) const;
+  std::map<std::string, std::map<std::string, MetricStat>> metrics() const;
+  std::vector<Json> events() const;
+  void clear();
+
+private:
+  CollectorConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, MetricStat>> metrics_;
+  std::vector<Json> events_;
+};
+
+namespace detail {
+extern std::atomic<Collector*> g_collector;
+}
+
+/// True when a collector is attached. One relaxed load — this is the guard
+/// every hot-path instrumentation site uses.
+inline bool enabled() {
+  return detail::g_collector.load(std::memory_order_relaxed) != nullptr;
+}
+
+/// The attached collector (nullptr when disabled).
+inline Collector* collector() {
+  return detail::g_collector.load(std::memory_order_acquire);
+}
+
+/// Attach/detach the process-wide collector (nullptr detaches). Not
+/// thread-safe against concurrent forwards — attach before running work.
+void set_collector(Collector* c);
+
+/// RAII attach: restores the previously attached collector on destruction.
+class ScopedCollector {
+public:
+  explicit ScopedCollector(Collector& c);
+  ~ScopedCollector();
+  ScopedCollector(const ScopedCollector&) = delete;
+  ScopedCollector& operator=(const ScopedCollector&) = delete;
+
+private:
+  Collector* prev_ = nullptr;
+};
+
+/// The calling thread's current '/'-joined layer path ("" at top level).
+std::string current_path();
+
+/// Push one path segment for the current scope. No-op (and no allocation)
+/// when telemetry is disabled.
+class ScopedPath {
+public:
+  explicit ScopedPath(std::string_view segment) {
+    if (enabled()) push(segment);
+  }
+  ~ScopedPath() {
+    if (active_) pop();
+  }
+  ScopedPath(const ScopedPath&) = delete;
+  ScopedPath& operator=(const ScopedPath&) = delete;
+
+private:
+  void push(std::string_view segment);
+  void pop();
+
+  bool active_ = false;
+  size_t restore_len_ = 0;
+};
+
+/// Wall-clock timer recording `metric` (nanoseconds) at the path current
+/// when the timer started. No-op when disabled or when the collector's
+/// timing flag is off.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(const char* metric, std::string_view fallback_path = {}) {
+    if (enabled()) start(metric, fallback_path);
+  }
+  ~ScopedTimer() {
+    if (active_) stop();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+  void start(const char* metric, std::string_view fallback_path);
+  void stop();
+
+  bool active_ = false;
+  const char* metric_ = nullptr;
+  int64_t t0_ns_ = 0;
+  std::string path_;
+};
+
+/// Monotonic nanoseconds (for call sites that time a region by hand).
+int64_t now_ns();
+
+/// Record one GEMM dispatch under the current layer path (bucket "kernels"
+/// when called outside any layer scope): <kernel>.calls / <kernel>.macs and,
+/// when timing is on, <kernel>.ns. `ns < 0` skips the timing metric.
+void record_gemm(const char* kernel, int64_t macs, int64_t ns);
+
+}  // namespace axnn::obs

@@ -1,0 +1,17 @@
+#include "axnn/obs/bench.hpp"
+
+namespace axnn::obs::bench {
+namespace {
+
+std::vector<BenchCase>& registry() {
+  static std::vector<BenchCase> cases;
+  return cases;
+}
+
+}  // namespace
+
+void register_case(BenchCase c) { registry().push_back(std::move(c)); }
+
+const std::vector<BenchCase>& cases() { return registry(); }
+
+}  // namespace axnn::obs::bench

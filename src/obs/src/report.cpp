@@ -1,0 +1,73 @@
+#include "axnn/obs/report.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace axnn::obs {
+namespace {
+
+void write_text(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("RunReport: cannot open '" + path + "' for writing");
+  const size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  const int rc = std::fclose(f);
+  if (n != text.size() || rc != 0)
+    throw std::runtime_error("RunReport: short write to '" + path + "'");
+}
+
+}  // namespace
+
+RunReport::RunReport(std::string name, std::string title) : name_(std::move(name)) {
+  root_["schema_version"] = kReportSchemaVersion;
+  root_["name"] = name_;
+  root_["title"] = std::move(title);
+  root_["metrics"] = Json::object();
+  root_["tables"] = Json::object();
+  root_["telemetry"] = Json::object();
+}
+
+void RunReport::add_table(const std::string& key, const std::vector<std::string>& headers,
+                          const std::vector<std::vector<std::string>>& rows) {
+  Json t = Json::object();
+  Json h = Json::array();
+  for (const auto& s : headers) h.push_back(s);
+  t["headers"] = std::move(h);
+  Json rs = Json::array();
+  for (const auto& row : rows) {
+    Json r = Json::array();
+    for (const auto& cell : row) r.push_back(cell);
+    rs.push_back(std::move(r));
+  }
+  t["rows"] = std::move(rs);
+  root_["tables"][key] = std::move(t);
+}
+
+void RunReport::merge_telemetry(const Collector& c) {
+  Json& tel = root_["telemetry"];
+  for (const auto& [path, by_metric] : c.metrics()) {
+    Json& node = tel[path];
+    for (const auto& [metric, st] : by_metric) {
+      Json s = Json::object();
+      s["mean"] = st.mean();
+      s["sum"] = st.sum;
+      s["count"] = st.count;
+      s["min"] = st.min;
+      s["max"] = st.max;
+      node[metric] = std::move(s);
+    }
+  }
+  for (auto& ev : c.events()) events_.push_back(ev);
+}
+
+void RunReport::write(const std::string& path) const { write_text(path, to_string()); }
+
+void RunReport::write_jsonl(const std::string& path) const {
+  std::string text;
+  for (const auto& ev : events_) {
+    text += ev.dump(0);
+    text += '\n';
+  }
+  write_text(path, text);
+}
+
+}  // namespace axnn::obs

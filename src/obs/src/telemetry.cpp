@@ -1,0 +1,110 @@
+#include "axnn/obs/telemetry.hpp"
+
+#include <chrono>
+
+namespace axnn::obs {
+
+namespace detail {
+std::atomic<Collector*> g_collector{nullptr};
+}
+
+namespace {
+thread_local std::string t_path;
+}
+
+void Collector::add(const std::string& path, const std::string& metric, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_[path][metric].add(value);
+}
+
+void Collector::add_samples(const std::string& path, const std::string& metric, double sum,
+                            int64_t count, double min, double max) {
+  if (count <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricStat& st = metrics_[path][metric];
+  st.merge(MetricStat{sum, count, min, max});
+}
+
+void Collector::event(Json ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+MetricStat Collector::stat(const std::string& path, const std::string& metric) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto p = metrics_.find(path);
+  if (p == metrics_.end()) return {};
+  const auto m = p->second.find(metric);
+  return m == p->second.end() ? MetricStat{} : m->second;
+}
+
+std::map<std::string, std::map<std::string, MetricStat>> Collector::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+std::vector<Json> Collector::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Collector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.clear();
+  events_.clear();
+}
+
+void set_collector(Collector* c) {
+  detail::g_collector.store(c, std::memory_order_release);
+}
+
+ScopedCollector::ScopedCollector(Collector& c) {
+  prev_ = detail::g_collector.load(std::memory_order_acquire);
+  set_collector(&c);
+}
+
+ScopedCollector::~ScopedCollector() { set_collector(prev_); }
+
+std::string current_path() { return t_path; }
+
+void ScopedPath::push(std::string_view segment) {
+  active_ = true;
+  restore_len_ = t_path.size();
+  if (!t_path.empty()) t_path += '/';
+  t_path += segment;
+}
+
+void ScopedPath::pop() { t_path.resize(restore_len_); }
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ScopedTimer::start(const char* metric, std::string_view fallback_path) {
+  Collector* c = collector();
+  if (c == nullptr || !c->config().timing) return;
+  active_ = true;
+  metric_ = metric;
+  path_ = t_path.empty() ? std::string(fallback_path) : t_path;
+  t0_ns_ = now_ns();
+}
+
+void ScopedTimer::stop() {
+  Collector* c = collector();
+  if (c == nullptr) return;
+  c->add(path_, metric_, static_cast<double>(now_ns() - t0_ns_));
+}
+
+void record_gemm(const char* kernel, int64_t macs, int64_t ns) {
+  Collector* c = collector();
+  if (c == nullptr) return;
+  const std::string path = t_path.empty() ? "kernels" : t_path;
+  const std::string name(kernel);
+  c->add(path, name + ".calls", 1.0);
+  c->add(path, name + ".macs", static_cast<double>(macs));
+  if (ns >= 0 && c->config().timing) c->add(path, name + ".ns", static_cast<double>(ns));
+}
+
+}  // namespace axnn::obs

@@ -4,7 +4,31 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "axnn/obs/telemetry.hpp"
+
 namespace axnn::quant {
+
+namespace {
+
+/// Telemetry: fraction of elements clipped to the representable range
+/// (|x·inv| rounding outside [qmin, qmax]). Runs a second pass over x, but
+/// only when a collector is attached — the quantize loops stay untouched.
+void record_clip_rate(const char* metric, const Tensor& x, const QuantParams& p) {
+  obs::Collector* c = obs::collector();
+  if (c == nullptr || x.numel() == 0) return;
+  const float inv = 1.0f / p.step;
+  const float lo = static_cast<float>(p.qmin()), hi = static_cast<float>(p.qmax());
+  int64_t clipped = 0;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float v = std::nearbyintf(x[i] * inv);
+    if (v < lo || v > hi) ++clipped;
+  }
+  std::string path = obs::current_path();
+  if (path.empty()) path = "quant";
+  c->add(path, metric, static_cast<double>(clipped) / static_cast<double>(x.numel()));
+}
+
+}  // namespace
 
 float round_to_pow2(float step) {
   if (!(step > 0.0f)) throw std::invalid_argument("round_to_pow2: step must be positive");
@@ -33,6 +57,7 @@ TensorI32 quantize(const Tensor& x, const QuantParams& p) {
     const int32_t v = static_cast<int32_t>(std::lrintf(x[i] * inv));
     q[i] = std::clamp(v, lo, hi);
   }
+  if (obs::enabled()) record_clip_rate("quantize.clip_rate", x, p);
   return q;
 }
 
@@ -50,6 +75,7 @@ Tensor fake_quantize(const Tensor& x, const QuantParams& p) {
     const float v = std::clamp(std::nearbyintf(x[i] * inv), lo, hi);
     out[i] = v * p.step;
   }
+  if (obs::enabled()) record_clip_rate("fake_quantize.clip_rate", x, p);
   return out;
 }
 

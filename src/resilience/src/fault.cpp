@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "axnn/approx/signed_lut.hpp"
+#include "axnn/obs/telemetry.hpp"
 #include "axnn/tensor/rng.hpp"
 
 namespace axnn::resilience {
@@ -68,7 +69,11 @@ void FaultInjector::corrupt_impl(T* data, int64_t n, uint64_t site) const {
       ++local_flips;
     }
   }
-  if (local_flips) flips_.fetch_add(local_flips, std::memory_order_relaxed);
+  if (local_flips) {
+    flips_.fetch_add(local_flips, std::memory_order_relaxed);
+    if (obs::enabled())
+      obs::collector()->add("faults", "bit_flips", static_cast<double>(local_flips));
+  }
 }
 
 void FaultInjector::corrupt(float* data, int64_t n, uint64_t site) const {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "axnn/obs/telemetry.hpp"
+
 namespace axnn::resilience {
 
 std::string DivergenceReport::summary() const {
@@ -46,6 +48,22 @@ DivergenceGuard::Action DivergenceGuard::observe(double loss, double grad_norm, 
   ev.grad_norm = grad_norm;
   ev.lr_before = lr;
   ev.lr_after = lr * cfg_.lr_factor;
+  if (obs::enabled()) {
+    obs::Collector* c = obs::collector();
+    obs::Json jev = obs::Json::object();
+    jev["type"] = "divergence";
+    jev["cause"] = ev.cause;
+    jev["epoch"] = ev.epoch;
+    jev["batch"] = ev.batch;
+    jev["loss"] = ev.loss;
+    jev["grad_norm"] = ev.grad_norm;
+    jev["lr_before"] = static_cast<double>(ev.lr_before);
+    jev["lr_after"] = static_cast<double>(ev.lr_after);
+    jev["will_abort"] = report_.rollbacks >= cfg_.max_rollbacks;
+    c->event(std::move(jev));
+    c->add("train/guard", report_.rollbacks >= cfg_.max_rollbacks ? "aborts" : "rollbacks", 1.0);
+    c->add("train/guard", "lr_halvings", 1.0);
+  }
   report_.events.push_back(std::move(ev));
 
   if (report_.rollbacks >= cfg_.max_rollbacks) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "axnn/obs/telemetry.hpp"
 #include "axnn/tensor/threadpool.hpp"
 
 namespace axnn::kernels {
@@ -252,11 +253,12 @@ void gemm(const GemmDesc& desc, const float* a, const float* b, float* c, int64_
     if (!desc.accumulate) std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
     return;
   }
-  if (backend == Backend::kBlocked) {
+  const bool obs_on = obs::enabled();
+  const bool obs_time = obs_on && obs::collector()->config().timing;
+  const int64_t t0 = obs_time ? obs::now_ns() : 0;
+  if (backend == Backend::kBlocked)
     blocked_gemm(desc, a, b, c, m, k, n, p);
-    return;
-  }
-  if (!desc.trans_a && !desc.trans_b)
+  else if (!desc.trans_a && !desc.trans_b)
     naive_nn(a, b, c, m, k, n, desc.accumulate, p);
   else if (!desc.trans_a && desc.trans_b)
     naive_nt(a, b, c, m, k, n, desc.accumulate, p);
@@ -264,6 +266,7 @@ void gemm(const GemmDesc& desc, const float* a, const float* b, float* c, int64_
     naive_tn(a, b, c, m, k, n, desc.accumulate, p);
   else
     naive_tt(a, b, c, m, k, n, desc.accumulate, p);
+  if (obs_on) obs::record_gemm("gemm_f32", m * k * n, obs_time ? obs::now_ns() - t0 : -1);
 }
 
 }  // namespace axnn::kernels

@@ -8,6 +8,7 @@
 #include "axnn/kd/distill.hpp"
 #include "axnn/nn/loss.hpp"
 #include "axnn/nn/sgd.hpp"
+#include "axnn/obs/telemetry.hpp"
 #include "axnn/tensor/ops.hpp"
 #include "axnn/train/evaluate.hpp"
 #include "loop_common.hpp"
@@ -107,6 +108,7 @@ FineTuneResult run_finetune_loop(nn::Layer& model, const data::Dataset& train_ds
       std::printf("[%s] epoch %d loss %.4f acc %.2f%% (%.1fs)\n", tag, epoch, st.train_loss,
                   100.0 * st.test_acc, st.seconds);
     result.history.push_back(st);
+    if (obs::enabled()) detail::record_epoch_event(tag, st);
   }
   result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   result.health = gl.report();

@@ -12,13 +12,34 @@
 #pragma once
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "axnn/nn/layer.hpp"
 #include "axnn/nn/sgd.hpp"
+#include "axnn/obs/telemetry.hpp"
 #include "axnn/resilience/guard.hpp"
+#include "axnn/train/trainer.hpp"
 
 namespace axnn::train::detail {
+
+/// Telemetry: one "epoch" event + per-stage aggregates under the
+/// "train/<tag>" path. Caller guards on obs::enabled().
+inline void record_epoch_event(const char* tag, const EpochStat& st) {
+  obs::Collector* c = obs::collector();
+  if (c == nullptr) return;
+  obs::Json ev = obs::Json::object();
+  ev["type"] = "epoch";
+  ev["stage"] = tag;
+  ev["epoch"] = st.epoch;
+  ev["train_loss"] = st.train_loss;
+  ev["test_acc"] = st.test_acc;
+  ev["seconds"] = st.seconds;
+  c->event(std::move(ev));
+  const std::string path = std::string("train/") + tag;
+  c->add(path, "epoch.loss", st.train_loss);
+  c->add(path, "epoch.seconds", st.seconds);
+}
 
 class GuardedLoop {
 public:

@@ -5,6 +5,7 @@
 
 #include "axnn/nn/loss.hpp"
 #include "axnn/nn/sgd.hpp"
+#include "axnn/obs/telemetry.hpp"
 #include "axnn/train/evaluate.hpp"
 #include "loop_common.hpp"
 
@@ -67,6 +68,7 @@ TrainResult train_fp(nn::Layer& model, const data::Dataset& train_ds,
       std::printf("[fp] epoch %d loss %.4f acc %.2f%% (%.1fs)\n", epoch, st.train_loss,
                   100.0 * st.test_acc, st.seconds);
     result.history.push_back(st);
+    if (obs::enabled()) detail::record_epoch_event("fp", st);
   }
   result.final_acc = result.history.empty() ? 0.0 : result.history.back().test_acc;
   result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();

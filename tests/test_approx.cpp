@@ -110,7 +110,7 @@ TEST_P(ApproxGemmSizes, ConsistentAcrossSizes) {
   SignedMulTable tab(axmul::make_lut("trunc3"));
   const TensorI32 c = matmul_approx(w, x, tab);
   // Spot-check corners against the scalar definition (Eq. 4).
-  for (const auto [i, j] : {std::pair<int64_t, int64_t>{0, 0},
+  for (const auto& [i, j] : {std::pair<int64_t, int64_t>{0, 0},
                             {m - 1, n - 1},
                             {0, n - 1},
                             {m - 1, 0}}) {

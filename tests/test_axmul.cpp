@@ -179,8 +179,11 @@ TEST(Stats, ErrorProfileShowsTruncationBias) {
   // error, and high-product bins are more damaged in absolute terms.
   const auto profile = error_profile(MultiplierLut(TruncatedMultiplier(5)), 16);
   ASSERT_EQ(profile.size(), 16u);
-  for (const auto& bin : profile)
-    if (bin.count > 0) EXPECT_LE(bin.mean_eps, 1e-9);
+  for (const auto& bin : profile) {
+    if (bin.count > 0) {
+      EXPECT_LE(bin.mean_eps, 1e-9);
+    }
+  }
 }
 
 TEST(Stats, ErrorProfileCountsCoverDomain) {

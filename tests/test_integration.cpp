@@ -86,7 +86,8 @@ TEST(Pipeline, EndToEndResNetFlow) {
       wb.model(), wb.data().test, nn::ExecContext::quant_exact());
   EXPECT_NEAR(exact_acc, quant_acc, 1e-9);
 
-  const auto run = wb.run_approximation_stage("trunc3", train::Method::kApproxKD_GE, 5.0f);
+  const auto run = wb.run_approximation_stage(
+      ApproxStageSetup::uniform("trunc3", train::Method::kApproxKD_GE, 5.0f));
   EXPECT_EQ(run.result.history.size(), 2u);
   EXPECT_EQ(run.multiplier, "trunc3");
   EXPECT_FALSE(run.fit.is_constant());  // truncated -> sloped fit
@@ -95,8 +96,9 @@ TEST(Pipeline, EndToEndResNetFlow) {
 TEST(Pipeline, ApproxRunsAreIndependent) {
   Workbench wb(micro_config());
   (void)wb.run_quantization_stage(false);
-  const auto r1 = wb.run_approximation_stage("trunc3", train::Method::kNormal, 1.0f);
-  const auto r2 = wb.run_approximation_stage("trunc3", train::Method::kNormal, 1.0f);
+  const auto setup = ApproxStageSetup::uniform("trunc3", train::Method::kNormal, 1.0f);
+  const auto r1 = wb.run_approximation_stage(setup);
+  const auto r2 = wb.run_approximation_stage(setup);
   // Restarting from stage-1 weights with the same seed reproduces the run.
   ASSERT_EQ(r1.result.history.size(), r2.result.history.size());
   EXPECT_DOUBLE_EQ(r1.initial_acc, r2.initial_acc);
@@ -105,7 +107,8 @@ TEST(Pipeline, ApproxRunsAreIndependent) {
 
 TEST(Pipeline, RequiresQuantizationStageFirst) {
   Workbench wb(micro_config());
-  EXPECT_THROW(wb.run_approximation_stage("trunc3", train::Method::kNormal, 1.0f),
+  EXPECT_THROW(wb.run_approximation_stage(
+                   ApproxStageSetup::uniform("trunc3", train::Method::kNormal, 1.0f)),
                std::logic_error);
   EXPECT_THROW(wb.approx_initial_accuracy("trunc3"), std::logic_error);
 }
@@ -147,8 +150,26 @@ TEST(Pipeline, MobileNetKeepsBatchNorm) {
   // BN buffers survive (not folded) for MobileNetV2, per the paper.
   EXPECT_FALSE(nn::collect_buffers(wb.model()).empty());
   (void)wb.run_quantization_stage(true);
-  const auto run = wb.run_approximation_stage("trunc2", train::Method::kApproxKD_GE, 6.0f);
+  const auto run = wb.run_approximation_stage(
+      ApproxStageSetup::uniform("trunc2", train::Method::kApproxKD_GE, 6.0f));
   EXPECT_EQ(run.result.history.size(), 2u);
+}
+
+TEST(Pipeline, DeprecatedUniformAdaptorMatchesSetup) {
+  Workbench wb(micro_config());
+  (void)wb.run_quantization_stage(false);
+  const auto via_setup = wb.run_approximation_stage(
+      ApproxStageSetup::uniform("trunc3", train::Method::kNormal, 1.0f));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto via_legacy =
+      wb.run_approximation_stage("trunc3", train::Method::kNormal, 1.0f);
+#pragma GCC diagnostic pop
+  // The legacy overload is a pure adaptor: same seed, same restore point,
+  // bit-identical run.
+  EXPECT_EQ(via_legacy.multiplier, via_setup.multiplier);
+  EXPECT_DOUBLE_EQ(via_legacy.initial_acc, via_setup.initial_acc);
+  EXPECT_DOUBLE_EQ(via_legacy.result.final_acc, via_setup.result.final_acc);
 }
 
 TEST(Pipeline, ResNetBatchNormFolded) {

@@ -1,14 +1,19 @@
 // axnn_cli — command-line driver for the Algorithm-1 pipeline.
 //
-// Runs any single experiment configuration without writing code:
+// Verb subcommands over one shared flag vocabulary:
 //
-//   axnn_cli --model resnet20 --multiplier trunc5 --method approxkd+ge
-//            --t2 5 --epochs 10 --lr 2e-4 [--no-kd-stage1] [--full]
+//   axnn_cli train       [--model resnet20] [--full]        FP pre-training only
+//   axnn_cli quantize    [--no-kd-stage1] ...               + 8A4W stage 1
+//   axnn_cli approximate --multiplier trunc5 --method approxkd+ge --t2 5 ...
+//   axnn_cli sweep       --method approxkd+ge               every paper multiplier
+//   axnn_cli inspect     --multiplier trunc5                model + multiplier stats
+//   axnn_cli list-multipliers                               registry at a glance
 //
-// Subcommands:
-//   run        (default) full pipeline for one multiplier/method
-//   inspect    print model parameters/MACs and multiplier statistics
-//   sweep      run every paper multiplier with one method
+// Old spellings stay valid: `run` is an alias for `approximate`, a missing
+// verb defaults to `approximate`, and `--list-multipliers` still works as a
+// flag. Any verb accepts `--report out.json` (machine-readable RunReport,
+// same schema as the bench harness) and `--timing` (attach a telemetry
+// collector; per-layer timings land in the report or on stdout).
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -22,7 +27,7 @@ namespace {
 using namespace axnn;
 
 struct CliOptions {
-  std::string command = "run";
+  std::string verb = "approximate";
   core::ModelKind model = core::ModelKind::kResNet20;
   std::string multiplier = "trunc5";
   train::Method method = train::Method::kApproxKD_GE;
@@ -32,7 +37,8 @@ struct CliOptions {
   std::optional<int64_t> batch;
   std::optional<double> fault_rate;  ///< weight bit-flip smoke sweep after run
   std::vector<std::string> plan_entries;  ///< repeated --plan key=spec overrides
-  bool list_multipliers = false;
+  std::string report_path;  ///< --report: write a RunReport JSON here
+  bool timing = false;      ///< --timing: attach a telemetry collector
   bool kd_stage1 = true;
   bool full = false;
   bool verbose = false;
@@ -40,7 +46,9 @@ struct CliOptions {
 
 void print_usage() {
   std::printf(
-      "usage: axnn_cli [run|inspect|sweep] [options]\n"
+      "usage: axnn_cli [train|quantize|approximate|sweep|inspect|list-multipliers] [options]\n"
+      "  (no verb or 'run' = approximate; the stages nest: quantize runs train's\n"
+      "   stage first, approximate runs both)\n"
       "  --model resnet20|resnet32|mobilenetv2   (default resnet20)\n"
       "  --multiplier <id>        registry id, e.g. trunc5, evoa228 (default trunc5)\n"
       "  --method normal|ge|alpha|approxkd|approxkd+ge   (default approxkd+ge)\n"
@@ -48,15 +56,18 @@ void print_usage() {
       "  --epochs <n>             fine-tuning epochs (default: profile)\n"
       "  --lr <f>                 fine-tuning learning rate\n"
       "  --batch <n>              fine-tuning batch size\n"
-      "  --fault-rate <p>         after 'run': re-evaluate under weight bit flips at\n"
-      "                           per-element rate p (fault-sweep smoke check)\n"
+      "  --fault-rate <p>         after 'approximate': re-evaluate under weight bit\n"
+      "                           flips at per-element rate p (fault smoke check)\n"
       "  --plan <key>=<spec>      per-layer plan override, repeatable; key is a layer\n"
       "                           path prefix (see 'inspect' for paths) or 'default',\n"
       "                           spec is <mul>[:wN][:aN][:add=<adder>][:noge]\n"
       "                           [:mode=float|exact|approx]. --multiplier stays the\n"
       "                           default for unmatched layers.\n"
-      "  --list-multipliers       print the registry (measured MRE, bias class,\n"
-      "                           energy savings) and exit\n"
+      "  --report <out.json>      write a machine-readable run report (bench-harness\n"
+      "                           schema; events also land in <out>.jsonl)\n"
+      "  --timing                 collect per-layer telemetry; merged into --report\n"
+      "                           or summarised on stdout\n"
+      "  --list-multipliers       alias for the list-multipliers verb\n"
       "  --no-kd-stage1           plain fine-tuning in the quantization stage\n"
       "  --full                   paper-scale profile (same as AXNN_REPRO_FULL=1)\n"
       "  --verbose                per-epoch progress\n");
@@ -80,10 +91,30 @@ bool parse_model(const std::string& s, core::ModelKind& out) {
   return true;
 }
 
+bool parse_verb(const std::string& s, std::string& out) {
+  if (s == "train" || s == "quantize" || s == "approximate" || s == "sweep" ||
+      s == "inspect" || s == "list-multipliers") {
+    out = s;
+    return true;
+  }
+  if (s == "run") {  // pre-verb spelling
+    out = "approximate";
+    return true;
+  }
+  return false;
+}
+
 std::optional<CliOptions> parse(int argc, char** argv) {
   CliOptions opt;
   int i = 1;
-  if (i < argc && argv[i][0] != '-') opt.command = argv[i++];
+  if (i < argc && argv[i][0] != '-') {
+    if (!parse_verb(argv[i], opt.verb)) {
+      std::fprintf(stderr, "unknown command '%s'\n", argv[i]);
+      print_usage();
+      return std::nullopt;
+    }
+    ++i;
+  }
   for (; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -127,8 +158,14 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
       opt.plan_entries.emplace_back(v);
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.report_path = v;
+    } else if (arg == "--timing") {
+      opt.timing = true;
     } else if (arg == "--list-multipliers") {
-      opt.list_multipliers = true;
+      opt.verb = "list-multipliers";
     } else if (arg == "--no-kd-stage1") {
       opt.kd_stage1 = false;
     } else if (arg == "--full") {
@@ -149,11 +186,9 @@ std::optional<CliOptions> parse(int argc, char** argv) {
 core::Workbench make_workbench(const CliOptions& opt) {
   core::WorkbenchConfig cfg;
   cfg.model = opt.model;
+  if (opt.full) setenv("AXNN_REPRO_FULL", "1", 1);
   cfg.profile = core::BenchProfile::from_env();
-  if (opt.full) {
-    setenv("AXNN_REPRO_FULL", "1", 1);
-    cfg.profile = core::BenchProfile::from_env();
-  }
+  cfg.profile.apply();
   cfg.verbose = opt.verbose;
   return core::Workbench(cfg);
 }
@@ -165,11 +200,33 @@ float pick_t2(const CliOptions& opt, const axmul::MultiplierSpec& spec) {
   return 10.0f;
 }
 
+train::FineTuneConfig make_ft(const CliOptions& opt, const core::Workbench& wb) {
+  train::FineTuneConfig fc = wb.default_ft_config();
+  if (opt.epochs) fc.epochs = *opt.epochs;
+  if (opt.lr) fc.lr = *opt.lr;
+  if (opt.batch) fc.batch_size = *opt.batch;
+  fc.verbose = opt.verbose;
+  return fc;
+}
+
+// Compose the effective plan text from --multiplier (the default) and the
+// repeated --plan overrides. A later `--plan default=...` wins over
+// --multiplier because NetPlan::parse keeps the last default entry.
+std::string compose_plan_text(const CliOptions& opt) {
+  std::string text = "default=" + opt.multiplier;
+  for (const auto& e : opt.plan_entries) text += "; " + e;
+  return text;
+}
+
+void report_table(obs::RunReport* report, const std::string& key, const core::Table& t) {
+  if (report != nullptr) report->add_table(key, t.headers(), t.rows());
+}
+
 // The multiplier registry at a glance: measured MRE (Eq. 14 over the full
 // signed 4x8-bit operand grid), whether the GE fit classifies the error as
 // biased (a non-constant fit => GE has something to compensate) and the
 // per-MAC energy savings. Needs no Workbench, so it runs instantly.
-int cmd_list_multipliers() {
+int cmd_list_multipliers(obs::RunReport* report) {
   const auto kind_name = [](axmul::MultiplierKind k) {
     switch (k) {
       case axmul::MultiplierKind::kExact: return "exact";
@@ -195,19 +252,11 @@ int cmd_list_multipliers() {
                    fit.is_constant() ? "unbiased" : "biased", savings});
   }
   table.print();
+  report_table(report, "multipliers", table);
   return 0;
 }
 
-// Compose the effective plan text from --multiplier (the default) and the
-// repeated --plan overrides. A later `--plan default=...` wins over
-// --multiplier because NetPlan::parse keeps the last default entry.
-std::string compose_plan_text(const CliOptions& opt) {
-  std::string text = "default=" + opt.multiplier;
-  for (const auto& e : opt.plan_entries) text += "; " + e;
-  return text;
-}
-
-int cmd_inspect(const CliOptions& opt) {
+int cmd_inspect(const CliOptions& opt, obs::RunReport* report) {
   core::Workbench wb = make_workbench(opt);
   const auto info = wb.info();
   std::printf("model %s: %lld params, %lld MACs/sample, FP acc %.2f%%\n", info.name.c_str(),
@@ -228,51 +277,89 @@ int cmd_inspect(const CliOptions& opt) {
   std::printf("network energy: %.0f -> %.0f units (%.0f%% savings)\n", energy.exact_energy,
               energy.approx_energy, energy.savings_pct);
   std::printf("plan-addressable layers (use these paths with --plan):\n");
-  for (const auto& leaf : nn::enumerate_gemm_leaves(wb.model()))
+  core::Table leaves({"path", "kind", "dot_length"});
+  for (const auto& leaf : nn::enumerate_gemm_leaves(wb.model())) {
     std::printf("  %-52s %s dot=%lld\n", leaf.path.c_str(), leaf.is_conv ? "conv" : "fc  ",
                 static_cast<long long>(leaf.dot_length));
+    leaves.add_row({leaf.path, leaf.is_conv ? "conv" : "fc",
+                    std::to_string(leaf.dot_length)});
+  }
+  if (report != nullptr) {
+    report->metric("fp_acc", wb.fp_accuracy());
+    report->metric("parameters", info.parameters);
+    report->metric("macs_per_sample", info.macs_per_sample);
+    report->metric("multiplier_mre", stats.mre);
+    report->set("ge_fit", core::to_json(fit));
+    report->set("energy", core::to_json(energy));
+    report_table(report, "layers", leaves);
+  }
   return 0;
 }
 
-train::FineTuneConfig make_ft(const CliOptions& opt, const core::Workbench& wb) {
-  train::FineTuneConfig fc = wb.default_ft_config();
-  if (opt.epochs) fc.epochs = *opt.epochs;
-  if (opt.lr) fc.lr = *opt.lr;
-  if (opt.batch) fc.batch_size = *opt.batch;
-  fc.verbose = opt.verbose;
-  return fc;
+int cmd_train(const CliOptions& opt, obs::RunReport* report) {
+  core::Workbench wb = make_workbench(opt);
+  const auto info = wb.info();
+  std::printf("model %s: %lld params, %lld MACs/sample\n", info.name.c_str(),
+              static_cast<long long>(info.parameters),
+              static_cast<long long>(info.macs_per_sample));
+  std::printf("FP pre-training done: %.2f%% test accuracy\n", 100.0 * wb.fp_accuracy());
+  if (report != nullptr) {
+    report->metric("fp_acc", wb.fp_accuracy());
+    report->metric("parameters", info.parameters);
+    report->metric("macs_per_sample", info.macs_per_sample);
+  }
+  return 0;
 }
 
-int cmd_run(const CliOptions& opt) {
+// Run the quantization stage (after FP pre-training) and report the 8A4W
+// accuracies around it. Returns the workbench so 'approximate' can continue.
+train::FineTuneResult run_stage1(const CliOptions& opt, core::Workbench& wb,
+                                 obs::RunReport* report) {
+  const auto s1 = wb.run_quantization_stage(opt.kd_stage1);
+  std::printf("FP %.2f%% | 8A4W %.2f%% -> %.2f%% (%s stage 1)\n", 100.0 * wb.fp_accuracy(),
+              100.0 * wb.quant_acc_before_ft(), 100.0 * s1.final_acc,
+              opt.kd_stage1 ? "KD" : "normal");
+  if (report != nullptr) {
+    report->metric("fp_acc", wb.fp_accuracy());
+    report->metric("quant_acc_before_ft", wb.quant_acc_before_ft());
+    report->metric("stage1_acc", s1.final_acc);
+    report->set("stage1", core::to_json(s1));
+  }
+  return s1;
+}
+
+int cmd_quantize(const CliOptions& opt, obs::RunReport* report) {
+  core::Workbench wb = make_workbench(opt);
+  (void)run_stage1(opt, wb, report);
+  return 0;
+}
+
+int cmd_approximate(const CliOptions& opt, obs::RunReport* report) {
   const auto spec = axmul::find_spec(opt.multiplier);
   if (!spec) {
     std::fprintf(stderr, "unknown multiplier '%s'\n", opt.multiplier.c_str());
     return 1;
   }
   core::Workbench wb = make_workbench(opt);
-  const auto s1 = wb.run_quantization_stage(opt.kd_stage1);
-  std::printf("FP %.2f%% | 8A4W %.2f%% -> %.2f%% (%s stage 1)\n", 100.0 * wb.fp_accuracy(),
-              100.0 * wb.quant_acc_before_ft(), 100.0 * s1.final_acc,
-              opt.kd_stage1 ? "KD" : "normal");
+  (void)run_stage1(opt, wb, report);
 
   const float t2 = pick_t2(opt, *spec);
   const bool use_plan = !opt.plan_entries.empty();
   const std::string label = use_plan ? compose_plan_text(opt) : opt.multiplier;
-  core::Workbench::ApproxRun run;
-  if (use_plan) {
-    const nn::NetPlan plan = nn::NetPlan::parse(label);
-    run = wb.run_approximation_stage(plan, opt.method, t2, make_ft(opt, wb));
-    if (run.plan_fits > 0)
-      std::printf("plan: %zu per-layer GE fits\n", run.plan_fits);
-  } else {
-    run = wb.run_approximation_stage(opt.multiplier, opt.method, t2, make_ft(opt, wb));
-  }
+  auto setup = use_plan
+                   ? core::ApproxStageSetup::with_plan(nn::NetPlan::parse(label), opt.method, t2)
+                   : core::ApproxStageSetup::uniform(opt.multiplier, opt.method, t2);
+  setup.finetune = make_ft(opt, wb);
+  const auto run = wb.run_approximation_stage(setup);
+  if (use_plan && run.plan_fits > 0)
+    std::printf("plan: %zu per-layer GE fits\n", run.plan_fits);
   std::printf("%s + %s (T2=%.0f): %.2f%% -> %.2f%% (best %.2f%%) in %.1fs\n",
               label.c_str(), train::to_string(opt.method).c_str(), t2,
               100.0 * run.initial_acc, 100.0 * run.result.final_acc,
               100.0 * run.result.best_acc, run.result.seconds);
   if (!run.result.health.clean())
     std::printf("health: %s\n", run.result.health.summary().c_str());
+  if (report != nullptr) report->set("run", core::to_json(run));
 
   if (opt.fault_rate) {
     // Fault-sweep smoke check: corrupt a copy of the fine-tuned weights with
@@ -297,13 +384,18 @@ int cmd_run(const CliOptions& opt) {
     std::printf("fault sweep: weight flip rate %g -> %.2f%% (clean %.2f%%, %lld bits flipped)\n",
                 *opt.fault_rate, 100.0 * acc, 100.0 * run.result.final_acc,
                 static_cast<long long>(inj.flips()));
+    if (report != nullptr) {
+      report->metric("fault_rate", *opt.fault_rate);
+      report->metric("fault_acc", acc);
+      report->metric("fault_bits_flipped", inj.flips());
+    }
   }
   return 0;
 }
 
-int cmd_sweep(const CliOptions& opt) {
+int cmd_sweep(const CliOptions& opt, obs::RunReport* report) {
   core::Workbench wb = make_workbench(opt);
-  const auto s1 = wb.run_quantization_stage(opt.kd_stage1);
+  const auto s1 = run_stage1(opt, wb, report);
   core::Table table({"multiplier", "initial[%]", "final[%]"});
   for (const auto& spec : axmul::paper_multipliers()) {
     if (spec.kind == axmul::MultiplierKind::kExact) continue;
@@ -312,14 +404,44 @@ int cmd_sweep(const CliOptions& opt) {
       table.add_row({spec.id, core::Table::pct(initial), "-"});
       continue;
     }
-    const auto run = wb.run_approximation_stage(spec.id, opt.method, pick_t2(opt, spec),
-                                                make_ft(opt, wb));
+    auto setup = core::ApproxStageSetup::uniform(spec.id, opt.method, pick_t2(opt, spec));
+    setup.finetune = make_ft(opt, wb);
+    const auto run = wb.run_approximation_stage(setup);
     table.add_row({spec.id, core::Table::pct(initial),
                    core::Table::pct(run.result.final_acc)});
     std::printf("  %s done\n", spec.id.c_str());
   }
   table.print();
+  report_table(report, "sweep", table);
   return 0;
+}
+
+int dispatch(const CliOptions& opt, obs::RunReport* report) {
+  if (opt.verb == "list-multipliers") return cmd_list_multipliers(report);
+  if (opt.verb == "inspect") return cmd_inspect(opt, report);
+  if (opt.verb == "train") return cmd_train(opt, report);
+  if (opt.verb == "quantize") return cmd_quantize(opt, report);
+  if (opt.verb == "approximate") return cmd_approximate(opt, report);
+  if (opt.verb == "sweep") return cmd_sweep(opt, report);
+  std::fprintf(stderr, "unknown command '%s'\n", opt.verb.c_str());
+  print_usage();
+  return 1;
+}
+
+// --timing without --report: summarise the per-path wall-clock totals on
+// stdout so the flag is useful interactively.
+void print_timing_summary(const obs::Collector& collector) {
+  core::Table table({"path", "metric", "calls", "total[ms]", "mean[us]"});
+  for (const auto& [path, metrics] : collector.metrics()) {
+    for (const auto& [metric, stat] : metrics) {
+      if (metric.size() < 3 || metric.compare(metric.size() - 3, 3, ".ns") != 0) continue;
+      table.add_row({path, metric, std::to_string(stat.count),
+                     core::Table::num(stat.sum / 1e6, 1),
+                     core::Table::num(stat.mean() / 1e3, 1)});
+    }
+  }
+  std::printf("\n-- telemetry timings --\n");
+  table.print();
 }
 
 }  // namespace
@@ -330,12 +452,32 @@ int main(int argc, char** argv) {
   try {
     const auto opt = parse(argc, argv);
     if (!opt) return 1;
-    if (opt->list_multipliers) return cmd_list_multipliers();
-    if (opt->command == "run") return cmd_run(*opt);
-    if (opt->command == "inspect") return cmd_inspect(*opt);
-    if (opt->command == "sweep") return cmd_sweep(*opt);
-    std::fprintf(stderr, "unknown command '%s'\n", opt->command.c_str());
-    print_usage();
+
+    std::optional<obs::RunReport> report;
+    if (!opt->report_path.empty())
+      report.emplace("cli_" + opt->verb, "axnn_cli " + opt->verb);
+
+    obs::Collector collector({.timing = true});
+    std::optional<obs::ScopedCollector> attach;
+    if (opt->timing) attach.emplace(collector);
+
+    const int rc = dispatch(*opt, report ? &*report : nullptr);
+
+    attach.reset();
+    if (opt->timing && !report) print_timing_summary(collector);
+    if (report) {
+      if (opt->timing) report->merge_telemetry(collector);
+      report->metric("exit_code", rc);
+      report->write(opt->report_path);
+      if (!report->events().empty()) {
+        std::string jsonl = opt->report_path;
+        if (jsonl.size() > 5 && jsonl.compare(jsonl.size() - 5, 5, ".json") == 0)
+          jsonl.resize(jsonl.size() - 5);
+        report->write_jsonl(jsonl + ".jsonl");
+      }
+      std::printf("report: %s\n", opt->report_path.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
   } catch (...) {

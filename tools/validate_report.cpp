@@ -1,0 +1,180 @@
+// validate_report — CI gate for bench harness reports.
+//
+//   validate_report schemas/bench_report.schema.json BENCH_foo.json [more...]
+//
+// Interprets the subset of JSON Schema the checked-in schema uses (root
+// "required" + per-property "type") and enforces the two invariants the
+// schema text documents but draft-07 alone cannot: no null anywhere inside
+// metrics / tables / telemetry (the obs serializer writes NaN/Inf as null,
+// so a null here IS a NaN metric), and the exact {sum,count,min,max,mean}
+// stat shape for telemetry entries. Exit 0 only if every report passes.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "axnn/obs/json.hpp"
+
+namespace {
+
+using axnn::obs::Json;
+
+int g_errors = 0;
+
+void fail(const std::string& file, const std::string& where, const std::string& what) {
+  std::fprintf(stderr, "%s: %s: %s\n", file.c_str(), where.c_str(), what.c_str());
+  ++g_errors;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+const char* type_name(Json::Type t) {
+  switch (t) {
+    case Json::Type::kNull: return "null";
+    case Json::Type::kBool: return "boolean";
+    case Json::Type::kNumber: return "number";
+    case Json::Type::kString: return "string";
+    case Json::Type::kArray: return "array";
+    case Json::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+bool matches_type(const Json& v, const std::string& want) {
+  if (want == "object") return v.is_object();
+  if (want == "array") return v.is_array();
+  if (want == "string") return v.is_string();
+  if (want == "number") return v.is_number();
+  if (want == "integer")
+    return v.is_number() && std::nearbyint(v.number()) == v.number();
+  if (want == "boolean") return v.type() == Json::Type::kBool;
+  if (want == "null") return v.is_null();
+  return true;  // unknown type keyword: don't reject
+}
+
+/// No null may appear anywhere under `v`: the serializer turns NaN/Inf into
+/// null, so a null in a data section means a computation went non-finite.
+void reject_nulls(const std::string& file, const std::string& where, const Json& v) {
+  if (v.is_null()) {
+    fail(file, where, "null value (a NaN/Inf metric serializes as null)");
+    return;
+  }
+  if (v.is_array()) {
+    for (size_t i = 0; i < v.items().size(); ++i)
+      reject_nulls(file, where + "[" + std::to_string(i) + "]", v.items()[i]);
+  } else if (v.is_object()) {
+    for (const auto& [k, child] : v.members()) reject_nulls(file, where + "." + k, child);
+  }
+}
+
+void check_telemetry(const std::string& file, const Json& tel) {
+  static const char* kStatKeys[] = {"sum", "count", "min", "max", "mean"};
+  for (const auto& [path, metrics] : tel.members()) {
+    if (!metrics.is_object()) {
+      fail(file, "telemetry." + path, "expected object of metric stats");
+      continue;
+    }
+    for (const auto& [metric, stat] : metrics.members()) {
+      const std::string where = "telemetry." + path + "." + metric;
+      if (!stat.is_object()) {
+        fail(file, where, "expected {sum,count,min,max,mean} object");
+        continue;
+      }
+      for (const char* key : kStatKeys) {
+        const Json* s = stat.find(key);
+        if (s == nullptr)
+          fail(file, where, std::string("missing stat key '") + key + "'");
+        else if (!s->is_number())
+          fail(file, where + "." + key, std::string("expected number, got ") +
+                                            type_name(s->type()));
+      }
+    }
+  }
+}
+
+void check_tables(const std::string& file, const Json& tables) {
+  for (const auto& [name, table] : tables.members()) {
+    const std::string where = "tables." + name;
+    const Json* headers = table.find("headers");
+    const Json* rows = table.find("rows");
+    if (!table.is_object() || headers == nullptr || rows == nullptr) {
+      fail(file, where, "expected {headers, rows} object");
+      continue;
+    }
+    if (!headers->is_array()) fail(file, where + ".headers", "expected array");
+    if (!rows->is_array()) {
+      fail(file, where + ".rows", "expected array");
+      continue;
+    }
+    for (size_t i = 0; i < rows->items().size(); ++i) {
+      const Json& row = rows->items()[i];
+      const std::string rw = where + ".rows[" + std::to_string(i) + "]";
+      if (!row.is_array()) {
+        fail(file, rw, "expected array of cells");
+        continue;
+      }
+      if (headers->is_array() && row.size() != headers->size())
+        fail(file, rw, "row width " + std::to_string(row.size()) + " != headers width " +
+                           std::to_string(headers->size()));
+    }
+  }
+}
+
+void validate(const std::string& file, const Json& schema, const Json& report) {
+  if (!report.is_object()) {
+    fail(file, "$", "report root must be an object");
+    return;
+  }
+  if (const Json* required = schema.find("required"); required != nullptr) {
+    for (const Json& key : required->items())
+      if (report.find(key.str()) == nullptr) fail(file, "$", "missing key '" + key.str() + "'");
+  }
+  if (const Json* props = schema.find("properties"); props != nullptr) {
+    for (const auto& [key, spec] : props->members()) {
+      const Json* value = report.find(key);
+      const Json* want = spec.find("type");
+      if (value == nullptr || want == nullptr) continue;
+      if (!matches_type(*value, want->str()))
+        fail(file, key, "expected " + want->str() + ", got " + type_name(value->type()));
+    }
+  }
+  for (const char* section : {"metrics", "tables", "telemetry"})
+    if (const Json* v = report.find(section)) reject_nulls(file, section, *v);
+  if (const Json* tel = report.find("telemetry"); tel != nullptr && tel->is_object())
+    check_telemetry(file, *tel);
+  if (const Json* tables = report.find("tables"); tables != nullptr && tables->is_object())
+    check_tables(file, *tables);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: validate_report <schema.json> <report.json> [more...]\n");
+    return 2;
+  }
+  try {
+    const Json schema = Json::parse(read_file(argv[1]));
+    for (int i = 2; i < argc; ++i) {
+      const int before = g_errors;
+      try {
+        validate(argv[i], schema, Json::parse(read_file(argv[i])));
+      } catch (const std::exception& e) {
+        fail(argv[i], "$", e.what());
+      }
+      std::printf("%s: %s\n", argv[i], g_errors == before ? "OK" : "FAILED");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "schema error: %s\n", e.what());
+    return 2;
+  }
+  return g_errors == 0 ? 0 : 1;
+}
