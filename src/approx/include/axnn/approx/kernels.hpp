@@ -56,4 +56,21 @@ inline void gemm_approx_accum(const GemmDesc& desc, const int8_t* w, const int8_
   gemm_approx_accum(desc, w, x, c, m, k, n, tab, adder, default_backend(), nullptr);
 }
 
+/// ABFT column-sum probes over an already-computed int GEMM C[M,N] = W · X
+/// (sentinel subsystem, DESIGN.md §5f). Writes, per output column n:
+///
+///   actual[n]    = Σ_m C[m,n]                       (what the kernel produced)
+///   predicted[n] = Σ_k (Σ_m W[m,k]) · X[k,n]        (what exact math implies)
+///
+/// For the exact kernel the two are equal; for the LUT kernel they differ by
+/// the accumulated approximation error of the column, which the caller
+/// bounds with a calibrated tolerance. `wsum` (optional, length K) receives
+/// the weight column sums Σ_m W[m,k] — the caller compares them against a
+/// golden copy to detect corrupted weight operands, which a checksum over
+/// self-consistent corrupted operands cannot see. int64 accumulation: with
+/// int8×int4 operands the probes cannot overflow for any realistic shape.
+void abft_column_sums(const int8_t* w, const int8_t* x, const int32_t* c, int64_t m,
+                      int64_t k, int64_t n, int64_t* actual, int64_t* predicted,
+                      int64_t* wsum = nullptr);
+
 }  // namespace axnn::kernels

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "axnn/obs/telemetry.hpp"
 #include "axnn/tensor/threadpool.hpp"
@@ -285,6 +286,30 @@ void gemm_approx_accum(const GemmDesc& desc, const int8_t* w, const int8_t* x, i
       row_grain(k, n));
   if (obs_on)
     obs::record_gemm("gemm_approx_accum", m * k * n, obs_time ? obs::now_ns() - t0 : -1);
+}
+
+void abft_column_sums(const int8_t* w, const int8_t* x, const int32_t* c, int64_t m,
+                      int64_t k, int64_t n, int64_t* actual, int64_t* predicted,
+                      int64_t* wsum) {
+  std::vector<int64_t> ws_local;
+  int64_t* ws = wsum;
+  if (ws == nullptr) {
+    ws_local.assign(static_cast<size_t>(k), 0);
+    ws = ws_local.data();
+  }
+  for (int64_t kk = 0; kk < k; ++kk) {
+    int64_t s = 0;
+    for (int64_t i = 0; i < m; ++i) s += w[i * k + kk];
+    ws[kk] = s;
+  }
+  for (int64_t j = 0; j < n; ++j) {
+    int64_t a = 0;
+    for (int64_t i = 0; i < m; ++i) a += c[i * n + j];
+    actual[j] = a;
+    int64_t p = 0;
+    for (int64_t kk = 0; kk < k; ++kk) p += ws[kk] * x[kk * n + j];
+    predicted[j] = p;
+  }
 }
 
 }  // namespace axnn::kernels

@@ -40,6 +40,7 @@
 #include "axnn/nn/layer.hpp"
 #include "axnn/nn/linear.hpp"
 #include "axnn/nn/loss.hpp"
+#include "axnn/nn/monitor.hpp"
 #include "axnn/nn/plan.hpp"
 #include "axnn/nn/pooling.hpp"
 #include "axnn/nn/sequential.hpp"
@@ -54,6 +55,7 @@
 #include "axnn/resilience/crc32.hpp"
 #include "axnn/resilience/fault.hpp"
 #include "axnn/resilience/guard.hpp"
+#include "axnn/sentinel/sentinel.hpp"
 #include "axnn/tensor/gemm.hpp"
 #include "axnn/tensor/ops.hpp"
 #include "axnn/tensor/rng.hpp"

@@ -14,6 +14,7 @@
 #include "axnn/ge/error_fit.hpp"
 #include "axnn/obs/json.hpp"
 #include "axnn/resilience/guard.hpp"
+#include "axnn/sentinel/sentinel.hpp"
 #include "axnn/train/finetune.hpp"
 #include "axnn/train/trainer.hpp"
 
@@ -26,6 +27,8 @@ obs::Json to_json(const resilience::DivergenceEvent& ev);
 obs::Json to_json(const resilience::DivergenceReport& rep);
 obs::Json to_json(const energy::EnergyEstimate& e);
 obs::Json to_json(const ge::ErrorFit& fit);
+obs::Json to_json(const sentinel::LeafStats& st);
+obs::Json to_json(const sentinel::SentinelReport& rep);
 obs::Json to_json(const BenchProfile& p);
 obs::Json to_json(const Table& t);
 obs::Json to_json(const Workbench::ApproxRun& run);

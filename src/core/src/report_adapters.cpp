@@ -82,6 +82,34 @@ Json to_json(const ge::ErrorFit& fit) {
   return j;
 }
 
+Json to_json(const sentinel::LeafStats& st) {
+  Json j = Json::object();
+  j["path"] = st.path;
+  j["gemm_checks"] = st.gemm_checks;
+  j["range_checks"] = st.range_checks;
+  j["abft_violations"] = st.abft_violations;
+  j["weight_violations"] = st.weight_violations;
+  j["range_violations"] = st.range_violations;
+  j["reexecs"] = st.reexecs;
+  j["degraded"] = st.degraded;
+  j["max_rel_dev"] = st.max_rel_dev;
+  return j;
+}
+
+Json to_json(const sentinel::SentinelReport& rep) {
+  Json j = Json::object();
+  j["total_checks"] = rep.total_checks();
+  j["total_violations"] = rep.total_violations();
+  j["total_reexecs"] = rep.total_reexecs();
+  j["degraded_leaves"] = rep.degraded_leaves();
+  j["violation_rate"] = rep.violation_rate();
+  j["summary"] = rep.summary();
+  Json leaves = Json::array();
+  for (const auto& l : rep.leaves) leaves.push_back(to_json(l));
+  j["leaves"] = std::move(leaves);
+  return j;
+}
+
 Json to_json(const BenchProfile& p) {
   Json j = Json::object();
   j["full"] = p.full;

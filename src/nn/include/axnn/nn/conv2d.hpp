@@ -53,6 +53,11 @@ public:
   const quant::QuantParams& act_qparams() const { return act_qp_; }
   void set_qparams(const quant::QuantParams& wgt, const quant::QuantParams& act);
 
+  /// The activation range statistics gathered during kCalibrate passes
+  /// (sentinel range-guard calibration). Unseen on cloned models, whose
+  /// quantization state is copied without the observer reservoir.
+  const quant::RangeObserver& act_observer() const { return act_obs_; }
+
   /// Override the quantization bit-widths before calibration (paper outlook:
   /// "extended for lower bitwidth quantization"). The approximate path
   /// requires weight_bits <= 4 (the LUT's 4-bit operand); quantized-exact

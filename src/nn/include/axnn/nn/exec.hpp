@@ -20,6 +20,7 @@
 namespace axnn::nn {
 
 class PlanResolution;  // axnn/nn/plan.hpp
+class ForwardMonitor;  // axnn/nn/monitor.hpp
 
 enum class ExecMode { kFloat, kCalibrate, kQuantExact, kQuantApprox };
 
@@ -49,6 +50,12 @@ struct ExecContext {
   /// ge_fit / adder / mode in quantized passes. The resolution must outlive
   /// the context. Null reproduces the pre-plan uniform behavior exactly.
   const PlanResolution* plan = nullptr;
+  /// Optional forward monitor (axnn/nn/monitor.hpp): when set, quantized
+  /// conv/FC leaves report their pre-quantization activations and integer
+  /// GEMMs to it, and let it repair accumulators or force the exact integer
+  /// kernel. Non-const: monitors accumulate detection state across passes.
+  /// The monitor must outlive the context. Null costs nothing.
+  ForwardMonitor* monitor = nullptr;
   /// Set by the outermost Sequential after it calls faults->begin_pass(), so
   /// nested containers sharing the context do not advance the pass counter
   /// again. Not meant to be set by drivers.
@@ -95,6 +102,14 @@ struct ExecContext {
   ExecContext with_plan(const PlanResolution& p) const {
     ExecContext c = *this;
     c.plan = &p;
+    return c;
+  }
+
+  /// Chainable setter attaching a forward monitor (sentinel). The monitor
+  /// must outlive the context.
+  ExecContext with_monitor(ForwardMonitor& m) const {
+    ExecContext c = *this;
+    c.monitor = &m;
     return c;
   }
 };

@@ -34,6 +34,9 @@ public:
   const quant::QuantParams& act_qparams() const { return act_qp_; }
   void set_qparams(const quant::QuantParams& wgt, const quant::QuantParams& act);
 
+  /// See Conv2d::act_observer (sentinel range-guard calibration).
+  const quant::RangeObserver& act_observer() const { return act_obs_; }
+
   /// See Conv2d::set_bit_widths — approximate execution needs weight_bits
   /// <= 4; quantized-exact accepts [2, 8].
   void set_bit_widths(int weight_bits, int activation_bits);

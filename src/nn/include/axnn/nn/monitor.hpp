@@ -1,0 +1,59 @@
+// axnn — forward-pass monitor interface (runtime fault detection hooks).
+//
+// A ForwardMonitor observes the quantized GEMM leaves (Conv2d / Linear)
+// while a network executes: it sees the pre-quantization activations of
+// every leaf, every integer GEMM the leaf dispatches (operands and
+// accumulators), and may rewrite an accumulator block in place (repair) or
+// demand the exact integer kernel for a leaf (degradation). The interface
+// lives in nn so the layers need no knowledge of who is watching; the
+// concrete implementation is axnn::sentinel::Sentinel (ABFT checksums +
+// activation range guards, see DESIGN.md §5f).
+//
+// Contract with the leaves:
+//   * Hooks fire only in quantized passes (kQuantExact / kQuantApprox); the
+//     float and calibration paths never see the monitor.
+//   * on_leaf_gemm is called once per GEMM group of the integer path, after
+//     the kernel wrote `c`, and never for the adder-accumulation path
+//     (gemm_approx_accum fixes its own reduction order; checksums over it
+//     would re-derive the adder model).
+//   * A monitor must not change any tensor it is handed except `c`, and a
+//     repair must leave `c` a valid [m, n] int32 accumulator block.
+#pragma once
+
+#include <cstdint>
+
+#include "axnn/tensor/tensor.hpp"
+
+namespace axnn::approx {
+class SignedMulTable;
+}
+
+namespace axnn::nn {
+
+class Layer;
+
+class ForwardMonitor {
+public:
+  virtual ~ForwardMonitor() = default;
+
+  /// Quantized passes ask this before dispatching the leaf's GEMM: true
+  /// forces the exact integer kernel for this pass (a degraded leaf keeps
+  /// running, just without the approximate multiplier).
+  virtual bool force_exact(const Layer& leaf) = 0;
+
+  /// Pre-quantization activations of one leaf (range guard). `x` is the
+  /// tensor the leaf is about to quantize — corrupted inter-layer
+  /// activations are visible here before the quantizer clamps them.
+  virtual void on_leaf_input(const Layer& leaf, const Tensor& x) = 0;
+
+  /// One integer GEMM group C[m,n] = W[m,k] · X[k,n] just executed.
+  /// `approx` tells whether the LUT kernel ran (false = exact integer
+  /// kernel, e.g. after force_exact); `tab` is the LUT used (null when
+  /// exact); `group` is the conv group index (0 for Linear). The monitor
+  /// may rewrite `c` in place; return true when it did.
+  virtual bool on_leaf_gemm(const Layer& leaf, int64_t group, bool approx,
+                            const int8_t* w, const int8_t* x, int32_t* c, int64_t m,
+                            int64_t k, int64_t n, const approx::SignedMulTable* tab) = 0;
+};
+
+}  // namespace axnn::nn

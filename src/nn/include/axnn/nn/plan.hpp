@@ -135,6 +135,12 @@ public:
   /// exact/float mode override. Call before running a plan-only context.
   void require_approximable() const;
 
+  /// Rewrite the resolved exec mode of one leaf in place — the sentinel's
+  /// degradation path: a leaf with repeated checksum violations is demoted
+  /// to exact/safe mode for every later pass through this resolution.
+  /// Returns false when the leaf has no entry; throws on kCalibrate.
+  bool override_mode(const Layer& leaf, ExecMode mode);
+
 private:
   friend class NetPlan;
 

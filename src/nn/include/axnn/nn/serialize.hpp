@@ -32,6 +32,12 @@ void save_params(Layer& root, const std::string& path, uint32_t version = kParam
 /// the offending parameter index and expected-vs-actual shape.
 void load_params(Layer& root, const std::string& path);
 
+/// load_params from an in-memory file image instead of a path — the same
+/// decode and validation path, exercised directly by the AXNP fuzz harness.
+/// `name` labels error messages in place of the file path.
+void load_params_from_memory(Layer& root, const void* data, size_t size,
+                             const std::string& name = "<memory>");
+
 /// True if `path` exists, is at least header-sized, and carries the
 /// expected magic and a supported version. Safe on short/empty files.
 bool is_param_file(const std::string& path);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "axnn/approx/kernels.hpp"
+#include "axnn/nn/monitor.hpp"
 #include "axnn/nn/plan.hpp"
 #include "axnn/nn/qutils.hpp"
 #include "axnn/obs/telemetry.hpp"
@@ -149,6 +150,7 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
 
     case ExecMode::kQuantExact: {
       if (!calibrated_) throw std::logic_error("Conv2d: quantized forward before calibration");
+      if (ctx.monitor != nullptr) ctx.monitor->on_leaf_input(*this, x);
       const Tensor xq = quant::fake_quantize(x, act_qp_);
       cached_act_mask_ = quant::ste_mask(x, act_qp_);
       Tensor cols = im2col(xq, geom_);
@@ -168,18 +170,27 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
       if (wgt_qp_.bits > 4)
         throw std::logic_error(
             "Conv2d: approximate execution requires weight_bits <= 4 (LUT operand)");
+      if (ctx.monitor != nullptr) ctx.monitor->on_leaf_input(*this, x);
       const TensorI8 qx = quantize_i8(x, act_qp_);
       cached_act_mask_ = quant::ste_mask(x, act_qp_);
       const TensorI8 qcols = im2col_i8(qx, geom_);
       const TensorI8 qw = quantize_i8(weight_.value, wgt_qp_);
+      const bool forced_exact = ctx.monitor != nullptr && ex.adder == nullptr &&
+                                ctx.monitor->force_exact(*this);
       TensorI32 acc(Shape{o, p});
       for (int64_t g = 0; g < grp; ++g) {
+        const int8_t* wg = qw.data() + g * og * kg;
+        const int8_t* xg = qcols.data() + g * kg * p;
+        int32_t* cg = acc.data() + g * og * p;
         if (ex.adder != nullptr)
-          kernels::gemm_approx_accum({}, qw.data() + g * og * kg, qcols.data() + g * kg * p,
-                                     acc.data() + g * og * p, og, kg, p, *mul, *ex.adder);
+          kernels::gemm_approx_accum({}, wg, xg, cg, og, kg, p, *mul, *ex.adder);
+        else if (forced_exact)
+          kernels::gemm_exact({}, wg, xg, cg, og, kg, p);
         else
-          kernels::gemm_approx({}, qw.data() + g * og * kg, qcols.data() + g * kg * p,
-                               acc.data() + g * og * p, og, kg, p, *mul);
+          kernels::gemm_approx({}, wg, xg, cg, og, kg, p, *mul);
+        if (ctx.monitor != nullptr && ex.adder == nullptr)
+          ctx.monitor->on_leaf_gemm(*this, g, !forced_exact, wg, xg, cg, og, kg, p,
+                                    forced_exact ? nullptr : mul);
       }
       // Dequantize accumulators; also materialise the float caches the STE
       // backward needs (Eq. 5 uses the *exact* GEMM of the quantized values).

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "axnn/approx/kernels.hpp"
+#include "axnn/nn/monitor.hpp"
 #include "axnn/nn/plan.hpp"
 #include "axnn/nn/qutils.hpp"
 #include "axnn/obs/telemetry.hpp"
@@ -91,6 +92,7 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
 
     case ExecMode::kQuantExact: {
       if (!calibrated_) throw std::logic_error("Linear: quantized forward before calibration");
+      if (ctx.monitor != nullptr) ctx.monitor->on_leaf_input(*this, x);
       Tensor xq = quant::fake_quantize(x, act_qp_);
       cached_act_mask_ = quant::ste_mask(x, act_qp_);
       Tensor wq = quant::fake_quantize(weight_.value, wgt_qp_);
@@ -109,6 +111,7 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
       if (wgt_qp_.bits > 4)
         throw std::logic_error(
             "Linear: approximate execution requires weight_bits <= 4 (LUT operand)");
+      if (ctx.monitor != nullptr) ctx.monitor->on_leaf_input(*this, x);
       const TensorI8 qx = quantize_i8(x, act_qp_);
       cached_act_mask_ = quant::ste_mask(x, act_qp_);
       const TensorI8 qw = quantize_i8(weight_.value, wgt_qp_);
@@ -117,12 +120,19 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
       TensorI8 qxt(Shape{in_, n});
       for (int64_t i = 0; i < n; ++i)
         for (int64_t j = 0; j < in_; ++j) qxt(j, i) = qx(i, j);
+      const bool forced_exact = ctx.monitor != nullptr && ex.adder == nullptr &&
+                                ctx.monitor->force_exact(*this);
       TensorI32 acc(Shape{out_, n});
       if (ex.adder != nullptr)
         kernels::gemm_approx_accum({}, qw.data(), qxt.data(), acc.data(), out_, in_, n,
                                    *mul, *ex.adder);
+      else if (forced_exact)
+        kernels::gemm_exact({}, qw.data(), qxt.data(), acc.data(), out_, in_, n);
       else
         kernels::gemm_approx({}, qw.data(), qxt.data(), acc.data(), out_, in_, n, *mul);
+      if (ctx.monitor != nullptr && ex.adder == nullptr)
+        ctx.monitor->on_leaf_gemm(*this, 0, !forced_exact, qw.data(), qxt.data(), acc.data(),
+                                  out_, in_, n, forced_exact ? nullptr : mul);
 
       const float s = act_qp_.step * wgt_qp_.step;
       Tensor y(Shape{n, out_});

@@ -173,6 +173,17 @@ const ResolvedLayerPlan* PlanResolution::find(const Layer& leaf) const {
   return it == by_layer_.end() ? nullptr : it->second;
 }
 
+bool PlanResolution::override_mode(const Layer& leaf, ExecMode mode) {
+  if (mode == ExecMode::kCalibrate)
+    throw std::invalid_argument("PlanResolution::override_mode: kCalibrate is not a valid mode");
+  for (auto& e : entries_) {
+    if (e.layer != &leaf) continue;
+    e.plan.mode = mode;
+    return true;
+  }
+  return false;
+}
+
 void PlanResolution::require_approximable() const {
   std::ostringstream os;
   bool bad = false;

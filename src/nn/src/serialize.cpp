@@ -101,11 +101,11 @@ void save_params(Layer& root, const std::string& path, uint32_t version) {
   }
 }
 
-void load_params(Layer& root, const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("load_params: cannot open " + path);
-  std::string buf((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+namespace {
 
+/// Shared decode path: `buf` is the complete file image; `path` only labels
+/// error messages. Mutates buf (strips the v3 CRC footer after verifying).
+void load_params_from_buffer(Layer& root, std::string& buf, const std::string& path) {
   Reader r{buf, path};
   char magic[4];
   r.read(magic, 4, "magic");
@@ -145,6 +145,20 @@ void load_params(Layer& root, const std::string& path) {
     r.read_tensor_into(params[i]->value, "param " + std::to_string(i));
   for (size_t i = 0; i < buffers.size(); ++i)
     r.read_tensor_into(*buffers[i], "buffer " + std::to_string(i));
+}
+
+}  // namespace
+
+void load_params(Layer& root, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_params: cannot open " + path);
+  std::string buf((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  load_params_from_buffer(root, buf, path);
+}
+
+void load_params_from_memory(Layer& root, const void* data, size_t size, const std::string& name) {
+  std::string buf(static_cast<const char*>(data), size);
+  load_params_from_buffer(root, buf, name);
 }
 
 bool is_param_file(const std::string& path) {

@@ -58,6 +58,11 @@ public:
   /// the reservoir. Falls back to params() when the reservoir is empty.
   QuantParams params_min_mse(int bits) const;
 
+  /// Fraction of observed values that saturate (|v| > range) under `p` —
+  /// the calibrated clip statistic the sentinel's range guard compares
+  /// against at runtime. Estimated over the reservoir; 0 when unseen.
+  double clip_fraction(const QuantParams& p) const;
+
 private:
   float max_abs_ = 0.0f;
   bool seen_ = false;

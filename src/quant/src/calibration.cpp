@@ -93,6 +93,15 @@ void RangeObserver::reset() {
 
 QuantParams RangeObserver::params(int bits) const { return params_for_max_abs(max_abs_, bits); }
 
+double RangeObserver::clip_fraction(const QuantParams& p) const {
+  if (reservoir_.empty()) return 0.0;
+  const float range = p.range();
+  size_t clipped = 0;
+  for (const float v : reservoir_)
+    if (std::fabs(v) > range) ++clipped;
+  return static_cast<double>(clipped) / static_cast<double>(reservoir_.size());
+}
+
 QuantParams RangeObserver::params_min_mse(int bits) const {
   if (reservoir_.empty() || max_abs_ == 0.0f) return params(bits);
   Tensor sample(Shape{static_cast<int64_t>(reservoir_.size())});

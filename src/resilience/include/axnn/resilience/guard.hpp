@@ -64,7 +64,7 @@ public:
   enum class Action {
     kContinue,  ///< step is healthy
     kRollback,  ///< watched tensors restored; halve lr and restart the epoch
-    kAbort,     ///< rollback budget exhausted; stop training
+    kAbort,     ///< budget exhausted; watched tensors restored, stop training
   };
 
   /// `watched` are the tensors snapshotted by commit() and restored on

@@ -66,14 +66,16 @@ DivergenceGuard::Action DivergenceGuard::observe(double loss, double grad_norm, 
   }
   report_.events.push_back(std::move(ev));
 
+  // Restore the last committed state in both outcomes — an aborting run must
+  // leave the watched tensors at the last-known-good snapshot, not at the
+  // diverged values that triggered the event. A guard that never committed
+  // has nothing to restore (good_ empty) but still reports the event.
+  for (size_t i = 0; i < good_.size(); ++i) *watched_[i] = good_[i];
   if (report_.rollbacks >= cfg_.max_rollbacks) {
     report_.gave_up = true;
     return Action::kAbort;
   }
   ++report_.rollbacks;
-  // Restore the last committed state; a guard that never committed has
-  // nothing to restore (good_ empty) but still reports the event.
-  for (size_t i = 0; i < good_.size(); ++i) *watched_[i] = good_[i];
   return Action::kRollback;
 }
 

@@ -123,6 +123,27 @@ TEST_F(CheckpointFile, BitFlipDetectedByChecksum) {
   EXPECT_NE(msg.find("checksum mismatch"), std::string::npos) << msg;
 }
 
+TEST_F(CheckpointFile, MemoryLoadMatchesFileLoad) {
+  auto src = tiny_net(5);
+  save_params(*src, path_);
+  const std::string image = read_file(path_);
+
+  // The fuzz-harness entry point decodes the same image byte-for-byte.
+  auto dst = tiny_net(99);
+  load_params_from_memory(*dst, image.data(), image.size(), "image");
+  const auto ps = collect_params(*src), pd = collect_params(*dst);
+  ASSERT_EQ(ps.size(), pd.size());
+  for (size_t i = 0; i < ps.size(); ++i)
+    for (int64_t j = 0; j < ps[i]->value.numel(); ++j)
+      EXPECT_EQ(ps[i]->value[j], pd[i]->value[j]);
+
+  // And rejects truncations with the caller-supplied name in the message.
+  auto dst2 = tiny_net(99);
+  const std::string msg = message_of(
+      [&] { load_params_from_memory(*dst2, image.data(), image.size() / 2, "image"); });
+  EXPECT_NE(msg.find("image"), std::string::npos) << msg;
+}
+
 TEST_F(CheckpointFile, ShapeMismatchNamesParameterAndShapes) {
   auto src = tiny_net();
   save_params(*src, path_);

@@ -287,14 +287,21 @@ TEST(Guard, AbortsAfterRollbackBudget) {
   GuardConfig gc;
   gc.max_rollbacks = 2;
   Tensor w = ramp_tensor(4);
+  const Tensor committed = w;
   DivergenceGuard guard(gc, {&w});
   guard.commit();
+  w.fill(100.0f);  // diverged values the guard must roll back
   EXPECT_EQ(guard.observe(std::nan(""), 0.0, 0, 0, 0.1f), DivergenceGuard::Action::kRollback);
+  w.fill(200.0f);
   EXPECT_EQ(guard.observe(std::nan(""), 0.0, 0, 0, 0.05f), DivergenceGuard::Action::kRollback);
+  w.fill(300.0f);
   EXPECT_EQ(guard.observe(std::nan(""), 0.0, 0, 0, 0.025f), DivergenceGuard::Action::kAbort);
   EXPECT_TRUE(guard.report().gave_up);
   EXPECT_EQ(guard.report().rollbacks, 2);
   EXPECT_NE(guard.report().summary().find("gave up"), std::string::npos);
+  // The abort restores the watched tensors too: an exhausted run must end at
+  // the last committed snapshot, not at the diverged values.
+  for (int64_t i = 0; i < w.numel(); ++i) EXPECT_EQ(w[i], committed[i]);
 }
 
 TEST(Guard, CommitAdvancesTheRollbackTarget) {

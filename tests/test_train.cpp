@@ -243,6 +243,10 @@ TEST(TrainFp, RecoversFromTransientFaultBurst) {
 TEST(TrainFp, GuardGivesUpAfterRollbackBudget) {
   const auto data = micro_data();
   auto net = micro_net();
+  // Every step diverges, so the last good rollback point is the pre-run
+  // state the loop commits before the first batch.
+  std::vector<Tensor> before;
+  for (nn::Param* p : nn::collect_params(*net)) before.push_back(p->value);
   TrainConfig cfg;
   cfg.epochs = 5;
   cfg.batch_size = 30;
@@ -253,6 +257,12 @@ TEST(TrainFp, GuardGivesUpAfterRollbackBudget) {
   EXPECT_EQ(result.health.rollbacks, 2);
   EXPECT_LT(result.history.size(), 5u);  // aborted early instead of burning epochs
   EXPECT_FALSE(result.health.summary().empty());
+  // Exhaustion ends at the committed snapshot, not at the diverged values.
+  const auto after = nn::collect_params(*net);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i)
+    for (int64_t j = 0; j < after[i]->value.numel(); ++j)
+      EXPECT_EQ(after[i]->value[j], before[i][j]) << "param " << i << "[" << j << "]";
 }
 
 TEST_F(StageFixture, FineTuningImprovesApproximateAccuracy) {
@@ -263,6 +273,34 @@ TEST_F(StageFixture, FineTuningImprovesApproximateAccuracy) {
   auto fc = micro_ft(4);
   const auto result = approximation_stage(*net_, setup, data_.train, data_.test, fc);
   EXPECT_GE(result.best_acc, result.initial_acc);
+}
+
+TEST_F(StageFixture, FineTuneGuardExhaustionStopsAndRestores) {
+  const approx::SignedMulTable tab(axmul::make_lut("trunc4"));
+  ApproxStageSetup setup;
+  setup.mul = &tab;
+  setup.method = Method::kNormal;
+  std::vector<Tensor> before;
+  for (nn::Param* p : nn::collect_params(*net_)) before.push_back(p->value);
+
+  auto fc = micro_ft(5);
+  fc.guard.max_rollbacks = 2;
+  fc.guard.grad_norm_limit = 1e-12;  // every step counts as an explosion
+  const auto result = approximation_stage(*net_, setup, data_.train, data_.test, fc);
+
+  // Bounded retries actually stop: the run is marked unhealthy and ends
+  // before burning the epoch budget.
+  EXPECT_TRUE(result.health.gave_up);
+  EXPECT_EQ(result.health.rollbacks, 2);
+  EXPECT_LT(result.history.size(), 5u);
+
+  // The parameters come back at the last good rollback point — here the
+  // pre-fine-tune commit, since no step was ever accepted.
+  const auto after = nn::collect_params(*net_);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i)
+    for (int64_t j = 0; j < after[i]->value.numel(); ++j)
+      EXPECT_EQ(after[i]->value[j], before[i][j]) << "param " << i << "[" << j << "]";
 }
 
 TEST_F(StageFixture, ApproximationStageSurvivesFaultBurst) {

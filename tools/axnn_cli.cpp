@@ -14,7 +14,9 @@
 // flag. Any verb accepts `--report out.json` (machine-readable RunReport,
 // same schema as the bench harness) and `--timing` (attach a telemetry
 // collector; per-layer timings land in the report or on stdout).
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -35,7 +37,10 @@ struct CliOptions {
   std::optional<int> epochs;
   std::optional<float> lr;
   std::optional<int64_t> batch;
-  std::optional<double> fault_rate;  ///< weight bit-flip smoke sweep after run
+  std::optional<double> fault_rate;  ///< fault smoke sweep after run
+  std::string fault_surface = "weights";  ///< weights | lut | activations
+  bool sentinel = false;             ///< run the fault sweep under the sentinel
+  std::optional<int> degrade_policy; ///< violations per leaf before degradation
   std::vector<std::string> plan_entries;  ///< repeated --plan key=spec overrides
   std::string report_path;  ///< --report: write a RunReport JSON here
   bool timing = false;      ///< --timing: attach a telemetry collector
@@ -56,8 +61,16 @@ void print_usage() {
       "  --epochs <n>             fine-tuning epochs (default: profile)\n"
       "  --lr <f>                 fine-tuning learning rate\n"
       "  --batch <n>              fine-tuning batch size\n"
-      "  --fault-rate <p>         after 'approximate': re-evaluate under weight bit\n"
-      "                           flips at per-element rate p (fault smoke check)\n"
+      "  --fault-rate <p>         after 'approximate': re-evaluate under bit flips at\n"
+      "                           per-element rate p in [0, 1] (fault smoke check)\n"
+      "  --fault-surface <s>      what --fault-rate corrupts: weights (default), lut\n"
+      "                           (stuck-at faults in the multiplier table), or\n"
+      "                           activations (transient inter-layer flips)\n"
+      "  --sentinel               run the fault sweep under the runtime sentinel\n"
+      "                           (ABFT checksums, range guards, degradation) and\n"
+      "                           report detected violations + recovered accuracy\n"
+      "  --degrade-policy <n>     checksum violations at one layer before the\n"
+      "                           sentinel degrades it to golden re-execution (default 3)\n"
       "  --plan <key>=<spec>      per-layer plan override, repeatable; key is a layer\n"
       "                           path prefix (see 'inspect' for paths) or 'default',\n"
       "                           spec is <mul>[:wN][:aN][:add=<adder>][:noge]\n"
@@ -153,7 +166,35 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (arg == "--fault-rate") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
-      opt.fault_rate = std::atof(v);
+      char* end = nullptr;
+      const double rate = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !std::isfinite(rate) || rate < 0.0 || rate > 1.0) {
+        std::fprintf(stderr, "invalid --fault-rate '%s': expected a probability in [0, 1]\n", v);
+        return std::nullopt;
+      }
+      opt.fault_rate = rate;
+    } else if (arg == "--fault-surface") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      const std::string s = v;
+      if (s != "weights" && s != "lut" && s != "activations") {
+        std::fprintf(stderr, "invalid --fault-surface '%s': expected weights|lut|activations\n",
+                     v);
+        return std::nullopt;
+      }
+      opt.fault_surface = s;
+    } else if (arg == "--sentinel") {
+      opt.sentinel = true;
+    } else if (arg == "--degrade-policy") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0 || n > 1000000) {
+        std::fprintf(stderr, "invalid --degrade-policy '%s': expected a non-negative count\n", v);
+        return std::nullopt;
+      }
+      opt.degrade_policy = static_cast<int>(n);
     } else if (arg == "--plan") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -362,32 +403,73 @@ int cmd_approximate(const CliOptions& opt, obs::RunReport* report) {
   if (report != nullptr) report->set("run", core::to_json(run));
 
   if (opt.fault_rate) {
-    // Fault-sweep smoke check: corrupt a copy of the fine-tuned weights with
-    // transient bit flips and re-evaluate (see bench_fault_sweep for the
-    // full accuracy-vs-rate table).
+    // Fault-sweep smoke check: corrupt a copy of the fine-tuned model on the
+    // selected surface and re-evaluate; with --sentinel, evaluate a second
+    // time under the runtime monitor and report what it detected/recovered
+    // (see bench_fault_sweep / bench_sentinel_coverage for full tables).
     resilience::FaultSpec fs;
     fs.rate = *opt.fault_rate;
     fs.seed = 0xFA17;
+    if (opt.fault_surface == "lut") {
+      fs.kind = resilience::FaultKind::kStuckAt;
+      fs.bit_hi = 12;  // within the 4x8-bit product range
+    } else if (opt.fault_surface == "activations") {
+      fs.bit_hi = 27;  // spare the top exponent bits: corrupt, don't nuke
+    }
     const resilience::FaultInjector inj(fs);
     auto faulty = wb.clone();
-    std::vector<Tensor*> values;
-    for (nn::Param* p : nn::collect_params(*faulty)) values.push_back(&p->value);
-    resilience::corrupt_tensors(values, inj);
-    const approx::SignedMulTable tab(axmul::make_lut(opt.multiplier));
-    nn::ExecContext eval_ctx = nn::ExecContext::quant_approx(tab);
-    nn::PlanResolution res;  // must outlive the evaluation below
-    if (use_plan) {
+    approx::SignedMulTable tab(axmul::make_lut(opt.multiplier));
+    nn::PlanResolution res;  // must outlive the evaluations below
+
+    // Calibrate the sentinel against the *clean* clone and table — golden
+    // checksums and tolerances must describe the fault-free state.
+    sentinel::SentinelConfig sc;
+    if (opt.degrade_policy) sc.policy.degrade_after = *opt.degrade_policy;
+    sentinel::Sentinel sent(sc);
+    if (opt.sentinel) {
+      if (use_plan) {
+        res = nn::NetPlan::parse(label).resolve(*faulty);
+        sent.calibrate_plan(*faulty, res);
+      } else {
+        sent.calibrate_uniform(*faulty, tab, opt.multiplier);
+      }
+    } else if (use_plan) {
       res = nn::NetPlan::parse(label).resolve(*faulty);
-      eval_ctx = eval_ctx.with_plan(res);
     }
+
+    if (opt.fault_surface == "weights") {
+      std::vector<Tensor*> values;
+      for (nn::Param* p : nn::collect_params(*faulty)) values.push_back(&p->value);
+      resilience::corrupt_tensors(values, inj);
+    } else if (opt.fault_surface == "lut") {
+      resilience::corrupt_lut(tab, inj);
+    }
+
+    nn::ExecContext eval_ctx = nn::ExecContext::quant_approx(tab);
+    if (use_plan) eval_ctx = eval_ctx.with_plan(res);
+    if (opt.fault_surface == "activations") eval_ctx = eval_ctx.with_faults(inj);
+
     const double acc = train::evaluate_accuracy(*faulty, wb.data().test, eval_ctx);
-    std::printf("fault sweep: weight flip rate %g -> %.2f%% (clean %.2f%%, %lld bits flipped)\n",
-                *opt.fault_rate, 100.0 * acc, 100.0 * run.result.final_acc,
-                static_cast<long long>(inj.flips()));
+    std::printf("fault sweep: %s flip rate %g -> %.2f%% (clean %.2f%%, %lld bits flipped)\n",
+                opt.fault_surface.c_str(), *opt.fault_rate, 100.0 * acc,
+                100.0 * run.result.final_acc, static_cast<long long>(inj.flips()));
     if (report != nullptr) {
       report->metric("fault_rate", *opt.fault_rate);
+      report->metric("fault_surface", opt.fault_surface);
       report->metric("fault_acc", acc);
       report->metric("fault_bits_flipped", inj.flips());
+    }
+
+    if (opt.sentinel) {
+      const double guarded =
+          train::evaluate_accuracy(*faulty, wb.data().test, eval_ctx.with_monitor(sent));
+      const auto rep = sent.report();
+      std::printf("sentinel: %.2f%% under faults (unguarded %.2f%%) | %s\n", 100.0 * guarded,
+                  100.0 * acc, rep.summary().c_str());
+      if (report != nullptr) {
+        report->metric("sentinel_acc", guarded);
+        report->set("sentinel", core::to_json(rep));
+      }
     }
   }
   return 0;

@@ -1,0 +1,41 @@
+// axnn — fuzz harness for the AXNP checkpoint loader.
+//
+// Feeds arbitrary bytes through load_params_from_memory against a small
+// fixed model. The loader must reject every malformed input with a typed
+// exception (std::runtime_error / std::invalid_argument) — any other
+// escape (OOB read, unhandled throw, abort) is a finding.
+#include <cstdint>
+#include <cstddef>
+#include <exception>
+#include <stdexcept>
+
+#include "axnn/nn/linear.hpp"
+#include "axnn/nn/sequential.hpp"
+#include "axnn/nn/serialize.hpp"
+#include "axnn/tensor/rng.hpp"
+
+namespace {
+
+axnn::nn::Sequential& model() {
+  static axnn::nn::Sequential* m = [] {
+    axnn::Rng rng(7);
+    auto* seq = new axnn::nn::Sequential();
+    seq->emplace<axnn::nn::Linear>(4, 3, rng);
+    seq->emplace<axnn::nn::Linear>(3, 2, rng);
+    return seq;
+  }();
+  return *m;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  try {
+    axnn::nn::load_params_from_memory(model(), data, size, "<fuzz>");
+  } catch (const std::runtime_error&) {
+    // expected rejection path
+  } catch (const std::invalid_argument&) {
+    // expected rejection path
+  }
+  return 0;
+}

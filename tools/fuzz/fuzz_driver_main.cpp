@@ -1,0 +1,41 @@
+// axnn — standalone driver for fuzz harnesses on toolchains without
+// libFuzzer (GCC). Replays each file argument through
+// LLVMFuzzerTestOneInput once; with no arguments, reads one input from
+// stdin. Exit 0 means every input was handled.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int run_one(const std::string& bytes, const std::string& label) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  std::fprintf(stderr, "ok: %s (%zu bytes)\n", label.c_str(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    const std::string bytes((std::istreambuf_iterator<char>(std::cin)),
+                            std::istreambuf_iterator<char>());
+    return run_one(bytes, "<stdin>");
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream f(argv[i], std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    const std::string bytes((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+    if (run_one(bytes, argv[i]) != 0) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// axnn — fuzz harness for the NetPlan text-form parser.
+//
+// NetPlan::parse must reject malformed plan strings with
+// std::invalid_argument and, for every accepted input, round-trip through
+// to_string() + parse() without throwing — a parse of its own serialization
+// failing means the two forms disagree on the grammar.
+#include <cstdint>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "axnn/nn/plan.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const axnn::nn::NetPlan plan = axnn::nn::NetPlan::parse(text);
+    // Accepted input: the canonical form must survive a second parse.
+    const std::string canon = plan.to_string();
+    const axnn::nn::NetPlan again = axnn::nn::NetPlan::parse(canon);
+    if (again.to_string() != canon) __builtin_trap();
+  } catch (const std::invalid_argument&) {
+    // expected rejection path
+  }
+  return 0;
+}
