@@ -1,0 +1,103 @@
+// Serving latency/throughput under the axnn::serve engine (DESIGN.md §5g).
+//
+// Brings up one engine (stage-1 quantized ResNet-20 served under trunc5) and
+// drives it with the three canonical traffic shapes:
+//   * closed-loop (fixed concurrency) — measures saturated throughput,
+//   * open-loop Poisson at ~70% of that throughput — measures latency with
+//     coordinated omission accounted for (intended-arrival clock),
+//   * bursts — the micro-batcher's best case.
+// Each scenario lands one servingReport row under "serving" in
+// BENCH_serving_load.json (schema: definitions.servingReport); headline
+// percentiles are duplicated as flat metrics.
+#include "bench_common.hpp"
+
+AXNN_BENCH_CASE(serving_load, "Serving: micro-batched latency/throughput under load") {
+  using namespace axnn;
+
+  serve::ModelSpec spec;
+  spec.model = core::ModelKind::kResNet20;
+  spec.profile = core::BenchProfile::from_env();
+  // The serving path is what this bench measures — skip the approximation
+  // fine-tune; stage-1 weights behave identically for latency purposes.
+  spec.finetune = false;
+  spec.plan = "default=trunc5";
+  spec.batching.max_batch = 8;
+  spec.batching.max_delay_us = 2000;
+  spec.batching.queue_capacity = 64;
+
+  auto engine = serve::Engine::load(spec);
+  serve::Session& session = engine->session();
+  const data::Dataset& pool = engine->data().test;
+  const int requests = ctx.full ? 2048 : 192;
+
+  // Accuracy through the batched path — the serving-side counterpart of the
+  // accuracy tables, and a standing bit-identity check against the direct
+  // evaluation flow.
+  const double served_acc = engine->evaluate_accuracy(session, ctx.full ? 0 : 256);
+  std::printf("  served accuracy (trunc5, stage-1 weights): %s%%\n",
+              bench::pct(served_acc).c_str());
+  ctx.metric("served_acc", served_acc);
+
+  obs::Json serving = obs::Json::array();
+  core::Table t({"scenario", "req", "mean batch", "thr [req/s]", "p50 [ms]", "p95 [ms]",
+                 "p99 [ms]", "max [ms]", "misses", "blocked"});
+  const auto record = [&](const serve::LoadReport& r) {
+    serving.push_back(r.to_json());
+    t.add_row({r.scenario, core::Table::num(static_cast<double>(r.requests), 0),
+               core::Table::num(r.mean_batch, 2), core::Table::num(r.throughput_rps, 1),
+               core::Table::num(r.latency.p50, 2), core::Table::num(r.latency.p95, 2),
+               core::Table::num(r.latency.p99, 2), core::Table::num(r.latency.max, 2),
+               core::Table::num(static_cast<double>(r.deadline_misses), 0),
+               core::Table::num(static_cast<double>(r.queue_full_waits), 0)});
+  };
+
+  serve::LoadSpec closed;
+  closed.arrival = serve::Arrival::kClosed;
+  closed.requests = requests;
+  closed.clients = 8;
+  const serve::LoadReport rc = serve::run_load(*engine, session, pool, closed);
+  record(rc);
+  ctx.metric("closed_throughput_rps", rc.throughput_rps);
+  ctx.metric("closed_p99_ms", rc.latency.p99);
+
+  serve::LoadSpec poisson;
+  poisson.arrival = serve::Arrival::kPoisson;
+  poisson.requests = requests;
+  // Offered load at ~70% of the measured closed-loop service rate keeps the
+  // open-loop queue stable while still exercising batching.
+  poisson.rate_rps = std::max(10.0, 0.7 * rc.throughput_rps);
+  poisson.deadline_us = 50000;
+  const serve::LoadReport rp = serve::run_load(*engine, session, pool, poisson);
+  record(rp);
+  ctx.metric("poisson_rate_rps", poisson.rate_rps);
+  ctx.metric("poisson_p50_ms", rp.latency.p50);
+  ctx.metric("poisson_p99_ms", rp.latency.p99);
+  ctx.metric("poisson_deadline_misses", rp.deadline_misses);
+
+  serve::LoadSpec burst;
+  burst.arrival = serve::Arrival::kBurst;
+  burst.requests = requests;
+  burst.burst = 16;
+  const serve::LoadReport rb = serve::run_load(*engine, session, pool, burst);
+  record(rb);
+  ctx.metric("burst_mean_batch", rb.mean_batch);
+  ctx.metric("burst_p99_ms", rb.latency.p99);
+
+  std::printf("\n-- load scenarios (max_batch=%d, max_delay=%lldus) --\n",
+              spec.batching.max_batch, static_cast<long long>(spec.batching.max_delay_us));
+  bench::emit_table(ctx, "serving_load", t);
+  ctx.report.set("serving", std::move(serving));
+
+  const serve::EngineStats stats = engine->stats();
+  ctx.metric("total_batches", stats.batches);
+  ctx.metric("mean_batch", stats.mean_batch);
+  ctx.metric("flush_full", stats.flush_full);
+  ctx.metric("flush_timer", stats.flush_timer);
+
+  // Bursts of 16 against max_batch 8 must actually batch.
+  if (rb.mean_batch < 2.0) {
+    std::printf("FAIL: burst traffic did not batch (mean %.2f)\n", rb.mean_batch);
+    return 1;
+  }
+  return 0;
+}

@@ -125,20 +125,6 @@ public:
   /// Workbench calibrates once, see DESIGN.md §5d).
   ApproxRun run_approximation_stage(const ApproxStageSetup& setup);
 
-  /// Legacy uniform-multiplier entry point.
-  [[deprecated("use run_approximation_stage(ApproxStageSetup::uniform(id, method, t2)) — "
-               "the overload family collapsed into one NetPlan-first entry point")]]
-  ApproxRun run_approximation_stage(const std::string& multiplier_id, train::Method method,
-                                    float t2, std::optional<train::FineTuneConfig> override_cfg =
-                                                  std::nullopt);
-
-  /// Legacy plan entry point.
-  [[deprecated("use run_approximation_stage(ApproxStageSetup::with_plan(plan, method, t2)) — "
-               "the overload family collapsed into one NetPlan-first entry point")]]
-  ApproxRun run_approximation_stage(const nn::NetPlan& plan, train::Method method, float t2,
-                                    std::optional<train::FineTuneConfig> override_cfg =
-                                        std::nullopt);
-
   /// Approximate accuracy of the stage-1 model under a multiplier, without
   /// any fine-tuning ("Initial Acc." columns).
   double approx_initial_accuracy(const std::string& multiplier_id);

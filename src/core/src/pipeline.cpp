@@ -230,37 +230,11 @@ double Workbench::approx_initial_accuracy(const std::string& multiplier_id) {
   return train::evaluate_accuracy(*stage1_, data_.test, nn::ExecContext::quant_approx(tab));
 }
 
-namespace {
-
-/// The Workbench calibrates once (8A4W by default); a plan asking for other
-/// widths would silently run with steps chosen for the calibrated widths,
-/// so mismatches are an error, not a degradation.
-void check_plan_bit_widths(const nn::PlanResolution& res) {
-  for (const auto& e : res.entries()) {
-    int wgt = 0, act = 0;
-    if (auto* conv = dynamic_cast<nn::Conv2d*>(e.layer)) {
-      wgt = conv->weight_bits();
-      act = conv->activation_bits();
-    } else if (auto* lin = dynamic_cast<nn::Linear*>(e.layer)) {
-      wgt = lin->weight_bits();
-      act = lin->activation_bits();
-    }
-    if (wgt != e.plan.weight_bits || act != e.plan.activation_bits)
-      throw std::invalid_argument(
-          "Workbench: plan bit-widths at '" + e.path + "' (" +
-          std::to_string(e.plan.weight_bits) + "W/" + std::to_string(e.plan.activation_bits) +
-          "A) differ from the calibrated widths (" + std::to_string(wgt) + "W/" +
-          std::to_string(act) + "A); apply_bit_widths + recalibrate before the stage");
-  }
-}
-
-}  // namespace
-
 double Workbench::approx_initial_accuracy(const nn::NetPlan& plan) {
   if (!stage1_) throw std::logic_error("Workbench: run_quantization_stage first");
   const nn::PlanResolution res = plan.resolve(*stage1_);
   res.require_approximable();
-  check_plan_bit_widths(res);
+  res.require_bit_widths();
   const nn::ExecContext ctx{.mode = nn::ExecMode::kQuantApprox, .plan = &res};
   return train::evaluate_accuracy(*stage1_, data_.test, ctx);
 }
@@ -302,7 +276,7 @@ Workbench::ApproxRun Workbench::run_approximation_stage(const ApproxStageSetup& 
   ro.fit_ge = per_layer_fits;  // per-layer fits from each layer's GEMM shape
   const nn::PlanResolution res = setup.plan.resolve(*model_, ro);
   res.require_approximable();
-  check_plan_bit_widths(res);
+  res.require_bit_widths();
   run.plan_fits = res.fits().num_fits();
 
   // Uniform fit scope: one network-wide Monte-Carlo fit for the uniform
@@ -341,28 +315,5 @@ Workbench::ApproxRun Workbench::run_approximation_stage(const ApproxStageSetup& 
   }
   return run;
 }
-
-// Deprecated thin adaptors over the unified entry point. Suppress the
-// deprecation diagnostics for their own definitions under -Werror builds.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-Workbench::ApproxRun Workbench::run_approximation_stage(
-    const nn::NetPlan& plan, train::Method method, float t2,
-    std::optional<train::FineTuneConfig> override_cfg) {
-  ApproxStageSetup setup = ApproxStageSetup::with_plan(plan, method, t2);
-  setup.finetune = std::move(override_cfg);
-  return run_approximation_stage(setup);
-}
-
-Workbench::ApproxRun Workbench::run_approximation_stage(
-    const std::string& multiplier_id, train::Method method, float t2,
-    std::optional<train::FineTuneConfig> override_cfg) {
-  ApproxStageSetup setup = ApproxStageSetup::uniform(multiplier_id, method, t2);
-  setup.finetune = std::move(override_cfg);
-  return run_approximation_stage(setup);
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace axnn::core

@@ -1,14 +1,22 @@
-// axnn — umbrella header.
+// axnn — umbrella header (the library's one public include).
 //
 // Reproduction of "Knowledge Distillation and Gradient Estimation for Active
 // Error Compensation in Approximate Neural Networks" (DATE 2021).
 //
-// Quickstart:
+// Experimentation quickstart (training-side API):
 //   axnn::core::Workbench wb({.model = axnn::core::ModelKind::kResNet20,
 //                             .profile = axnn::core::BenchProfile::from_env()});
 //   wb.run_quantization_stage(/*use_kd=*/true);
 //   auto run = wb.run_approximation_stage(axnn::core::ApproxStageSetup::uniform(
 //       "trunc5", axnn::train::Method::kApproxKD_GE, /*t2=*/5.0f));
+//
+// Inference quickstart (serving-side API, DESIGN.md §5g):
+//   auto engine = axnn::serve::Engine::load({.plan = "default=trunc5"});
+//   auto& s = engine->session();
+//   auto r = s.await(s.submit(image));
+//
+// Link axnn::axnn; tools/check_headers.sh verifies this header compiles
+// standalone.
 #pragma once
 
 #include "axnn/approx/approx_gemm.hpp"
@@ -49,6 +57,7 @@
 #include "axnn/obs/bench.hpp"
 #include "axnn/obs/json.hpp"
 #include "axnn/obs/report.hpp"
+#include "axnn/obs/stats.hpp"
 #include "axnn/obs/telemetry.hpp"
 #include "axnn/quant/calibration.hpp"
 #include "axnn/quant/quantizer.hpp"
@@ -56,6 +65,8 @@
 #include "axnn/resilience/fault.hpp"
 #include "axnn/resilience/guard.hpp"
 #include "axnn/sentinel/sentinel.hpp"
+#include "axnn/serve/engine.hpp"
+#include "axnn/serve/loadgen.hpp"
 #include "axnn/tensor/gemm.hpp"
 #include "axnn/tensor/ops.hpp"
 #include "axnn/tensor/rng.hpp"

@@ -135,6 +135,14 @@ public:
   /// exact/float mode override. Call before running a plan-only context.
   void require_approximable() const;
 
+  /// Throw unless every entry's plan bit-widths match the widths its leaf is
+  /// currently quantized with. A plan asking for other widths would silently
+  /// run with steps calibrated for the current widths, so a mismatch is an
+  /// error, not a degradation: apply_bit_widths + recalibrate first. Both
+  /// the Workbench (which calibrates once) and the serving engine (which
+  /// admits tenant plans against already-calibrated weights) gate on this.
+  void require_bit_widths() const;
+
   /// Rewrite the resolved exec mode of one leaf in place — the sentinel's
   /// degradation path: a leaf with repeated checksum violations is demoted
   /// to exact/safe mode for every later pass through this resolution.

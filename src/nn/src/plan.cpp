@@ -199,6 +199,25 @@ void PlanResolution::require_approximable() const {
   if (bad) throw std::invalid_argument(os.str());
 }
 
+void PlanResolution::require_bit_widths() const {
+  for (const auto& e : entries_) {
+    int wgt = 0, act = 0;
+    if (auto* conv = dynamic_cast<Conv2d*>(e.layer)) {
+      wgt = conv->weight_bits();
+      act = conv->activation_bits();
+    } else if (auto* lin = dynamic_cast<Linear*>(e.layer)) {
+      wgt = lin->weight_bits();
+      act = lin->activation_bits();
+    }
+    if (wgt != e.plan.weight_bits || act != e.plan.activation_bits)
+      throw std::invalid_argument(
+          "PlanResolution: plan bit-widths at '" + e.path + "' (" +
+          std::to_string(e.plan.weight_bits) + "W/" + std::to_string(e.plan.activation_bits) +
+          "A) differ from the calibrated widths (" + std::to_string(wgt) + "W/" +
+          std::to_string(act) + "A); apply_bit_widths + recalibrate first");
+  }
+}
+
 NetPlan& NetPlan::set(std::string path, LayerPlan plan) {
   if (path.empty()) throw std::invalid_argument("NetPlan::set: empty path");
   overrides_[std::move(path)] = std::move(plan);

@@ -1,0 +1,23 @@
+// axnn — latency distribution summaries for serving/bench reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace axnn::obs {
+
+/// Nearest-rank percentiles of a latency sample, in the sample's unit
+/// (serving uses milliseconds). Zero-count summaries are all-zero.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  int64_t count = 0;
+};
+
+/// Summarize `samples` (sorted internally; the argument is consumed).
+LatencySummary summarize_latencies(std::vector<double> samples);
+
+}  // namespace axnn::obs

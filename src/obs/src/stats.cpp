@@ -1,0 +1,35 @@
+#include "axnn/obs/stats.hpp"
+
+#include <algorithm>
+
+namespace axnn::obs {
+
+namespace {
+
+/// Nearest-rank percentile of a sorted sample: the smallest value with at
+/// least p% of the sample at or below it.
+double nearest_rank(const std::vector<double>& sorted, double p) {
+  const auto n = static_cast<int64_t>(sorted.size());
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(n) + 0.999999);
+  rank = std::clamp<int64_t>(rank, 1, n);
+  return sorted[static_cast<size_t>(rank - 1)];
+}
+
+}  // namespace
+
+LatencySummary summarize_latencies(std::vector<double> samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = static_cast<int64_t>(samples.size());
+  s.p50 = nearest_rank(samples, 50.0);
+  s.p95 = nearest_rank(samples, 95.0);
+  s.p99 = nearest_rank(samples, 99.0);
+  s.max = samples.back();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  return s;
+}
+
+}  // namespace axnn::obs

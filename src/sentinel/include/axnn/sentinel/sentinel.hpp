@@ -141,6 +141,11 @@ struct SentinelReport {
   /// One line: "3 leaves, 12 violations (8 abft/0 weight/4 range), 8
   /// re-execs, 1 degraded".
   std::string summary() const;
+
+  /// Fold another report in: counters add per path (matched by path, order
+  /// preserved; unknown paths append), degraded flags OR, max_rel_dev takes
+  /// the max. The serving engine merges its per-lane sentinels with this.
+  void merge(const SentinelReport& other);
 };
 
 class Sentinel final : public nn::ForwardMonitor {

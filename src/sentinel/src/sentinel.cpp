@@ -65,6 +65,29 @@ std::string SentinelReport::summary() const {
   return os.str();
 }
 
+void SentinelReport::merge(const SentinelReport& other) {
+  for (const auto& o : other.leaves) {
+    LeafStats* mine = nullptr;
+    for (auto& l : leaves)
+      if (l.path == o.path) {
+        mine = &l;
+        break;
+      }
+    if (!mine) {
+      leaves.push_back(o);
+      continue;
+    }
+    mine->gemm_checks += o.gemm_checks;
+    mine->range_checks += o.range_checks;
+    mine->abft_violations += o.abft_violations;
+    mine->weight_violations += o.weight_violations;
+    mine->range_violations += o.range_violations;
+    mine->reexecs += o.reexecs;
+    mine->degraded = mine->degraded || o.degraded;
+    mine->max_rel_dev = std::max(mine->max_rel_dev, o.max_rel_dev);
+  }
+}
+
 Sentinel::Sentinel(SentinelConfig cfg) : cfg_(cfg) {}
 
 void Sentinel::calibrate_leaf(const nn::GemmLeaf& leaf, const approx::SignedMulTable* tab,

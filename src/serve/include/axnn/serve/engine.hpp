@@ -1,0 +1,291 @@
+// axnn — batched multi-tenant serving runtime (DESIGN.md §5g).
+//
+// The serving engine is the one supported way to run inference with this
+// library. Everything the lower layers expose piecemeal — Workbench training
+// and calibration, NetPlan resolution, FitRegistry, sentinel calibration,
+// obs telemetry — is sequenced behind a single entry point:
+//
+//   auto engine  = serve::Engine::load(spec);          // train/calibrate once
+//   auto& tenant = engine->open_session("t1", plan);   // per-tenant plan
+//   auto ticket  = tenant.submit(image);               // enqueue one request
+//   auto result  = tenant.await(ticket);               // logits + latency
+//
+// Architecture:
+//
+//   * One Engine owns the trained model and N execution *lanes* — clone()d
+//     model replicas. Conv/FC forward caches are member state, so a model
+//     instance is single-flight; lanes are how the engine runs batches
+//     concurrently without racing those caches. Lane count follows
+//     ThreadPool::plan_split: `lanes` inter-op batches, each fanning conv
+//     kernels over the remaining intra-op threads.
+//   * A Session is one tenant: a NetPlan resolved against every lane
+//     (multipliers, adders, bit-width checks, optional sentinel) over the
+//     *shared* weights. Tenants differ only in plans — loading the model
+//     once serves any number of approximation contracts.
+//   * Requests from all sessions share one preallocated slot pool. submit()
+//     copies the image into a free slot and links it into the session's
+//     ring; after warmup the submit path performs no heap allocation
+//     (asserted by test_serve). A dedicated dispatcher thread coalesces
+//     pending slots into batches of up to `max_batch`, flushing early when
+//     the oldest request's delay budget (`max_delay_us`) or explicit
+//     deadline expires — deadline-aware micro-batching.
+//
+// Batching is bit-transparent: a request's logits are identical to a
+// single-sample forward of the same image under the session's context, on
+// both the exact and approximate paths (per-sample im2col columns and
+// eval-mode BatchNorm make batch composition invisible).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "axnn/core/pipeline.hpp"
+#include "axnn/nn/plan.hpp"
+#include "axnn/sentinel/sentinel.hpp"
+#include "axnn/tensor/threadpool.hpp"
+
+namespace axnn::serve {
+
+/// Micro-batcher knobs.
+struct BatchingConfig {
+  /// Largest batch one dispatch executes; a full queue flushes immediately.
+  int max_batch = 8;
+  /// Delay budget of a partial batch: the dispatcher flushes whatever is
+  /// pending once the oldest request has waited this long.
+  int64_t max_delay_us = 2000;
+  /// Slots in the shared request pool. submit() blocks (backpressure) when
+  /// every slot is in flight. Must be >= max_batch.
+  int queue_capacity = 64;
+};
+
+/// Everything Engine::load needs: which model to bring up, how to train /
+/// restore it, and how to serve it.
+struct ModelSpec {
+  core::ModelKind model = core::ModelKind::kResNet20;
+  core::BenchProfile profile;
+  uint64_t data_seed = 0x51CA7;
+  uint64_t model_seed = 42;
+  bool use_cache = true;
+  bool verbose = false;
+
+  /// Default-session plan (NetPlan grammar, e.g. "default=trunc5").
+  std::string plan = "default=trunc5";
+  /// Run the approximation-stage fine-tuning for `plan` before serving
+  /// (method/t2 below). Off = serve the stage-1 quantized weights directly.
+  bool finetune = false;
+  train::Method method = train::Method::kApproxKD_GE;
+  float t2 = 5.0f;
+  /// Distill stage 1 from the FP teacher (Workbench use_kd).
+  bool kd_stage1 = true;
+
+  /// Calibrate a sentinel per (lane, session) and attach it to every
+  /// forward, so served traffic runs under fault detection.
+  bool sentinel = false;
+  sentinel::SentinelConfig sentinel_config;
+
+  BatchingConfig batching;
+  /// Inter-op lanes (concurrent batches). Clamped by plan_split to the
+  /// hardware; each lane is one model replica.
+  int lanes = 1;
+};
+
+/// Handle for one submitted request. Move-free POD; await()ing it twice
+/// throws (the slot is recycled on the first await).
+struct Ticket {
+  int slot = -1;
+  uint64_t seq = 0;
+};
+
+/// Completed request.
+struct Result {
+  Tensor logits;          ///< [num_classes]
+  int top1 = -1;
+  double latency_ms = 0;  ///< slot acquisition -> batch completion
+  int batch_size = 0;     ///< size of the batch this request rode in
+  bool deadline_met = true;
+};
+
+/// Aggregate dispatcher counters (monotonic since load).
+struct EngineStats {
+  int64_t requests = 0;       ///< completed requests
+  int64_t batches = 0;        ///< forward dispatches
+  int64_t flush_full = 0;     ///< batches flushed because max_batch was hit
+  int64_t flush_timer = 0;    ///< batches flushed by delay budget / deadline
+  int64_t max_batch = 0;      ///< largest batch executed
+  double mean_batch = 0.0;
+  int64_t deadline_misses = 0;
+  int64_t queue_full_waits = 0;  ///< submits that blocked on a full pool
+};
+
+class Engine;
+
+/// One tenant of an Engine: a resolved plan (and optional sentinel) per
+/// lane over the shared weights. Sessions are created by open_session and
+/// owned by the engine; handles stay valid for the engine's lifetime.
+/// submit/await are thread-safe and may be called from any thread.
+class Session {
+public:
+  const std::string& name() const { return name_; }
+  const std::string& plan_text() const { return plan_text_; }
+
+  /// Enqueue one [C,H,W] (or [1,C,H,W]) image. Blocks while the slot pool
+  /// is exhausted. `deadline_us` (0 = none) bounds how long the request may
+  /// wait for batch-mates: the dispatcher flushes a partial batch rather
+  /// than let it expire in the queue. Allocation-free after warmup.
+  Ticket submit(const Tensor& chw, int64_t deadline_us = 0);
+
+  /// Block until the request completes, return its result and recycle the
+  /// slot. A stale/duplicate ticket throws std::logic_error.
+  Result await(const Ticket& t);
+
+  /// The exec context lane `lane` serves this session with — the reference
+  /// for bit-identity checks against direct model forwards.
+  const nn::ExecContext& exec_context(int lane = 0) const;
+
+  /// Merged sentinel report across lanes (empty when the engine was loaded
+  /// without sentinel).
+  sentinel::SentinelReport sentinel_report() const;
+
+private:
+  friend class Engine;
+  Session() = default;
+
+  /// Per-lane serving state; PlanResolution/Sentinel are unique_ptr-held
+  /// for address stability (contexts and sentinels point into them).
+  struct Lane {
+    std::unique_ptr<nn::PlanResolution> resolution;
+    std::unique_ptr<sentinel::Sentinel> sentinel;
+    nn::ExecContext ctx;
+  };
+
+  Engine* engine_ = nullptr;
+  std::string name_;
+  std::string plan_text_;
+  std::vector<Lane> lanes_;
+  /// Pending slot indices, fixed ring of queue_capacity entries (guarded by
+  /// the engine mutex).
+  std::vector<int> ring_;
+  int ring_head_ = 0;
+  int ring_count_ = 0;
+};
+
+/// The serving runtime. load() is the only way to construct one.
+class Engine {
+public:
+  static std::unique_ptr<Engine> load(ModelSpec spec);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const ModelSpec& spec() const { return spec_; }
+  int lanes() const { return static_cast<int>(lanes_.size()); }
+  int num_classes() const { return num_classes_; }
+
+  /// The session created from spec.plan at load time.
+  Session& session() { return *sessions_.front(); }
+
+  /// Create a tenant serving `plan_text`. Resolves the plan against every
+  /// lane (throws on unknown multipliers, unmatched paths, bit-width
+  /// mismatches or non-approximable leaves) and, when the engine runs with
+  /// sentinel, calibrates a per-lane sentinel for it. Duplicate names throw.
+  Session& open_session(const std::string& name, const std::string& plan_text);
+
+  /// Block until every submitted request has completed (results may still
+  /// be waiting for await()).
+  void drain();
+
+  EngineStats stats() const;
+
+  /// Training-side handles, exposed for reference checks and tooling: the
+  /// lane model and the dataset the engine was trained on.
+  nn::Sequential& model(int lane = 0);
+  const data::SyntheticCifar& data() const;
+
+  /// Top-1 accuracy over the test set (up to `max_samples`, 0 = all),
+  /// routed through submit/await — i.e. through the real batched serving
+  /// path. Matches train::evaluate_accuracy under the session's context.
+  double evaluate_accuracy(Session& s, int64_t max_samples = 0);
+
+private:
+  friend class Session;
+
+  /// One request slot. input/logits are preallocated at load; submit only
+  /// copies into them.
+  struct Slot {
+    Tensor input;   ///< [C,H,W]
+    Tensor logits;  ///< [num_classes]
+    Session* session = nullptr;
+    int64_t submit_ns = 0;
+    int64_t deadline_ns = 0;  ///< absolute; 0 = none
+    int64_t flush_ns = 0;     ///< when the dispatcher must flush this slot
+    uint64_t seq = 0;         ///< 0 = free/recycled
+    bool done = false;
+    bool failed = false;
+    int batch_size = 0;
+    int top1 = -1;
+    double latency_ms = 0;
+    bool deadline_met = true;
+  };
+
+  /// One ready batch handed to a lane.
+  struct BatchWork {
+    Session* session = nullptr;
+    int lane = -1;
+    int count = 0;
+    bool timer_flush = false;
+    std::vector<int> slots;  ///< slot indices, preallocated to max_batch
+  };
+
+  Engine() = default;
+
+  void dispatcher_loop();
+  /// Gather up to max_batch pending slots of `s` into `work` (engine mutex
+  /// held).
+  void gather_batch(Session& s, BatchWork& work, int64_t now);
+  /// Execute one gathered batch on its lane (no engine mutex held).
+  void execute_batch(BatchWork& work);
+  void finish_batch(BatchWork& work, const Tensor* logits, std::exception_ptr error);
+
+  ModelSpec spec_;
+  std::unique_ptr<core::Workbench> wb_;
+  std::vector<std::unique_ptr<nn::Sequential>> lanes_;  ///< model replicas
+  std::unique_ptr<ThreadPool> inter_pool_;              ///< lanes > 1 only
+  std::vector<std::unique_ptr<Session>> sessions_;
+  int num_classes_ = 0;
+  int64_t chw_ = 0;  ///< input numel per sample
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_dispatch_;  ///< dispatcher wake-up
+  std::condition_variable cv_done_;      ///< request completion
+  std::condition_variable cv_free_;      ///< slot freed
+  std::vector<Slot> slots_;
+  std::vector<int> free_ring_;
+  int free_head_ = 0;
+  int free_count_ = 0;
+  uint64_t next_seq_ = 1;
+  int pending_total_ = 0;
+  int inflight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+
+  // Stats (guarded by mu_).
+  int64_t stat_requests_ = 0;
+  int64_t stat_batches_ = 0;
+  int64_t stat_flush_full_ = 0;
+  int64_t stat_flush_timer_ = 0;
+  int64_t stat_sum_batch_ = 0;
+  int64_t stat_max_batch_ = 0;
+  int64_t stat_deadline_misses_ = 0;
+  int64_t stat_queue_full_waits_ = 0;
+
+  std::vector<BatchWork> works_;  ///< one per lane, reused across dispatches
+  std::thread dispatcher_;
+};
+
+}  // namespace axnn::serve

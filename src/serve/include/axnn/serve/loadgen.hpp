@@ -1,0 +1,69 @@
+// axnn — serving load generator (bench_serving_load, CLI `serve` verb).
+//
+// Drives an Engine session with three canonical traffic shapes and reports
+// the latency distribution and throughput:
+//
+//   * closed  — N client threads in a submit→await loop: concurrency is
+//               fixed, arrival rate follows service rate.
+//   * poisson — open-loop Poisson arrivals at `rate_rps`: requests are
+//               launched on an exponential schedule regardless of
+//               completions. Latency is measured from the *intended*
+//               arrival time, so a stalled server accrues queueing delay
+//               instead of silently thinning the arrivals (the coordinated
+//               omission trap).
+//   * burst   — `burst` back-to-back submissions, await all, repeat: the
+//               best case for the micro-batcher, worst case for p99.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "axnn/data/dataset.hpp"
+#include "axnn/obs/json.hpp"
+#include "axnn/obs/stats.hpp"
+#include "axnn/serve/engine.hpp"
+
+namespace axnn::serve {
+
+enum class Arrival { kClosed, kPoisson, kBurst };
+
+std::string to_string(Arrival a);
+
+struct LoadSpec {
+  Arrival arrival = Arrival::kClosed;
+  int requests = 256;
+  /// Concurrent clients (closed loop only).
+  int clients = 4;
+  /// Mean arrival rate (poisson only).
+  double rate_rps = 200.0;
+  /// Requests per burst (burst only).
+  int burst = 16;
+  /// Per-request deadline passed to submit (0 = none).
+  int64_t deadline_us = 0;
+  /// Sample-selection / arrival-schedule seed.
+  uint64_t seed = 0xC1AE27;
+};
+
+/// One load run's results. Latencies are milliseconds; batching counters
+/// are deltas of the engine stats over the run.
+struct LoadReport {
+  std::string scenario;
+  int64_t requests = 0;
+  int64_t batches = 0;
+  double mean_batch = 0.0;
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  obs::LatencySummary latency;
+  int64_t deadline_misses = 0;
+  int64_t queue_full_waits = 0;
+
+  /// Flat object matching definitions.servingReport in
+  /// schemas/bench_report.schema.json.
+  obs::Json to_json() const;
+};
+
+/// Run `spec` against `session`, drawing inputs from `pool`.
+LoadReport run_load(Engine& engine, Session& session, const data::Dataset& pool,
+                    const LoadSpec& spec);
+
+}  // namespace axnn::serve

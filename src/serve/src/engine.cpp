@@ -1,0 +1,400 @@
+#include "axnn/serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "axnn/obs/telemetry.hpp"
+#include "axnn/train/evaluate.hpp"
+
+namespace axnn::serve {
+
+namespace {
+
+int argmax_row(const float* row, int n) {
+  int best = 0;
+  for (int j = 1; j < n; ++j)
+    if (row[j] > row[best]) best = j;
+  return best;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session
+
+Ticket Session::submit(const Tensor& chw, int64_t deadline_us) {
+  Engine& e = *engine_;
+  if (chw.numel() != e.chw_)
+    throw std::invalid_argument("Session::submit: expected " + std::to_string(e.chw_) +
+                                " input elements, got " + std::to_string(chw.numel()));
+  const int64_t now = obs::now_ns();
+  std::unique_lock<std::mutex> lk(e.mu_);
+  if (e.error_) std::rethrow_exception(e.error_);
+  if (e.free_count_ == 0) {
+    ++e.stat_queue_full_waits_;
+    e.cv_free_.wait(lk, [&] { return e.free_count_ > 0 || e.error_; });
+    if (e.error_) std::rethrow_exception(e.error_);
+  }
+  const int idx = e.free_ring_[static_cast<size_t>(e.free_head_)];
+  e.free_head_ = (e.free_head_ + 1) % static_cast<int>(e.free_ring_.size());
+  --e.free_count_;
+
+  Engine::Slot& slot = e.slots_[static_cast<size_t>(idx)];
+  slot.session = this;
+  slot.seq = e.next_seq_++;
+  slot.done = false;
+  slot.failed = false;
+  slot.submit_ns = now;
+  slot.deadline_ns = deadline_us > 0 ? now + deadline_us * 1000 : 0;
+  slot.flush_ns = now + e.spec_.batching.max_delay_us * 1000;
+  if (slot.deadline_ns != 0 && slot.deadline_ns < slot.flush_ns)
+    slot.flush_ns = slot.deadline_ns;
+  std::copy(chw.data(), chw.data() + chw.numel(), slot.input.data());
+
+  ring_[static_cast<size_t>((ring_head_ + ring_count_) % static_cast<int>(ring_.size()))] = idx;
+  ++ring_count_;
+  ++e.pending_total_;
+  e.cv_dispatch_.notify_one();
+  return Ticket{idx, slot.seq};
+}
+
+Result Session::await(const Ticket& t) {
+  Engine& e = *engine_;
+  if (t.slot < 0 || t.slot >= static_cast<int>(e.slots_.size()) || t.seq == 0)
+    throw std::logic_error("Session::await: invalid ticket");
+  std::unique_lock<std::mutex> lk(e.mu_);
+  Engine::Slot& slot = e.slots_[static_cast<size_t>(t.slot)];
+  if (slot.seq != t.seq)
+    throw std::logic_error("Session::await: stale ticket (already awaited?)");
+  e.cv_done_.wait(lk, [&] { return slot.done; });
+  if (slot.failed) {
+    slot.seq = 0;  // recycle even on failure
+    e.free_ring_[static_cast<size_t>((e.free_head_ + e.free_count_) %
+                                     static_cast<int>(e.free_ring_.size()))] = t.slot;
+    ++e.free_count_;
+    e.cv_free_.notify_one();
+    std::rethrow_exception(e.error_);
+  }
+  Result r;
+  r.logits = slot.logits;
+  r.top1 = slot.top1;
+  r.latency_ms = slot.latency_ms;
+  r.batch_size = slot.batch_size;
+  r.deadline_met = slot.deadline_met;
+
+  slot.seq = 0;
+  slot.done = false;
+  slot.session = nullptr;
+  e.free_ring_[static_cast<size_t>((e.free_head_ + e.free_count_) %
+                                   static_cast<int>(e.free_ring_.size()))] = t.slot;
+  ++e.free_count_;
+  e.cv_free_.notify_one();
+  return r;
+}
+
+const nn::ExecContext& Session::exec_context(int lane) const {
+  return lanes_.at(static_cast<size_t>(lane)).ctx;
+}
+
+sentinel::SentinelReport Session::sentinel_report() const {
+  sentinel::SentinelReport merged;
+  for (const auto& lane : lanes_)
+    if (lane.sentinel) merged.merge(lane.sentinel->report());
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Engine lifecycle
+
+std::unique_ptr<Engine> Engine::load(ModelSpec spec) {
+  if (spec.batching.max_batch < 1 || spec.batching.queue_capacity < spec.batching.max_batch)
+    throw std::invalid_argument("Engine::load: need 1 <= max_batch <= queue_capacity");
+  if (spec.lanes < 1) throw std::invalid_argument("Engine::load: lanes must be >= 1");
+
+  // Partition the machine: `lanes` concurrent batches, conv kernels get the
+  // rest. The global pool size is immutable once created, so the intra hint
+  // is best-effort when kernels already ran in this process.
+  const ThreadPool::Split split = ThreadPool::plan_split(spec.lanes);
+  spec.lanes = split.inter;
+  if (split.inter > 1) {
+    try {
+      ThreadPool::set_global_threads(split.intra);
+    } catch (const std::logic_error&) {
+      // Global pool already pinned; lanes still work, kernels keep its size.
+    }
+  }
+
+  std::unique_ptr<Engine> e(new Engine());
+  e->spec_ = spec;
+
+  core::WorkbenchConfig wcfg;
+  wcfg.model = spec.model;
+  wcfg.profile = spec.profile;
+  wcfg.data_seed = spec.data_seed;
+  wcfg.model_seed = spec.model_seed;
+  wcfg.use_cache = spec.use_cache;
+  wcfg.verbose = spec.verbose;
+  e->wb_ = std::make_unique<core::Workbench>(wcfg);
+  (void)e->wb_->run_quantization_stage(spec.kd_stage1);
+  if (spec.finetune) {
+    (void)e->wb_->run_approximation_stage(
+        core::ApproxStageSetup::with_plan(nn::NetPlan::parse(spec.plan), spec.method, spec.t2));
+  }
+
+  for (int i = 0; i < spec.lanes; ++i) e->lanes_.push_back(e->wb_->clone());
+  if (spec.lanes > 1) e->inter_pool_ = std::make_unique<ThreadPool>(split.inter);
+
+  const data::Dataset& test = e->wb_->data().test;
+  e->chw_ = test.channels() * test.height() * test.width();
+
+  Session& def = e->open_session("default", spec.plan);
+
+  // Probe once through lane 0: pins num_classes and warms the conv geometry
+  // caches for the single-sample shape.
+  const Tensor probe =
+      e->lanes_[0]->forward(test.slice(0, 1).first, def.exec_context(0));
+  e->num_classes_ = static_cast<int>(probe.shape()[probe.shape().rank() - 1]);
+
+  const int cap = spec.batching.queue_capacity;
+  e->slots_.resize(static_cast<size_t>(cap));
+  e->free_ring_.resize(static_cast<size_t>(cap));
+  for (int i = 0; i < cap; ++i) {
+    e->slots_[static_cast<size_t>(i)].input = Tensor(Shape{e->chw_});
+    e->slots_[static_cast<size_t>(i)].logits = Tensor(Shape{e->num_classes_});
+    e->free_ring_[static_cast<size_t>(i)] = i;
+  }
+  e->free_count_ = cap;
+
+  e->works_.resize(static_cast<size_t>(spec.lanes));
+  for (auto& w : e->works_) w.slots.resize(static_cast<size_t>(spec.batching.max_batch));
+
+  e->dispatcher_ = std::thread([raw = e.get()] { raw->dispatcher_loop(); });
+  return e;
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_dispatch_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+Session& Engine::open_session(const std::string& name, const std::string& plan_text) {
+  for (const auto& s : sessions_)
+    if (s->name() == name)
+      throw std::invalid_argument("Engine::open_session: duplicate session '" + name + "'");
+  const nn::NetPlan plan = nn::NetPlan::parse(plan_text);
+
+  auto session = std::unique_ptr<Session>(new Session());
+  session->engine_ = this;
+  session->name_ = name;
+  session->plan_text_ = plan_text;
+  session->ring_.resize(static_cast<size_t>(spec_.batching.queue_capacity));
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    Session::Lane lane;
+    // Serving never fits GE (default ResolveOptions: fits are training-only
+    // and plan_leaf_exec ignores them in eval contexts) — resolution cost
+    // stays table-building only.
+    lane.resolution = std::make_unique<nn::PlanResolution>(plan.resolve(*lanes_[i]));
+    lane.resolution->require_approximable();
+    lane.resolution->require_bit_widths();
+    lane.ctx = nn::ExecContext{.mode = nn::ExecMode::kQuantApprox}.with_plan(*lane.resolution);
+    if (spec_.sentinel) {
+      lane.sentinel = std::make_unique<sentinel::Sentinel>(spec_.sentinel_config);
+      lane.sentinel->calibrate_plan(*lanes_[i], *lane.resolution);
+      lane.ctx = lane.ctx.with_monitor(*lane.sentinel);
+    }
+    session->lanes_.push_back(std::move(lane));
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  sessions_.push_back(std::move(session));
+  return *sessions_.back();
+}
+
+nn::Sequential& Engine::model(int lane) { return *lanes_.at(static_cast<size_t>(lane)); }
+
+const data::SyntheticCifar& Engine::data() const { return wb_->data(); }
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  EngineStats s;
+  s.requests = stat_requests_;
+  s.batches = stat_batches_;
+  s.flush_full = stat_flush_full_;
+  s.flush_timer = stat_flush_timer_;
+  s.max_batch = stat_max_batch_;
+  s.mean_batch =
+      stat_batches_ > 0 ? static_cast<double>(stat_sum_batch_) / static_cast<double>(stat_batches_)
+                        : 0.0;
+  s.deadline_misses = stat_deadline_misses_;
+  s.queue_full_waits = stat_queue_full_waits_;
+  return s;
+}
+
+void Engine::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return (pending_total_ == 0 && inflight_ == 0) || error_; });
+  if (error_) std::rethrow_exception(error_);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+
+void Engine::gather_batch(Session& s, BatchWork& work, int64_t now) {
+  const int take = std::min(s.ring_count_, spec_.batching.max_batch);
+  work.session = &s;
+  work.count = take;
+  work.timer_flush = s.ring_count_ < spec_.batching.max_batch;
+  for (int i = 0; i < take; ++i) {
+    const int idx = s.ring_[static_cast<size_t>(s.ring_head_)];
+    s.ring_head_ = (s.ring_head_ + 1) % static_cast<int>(s.ring_.size());
+    work.slots[static_cast<size_t>(i)] = idx;
+  }
+  s.ring_count_ -= take;
+  pending_total_ -= take;
+  ++inflight_;
+  (void)now;
+}
+
+void Engine::execute_batch(BatchWork& work) {
+  Session& s = *work.session;
+  const int b = work.count;
+  Tensor batch(Shape{b, wb_->data().test.channels(), wb_->data().test.height(),
+                     wb_->data().test.width()});
+  for (int i = 0; i < b; ++i) {
+    const Slot& slot = slots_[static_cast<size_t>(work.slots[static_cast<size_t>(i)])];
+    std::copy(slot.input.data(), slot.input.data() + chw_, batch.data() + i * chw_);
+  }
+  Tensor out;
+  std::exception_ptr error;
+  const int64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+  try {
+    out = lanes_[static_cast<size_t>(work.lane)]->forward(batch,
+                                                          s.exec_context(work.lane));
+    if (out.numel() != static_cast<int64_t>(b) * num_classes_)
+      throw std::logic_error("serve: unexpected logits shape from lane forward");
+  } catch (...) {
+    error = std::current_exception();
+  }
+  if (obs::enabled() && !error) {
+    obs::Collector* c = obs::collector();
+    c->add("serve/" + s.name(), "batch.size", static_cast<double>(b));
+    c->add("serve/" + s.name(), "batch.ns", static_cast<double>(obs::now_ns() - t0));
+  }
+  finish_batch(work, error ? nullptr : &out, error);
+}
+
+void Engine::finish_batch(BatchWork& work, const Tensor* logits, std::exception_ptr error) {
+  const int64_t now = obs::now_ns();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (int i = 0; i < work.count; ++i) {
+    Slot& slot = slots_[static_cast<size_t>(work.slots[static_cast<size_t>(i)])];
+    if (logits) {
+      const float* row = logits->data() + static_cast<int64_t>(i) * num_classes_;
+      std::copy(row, row + num_classes_, slot.logits.data());
+      slot.top1 = argmax_row(row, num_classes_);
+    } else {
+      slot.failed = true;
+    }
+    slot.batch_size = work.count;
+    slot.latency_ms = static_cast<double>(now - slot.submit_ns) / 1e6;
+    slot.deadline_met = slot.deadline_ns == 0 || now <= slot.deadline_ns;
+    if (!slot.deadline_met) ++stat_deadline_misses_;
+    slot.done = true;
+  }
+  --inflight_;
+  ++stat_batches_;
+  stat_requests_ += work.count;
+  stat_sum_batch_ += work.count;
+  stat_max_batch_ = std::max<int64_t>(stat_max_batch_, work.count);
+  if (work.timer_flush)
+    ++stat_flush_timer_;
+  else
+    ++stat_flush_full_;
+  if (error && !error_) error_ = error;
+  cv_done_.notify_all();
+  if (error) cv_free_.notify_all();
+}
+
+void Engine::dispatcher_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    if (stop_) return;
+    const int64_t now = obs::now_ns();
+    // Pick ready sessions (full batch, or the oldest slot's flush time has
+    // passed), one batch per free lane.
+    int nwork = 0;
+    const int max_work = static_cast<int>(lanes_.size());
+    int64_t earliest_flush = 0;
+    for (auto& sp : sessions_) {
+      Session& s = *sp;
+      if (s.ring_count_ == 0) continue;
+      const Slot& oldest = slots_[static_cast<size_t>(s.ring_[static_cast<size_t>(s.ring_head_)])];
+      const bool full = s.ring_count_ >= spec_.batching.max_batch;
+      const bool expired = now >= oldest.flush_ns;
+      if ((full || expired) && nwork < max_work) {
+        works_[static_cast<size_t>(nwork)].lane = nwork;
+        gather_batch(s, works_[static_cast<size_t>(nwork)], now);
+        ++nwork;
+        if (s.ring_count_ > 0) {
+          const Slot& next = slots_[static_cast<size_t>(s.ring_[static_cast<size_t>(s.ring_head_)])];
+          if (earliest_flush == 0 || next.flush_ns < earliest_flush)
+            earliest_flush = next.flush_ns;
+        }
+      } else if (!full) {
+        if (earliest_flush == 0 || oldest.flush_ns < earliest_flush)
+          earliest_flush = oldest.flush_ns;
+      }
+    }
+    if (nwork > 0) {
+      lk.unlock();
+      if (nwork == 1) {
+        execute_batch(works_[0]);
+      } else {
+        // Inter-op fan-out: each ready batch runs on its own lane; conv
+        // kernels inside still parallel_for over the (cross-pool) global
+        // pool — the plan_split contract.
+        inter_pool_->parallel_for(
+            nwork, [&](int64_t b0, int64_t b1) {
+              for (int64_t w = b0; w < b1; ++w) execute_batch(works_[static_cast<size_t>(w)]);
+            },
+            1);
+      }
+      lk.lock();
+      continue;
+    }
+    if (pending_total_ > 0 && earliest_flush > 0) {
+      cv_dispatch_.wait_for(lk, std::chrono::nanoseconds(std::max<int64_t>(
+                                    1000, earliest_flush - obs::now_ns())));
+    } else {
+      cv_dispatch_.wait(lk, [&] { return stop_ || pending_total_ > 0; });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation through the serving path
+
+double Engine::evaluate_accuracy(Session& s, int64_t max_samples) {
+  const data::Dataset& ds = wb_->data().test;
+  int64_t n = ds.size();
+  if (max_samples > 0) n = std::min(n, max_samples);
+  const int64_t window = spec_.batching.queue_capacity;
+  std::vector<Ticket> tickets(static_cast<size_t>(window));
+  int64_t correct = 0;
+  for (int64_t base = 0; base < n; base += window) {
+    const int64_t count = std::min(window, n - base);
+    for (int64_t i = 0; i < count; ++i)
+      tickets[static_cast<size_t>(i)] = s.submit(ds.slice(base + i, 1).first);
+    for (int64_t i = 0; i < count; ++i) {
+      const Result r = s.await(tickets[static_cast<size_t>(i)]);
+      if (r.top1 == ds.labels[static_cast<size_t>(base + i)]) ++correct;
+    }
+  }
+  return n > 0 ? static_cast<double>(correct) / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace axnn::serve

@@ -1,0 +1,181 @@
+#include "axnn/serve/loadgen.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "axnn/obs/telemetry.hpp"
+#include "axnn/tensor/rng.hpp"
+
+namespace axnn::serve {
+
+std::string to_string(Arrival a) {
+  switch (a) {
+    case Arrival::kClosed: return "closed";
+    case Arrival::kPoisson: return "poisson";
+    case Arrival::kBurst: return "burst";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Closed loop: each client thread owns an equal share of the request count
+/// and cycles submit→await, so in-flight concurrency == clients.
+void run_closed(Session& s, const data::Dataset& pool, const LoadSpec& spec,
+                std::vector<double>& latencies_ms) {
+  std::mutex mu;
+  std::vector<std::thread> clients;
+  const int nclients = std::max(1, spec.clients);
+  for (int c = 0; c < nclients; ++c) {
+    const int share = spec.requests / nclients + (c < spec.requests % nclients ? 1 : 0);
+    clients.emplace_back([&, c, share] {
+      Rng rng(spec.seed + static_cast<uint64_t>(c) * 0x9E37u);
+      std::vector<double> local;
+      local.reserve(static_cast<size_t>(share));
+      for (int i = 0; i < share; ++i) {
+        const int64_t idx = rng.uniform_int(pool.size());
+        const Ticket t = s.submit(pool.slice(idx, 1).first, spec.deadline_us);
+        local.push_back(s.await(t).latency_ms);
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : clients) t.join();
+}
+
+/// Open loop: a submitter launches requests on the Poisson schedule and a
+/// collector awaits them in order. Latency = intended arrival → completion.
+void run_poisson(Session& s, const data::Dataset& pool, const LoadSpec& spec,
+                 std::vector<double>& latencies_ms) {
+  struct Launched {
+    Ticket ticket;
+    double queue_ms;  ///< intended arrival -> slot acquisition
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Launched> launched;
+  bool submit_done = false;
+
+  std::thread collector([&] {
+    latencies_ms.reserve(static_cast<size_t>(spec.requests));
+    for (int i = 0; i < spec.requests; ++i) {
+      Launched l;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return !launched.empty() || submit_done; });
+        if (launched.empty()) break;
+        l = launched.front();
+        launched.pop_front();
+      }
+      latencies_ms.push_back(l.queue_ms + s.await(l.ticket).latency_ms);
+    }
+  });
+
+  Rng rng(spec.seed);
+  const double rate = std::max(1e-6, spec.rate_rps);
+  int64_t intended_ns = obs::now_ns();
+  for (int i = 0; i < spec.requests; ++i) {
+    // Exponential inter-arrival gap; 1-u keeps the log argument in (0, 1].
+    intended_ns += static_cast<int64_t>(-std::log(1.0 - rng.uniform()) / rate * 1e9);
+    while (obs::now_ns() < intended_ns)
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    const int64_t idx = rng.uniform_int(pool.size());
+    const Ticket t = s.submit(pool.slice(idx, 1).first, spec.deadline_us);
+    // submit() just returned, so "now" is when the slot was acquired; any
+    // backpressure block is charged to the request, not dropped.
+    const double queue_ms = static_cast<double>(obs::now_ns() - intended_ns) / 1e6;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      launched.push_back({t, std::max(0.0, queue_ms)});
+    }
+    cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    submit_done = true;
+  }
+  cv.notify_one();
+  collector.join();
+}
+
+/// Bursts: submit `burst` requests back-to-back, then await the whole wave.
+void run_burst(Session& s, const data::Dataset& pool, const LoadSpec& spec,
+               std::vector<double>& latencies_ms) {
+  Rng rng(spec.seed);
+  const int burst = std::max(1, spec.burst);
+  std::vector<Ticket> wave(static_cast<size_t>(burst));
+  latencies_ms.reserve(static_cast<size_t>(spec.requests));
+  int remaining = spec.requests;
+  while (remaining > 0) {
+    const int n = std::min(burst, remaining);
+    for (int i = 0; i < n; ++i) {
+      const int64_t idx = rng.uniform_int(pool.size());
+      wave[static_cast<size_t>(i)] = s.submit(pool.slice(idx, 1).first, spec.deadline_us);
+    }
+    for (int i = 0; i < n; ++i)
+      latencies_ms.push_back(s.await(wave[static_cast<size_t>(i)]).latency_ms);
+    remaining -= n;
+  }
+}
+
+}  // namespace
+
+LoadReport run_load(Engine& engine, Session& session, const data::Dataset& pool,
+                    const LoadSpec& spec) {
+  if (spec.requests < 1) throw std::invalid_argument("run_load: requests must be >= 1");
+  if (pool.size() < 1) throw std::invalid_argument("run_load: empty sample pool");
+
+  const EngineStats before = engine.stats();
+  std::vector<double> latencies_ms;
+  const int64_t t0 = obs::now_ns();
+  switch (spec.arrival) {
+    case Arrival::kClosed: run_closed(session, pool, spec, latencies_ms); break;
+    case Arrival::kPoisson: run_poisson(session, pool, spec, latencies_ms); break;
+    case Arrival::kBurst: run_burst(session, pool, spec, latencies_ms); break;
+  }
+  engine.drain();
+  const double wall_s = static_cast<double>(obs::now_ns() - t0) / 1e9;
+  const EngineStats after = engine.stats();
+
+  LoadReport r;
+  r.scenario = to_string(spec.arrival);
+  r.requests = static_cast<int64_t>(latencies_ms.size());
+  r.batches = after.batches - before.batches;
+  r.mean_batch =
+      r.batches > 0 ? static_cast<double>(after.requests - before.requests) /
+                          static_cast<double>(r.batches)
+                    : 0.0;
+  r.wall_s = wall_s;
+  r.throughput_rps = wall_s > 0 ? static_cast<double>(r.requests) / wall_s : 0.0;
+  r.latency = obs::summarize_latencies(std::move(latencies_ms));
+  r.deadline_misses = after.deadline_misses - before.deadline_misses;
+  r.queue_full_waits = after.queue_full_waits - before.queue_full_waits;
+  return r;
+}
+
+obs::Json LoadReport::to_json() const {
+  obs::Json j;
+  j["scenario"] = scenario;
+  j["requests"] = requests;
+  j["batches"] = batches;
+  j["mean_batch"] = mean_batch;
+  j["wall_s"] = wall_s;
+  j["throughput_rps"] = throughput_rps;
+  j["p50_ms"] = latency.p50;
+  j["p95_ms"] = latency.p95;
+  j["p99_ms"] = latency.p99;
+  j["max_ms"] = latency.max;
+  j["mean_ms"] = latency.mean;
+  j["deadline_misses"] = deadline_misses;
+  j["queue_full_waits"] = queue_full_waits;
+  return j;
+}
+
+}  // namespace axnn::serve

@@ -32,6 +32,27 @@ public:
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// The pool the calling thread is a worker of, or nullptr when called from
+  /// a thread no pool owns (the main thread, a std::thread, another pool's
+  /// caller). parallel_for uses this to detect same-pool nesting.
+  static ThreadPool* current();
+
+  /// An explicit inter-op / intra-op partition of the machine: `inter`
+  /// concurrent coarse tasks (batched forwards, independent requests), each
+  /// fanning its kernels out over `intra` threads. inter * intra never
+  /// exceeds the hardware concurrency it was planned against.
+  struct Split {
+    int inter = 1;  ///< concurrent coarse tasks
+    int intra = 1;  ///< kernel threads available to each task
+  };
+
+  /// Plan a Split for `inter_hint` concurrent coarse tasks over `hw` threads
+  /// (0 = hardware_concurrency). The hint is clamped to [1, hw] and intra
+  /// takes the remaining parallelism (hw / inter, min 1), so a serving
+  /// engine batching over an inter-op pool while conv leaves call
+  /// parallel_for cannot oversubscribe the machine.
+  static Split plan_split(int inter_hint, int hw = 0);
+
   /// Process-wide pool, created on first use. Size can be pinned beforehand
   /// with set_global_threads(); defaults to hardware concurrency.
   static ThreadPool& global();
@@ -55,12 +76,19 @@ public:
   /// surfaces as a normal catchable exception instead of std::terminate.
   /// Remaining chunks still run (no cancellation); later exceptions of the
   /// same invocation are dropped. The pool stays usable afterwards.
+  ///
+  /// Nested use: a call from one of this pool's own workers runs inline on
+  /// the calling thread. Re-enqueueing would both oversubscribe (the outer
+  /// invocation already split the work across every worker) and deadlock
+  /// when all workers block waiting on chunks only they could run. Calls
+  /// from another pool's workers still fan out normally — that is the
+  /// supported inter-op (this pool) / intra-op (other pool) split.
   template <typename Fn>
   void parallel_for(int64_t n, Fn&& fn, int64_t grain = 1) {
     if (n <= 0) return;
     if (grain < 1) grain = 1;
     const int workers = size();
-    if (workers <= 1 || n <= grain) {
+    if (workers <= 1 || n <= grain || current() == this) {
       fn(0, n);
       return;
     }

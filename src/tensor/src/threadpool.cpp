@@ -11,6 +11,9 @@ namespace {
 std::atomic<int> g_requested_threads{0};
 std::atomic<bool> g_global_created{false};
 
+/// Set for the lifetime of worker_loop; read by ThreadPool::current().
+thread_local ThreadPool* t_worker_pool = nullptr;
+
 int resolve_thread_count(int threads) {
   if (threads > 0) return threads;
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
@@ -34,7 +37,18 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+ThreadPool* ThreadPool::current() { return t_worker_pool; }
+
+ThreadPool::Split ThreadPool::plan_split(int inter_hint, int hw) {
+  hw = resolve_thread_count(hw);
+  Split s;
+  s.inter = std::clamp(inter_hint, 1, hw);
+  s.intra = std::max(1, hw / s.inter);
+  return s;
+}
+
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     Task task;
     {

@@ -155,23 +155,6 @@ TEST(Pipeline, MobileNetKeepsBatchNorm) {
   EXPECT_EQ(run.result.history.size(), 2u);
 }
 
-TEST(Pipeline, DeprecatedUniformAdaptorMatchesSetup) {
-  Workbench wb(micro_config());
-  (void)wb.run_quantization_stage(false);
-  const auto via_setup = wb.run_approximation_stage(
-      ApproxStageSetup::uniform("trunc3", train::Method::kNormal, 1.0f));
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto via_legacy =
-      wb.run_approximation_stage("trunc3", train::Method::kNormal, 1.0f);
-#pragma GCC diagnostic pop
-  // The legacy overload is a pure adaptor: same seed, same restore point,
-  // bit-identical run.
-  EXPECT_EQ(via_legacy.multiplier, via_setup.multiplier);
-  EXPECT_DOUBLE_EQ(via_legacy.initial_acc, via_setup.initial_acc);
-  EXPECT_DOUBLE_EQ(via_legacy.result.final_acc, via_setup.result.final_acc);
-}
-
 TEST(Pipeline, ResNetBatchNormFolded) {
   Workbench wb(micro_config(ModelKind::kResNet20));
   EXPECT_TRUE(nn::collect_buffers(wb.model()).empty());

@@ -1,0 +1,250 @@
+// Serving runtime tests: batched-vs-sequential bit-identity on the exact and
+// approximate paths, deadline-driven partial flushes, multi-tenant isolation
+// under concurrent submits, allocation-free submit path, and the load
+// generator. One engine (micro profile) is shared by the whole suite —
+// loading trains a model, which dominates the suite's runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "axnn/axnn.hpp"
+
+// --- Global allocation counter -------------------------------------------
+// Counts operator-new calls made by the *calling thread* while armed, so the
+// dispatcher thread's batch-assembly allocations (which are allowed) never
+// leak into the measurement.
+namespace {
+thread_local bool t_count_allocs = false;
+thread_local int64_t t_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (t_count_allocs) ++t_alloc_count;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace axnn::serve {
+namespace {
+
+constexpr int kMaxBatch = 4;
+constexpr int kQueueCapacity = 16;
+constexpr const char* kApproxPlan = "default=trunc5";
+constexpr const char* kExactPlan = "default=trunc5:mode=exact";
+
+ModelSpec micro_spec() {
+  ModelSpec spec;
+  spec.model = core::ModelKind::kResNet20;
+  spec.profile.image_size = 8;
+  spec.profile.train_size = 160;
+  spec.profile.test_size = 80;
+  spec.profile.resnet_width = 0.25f;
+  spec.profile.fp_epochs = 4;
+  spec.profile.ft_epochs = 2;
+  spec.profile.ft_batch = 40;
+  spec.profile.quant_epochs = 1;
+  spec.profile.decay_every = 2;
+  spec.profile.cache_dir =
+      (std::filesystem::temp_directory_path() / "axnn_serve_cache").string();
+  spec.use_cache = false;
+  spec.plan = kApproxPlan;
+  spec.finetune = false;
+  spec.batching.max_batch = kMaxBatch;
+  spec.batching.max_delay_us = 20000;
+  spec.batching.queue_capacity = kQueueCapacity;
+  return spec;
+}
+
+class ServeFixture : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    engine_ = Engine::load(micro_spec()).release();
+    exact_ = &engine_->open_session("exact", kExactPlan);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+    exact_ = nullptr;
+  }
+
+  static Engine* engine_;
+  static Session* exact_;  ///< tenant serving the exact-mode plan
+};
+
+Engine* ServeFixture::engine_ = nullptr;
+Session* ServeFixture::exact_ = nullptr;
+
+/// Reference logits: a direct single-sample forward of lane 0 under the
+/// session's own context. Only valid while no requests are in flight (lane
+/// forward caches are single-flight).
+Tensor reference_logits(Engine& e, Session& s, const Tensor& sample) {
+  return e.model(0).forward(sample, s.exec_context(0));
+}
+
+TEST_F(ServeFixture, LoadValidatesSpec) {
+  ModelSpec bad = micro_spec();
+  bad.batching.queue_capacity = 2;  // < max_batch
+  EXPECT_THROW(Engine::load(bad), std::invalid_argument);
+  EXPECT_THROW(engine_->open_session("default", kApproxPlan), std::invalid_argument);
+  EXPECT_THROW(engine_->open_session("bad-plan", "default=no_such_mul"),
+               std::invalid_argument);
+  // Bit-width changes require recalibration; the engine refuses the tenant.
+  EXPECT_THROW(engine_->open_session("bad-widths", "default=trunc5:w3"),
+               std::invalid_argument);
+}
+
+TEST_F(ServeFixture, BatchedMatchesSequentialExactAndApprox) {
+  const data::Dataset& test = engine_->data().test;
+  for (Session* s : {&engine_->session(), exact_}) {
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < kMaxBatch; ++i)
+      tickets.push_back(s->submit(test.slice(i, 1).first));
+    std::vector<Result> results;
+    for (const Ticket& t : tickets) results.push_back(s->await(t));
+    engine_->drain();
+
+    for (int i = 0; i < kMaxBatch; ++i) {
+      // All four requests ride one full-batch flush...
+      EXPECT_EQ(results[static_cast<size_t>(i)].batch_size, kMaxBatch);
+      // ...yet every sample's logits are bit-identical to its own
+      // single-sample forward.
+      const Tensor ref = reference_logits(*engine_, *s, test.slice(i, 1).first);
+      ASSERT_EQ(ref.numel(), results[static_cast<size_t>(i)].logits.numel());
+      for (int64_t j = 0; j < ref.numel(); ++j)
+        ASSERT_EQ(ref[j], results[static_cast<size_t>(i)].logits[j])
+            << "session " << s->name() << " sample " << i << " logit " << j;
+    }
+  }
+  // The two plans genuinely serve different arithmetic.
+  const Tensor a = reference_logits(*engine_, engine_->session(), test.slice(0, 1).first);
+  const Tensor b = reference_logits(*engine_, *exact_, test.slice(0, 1).first);
+  bool differs = false;
+  for (int64_t j = 0; j < a.numel() && !differs; ++j) differs = a[j] != b[j];
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(ServeFixture, DeadlineExpiryFlushesPartialBatch) {
+  const EngineStats before = engine_->stats();
+  // One lone request with a 1 ms deadline: the batcher must not hold it for
+  // the 20 ms delay budget waiting for batch-mates.
+  const Ticket t =
+      engine_->session().submit(engine_->data().test.slice(0, 1).first, /*deadline_us=*/1000);
+  const Result r = engine_->session().await(t);
+  EXPECT_EQ(r.batch_size, 1);
+  EXPECT_LT(r.latency_ms, 20.0);
+  const EngineStats after = engine_->stats();
+  EXPECT_EQ(after.flush_timer, before.flush_timer + 1);
+  EXPECT_EQ(after.requests, before.requests + 1);
+}
+
+TEST_F(ServeFixture, MultiTenantIsolationUnderConcurrentSubmits) {
+  const data::Dataset& test = engine_->data().test;
+  constexpr int kRequests = 40;  // > queue_capacity: exercises backpressure
+  std::atomic<int> mismatches{0};
+
+  auto client = [&](Session* s, std::vector<Result>* out) {
+    for (int i = 0; i < kRequests; ++i)
+      out->push_back(s->await(s->submit(test.slice(i % test.size(), 1).first)));
+  };
+  std::vector<Result> approx_results, exact_results;
+  std::thread ta(client, &engine_->session(), &approx_results);
+  std::thread tb(client, exact_, &exact_results);
+  ta.join();
+  tb.join();
+  engine_->drain();
+
+  // Every result matches its own session's reference — concurrent tenants
+  // never leak each other's plan (tables, mode overrides) into a batch.
+  for (int i = 0; i < kRequests; ++i) {
+    const Tensor sample = test.slice(i % test.size(), 1).first;
+    const Tensor ra = reference_logits(*engine_, engine_->session(), sample);
+    const Tensor re = reference_logits(*engine_, *exact_, sample);
+    for (int64_t j = 0; j < ra.numel(); ++j) {
+      if (approx_results[static_cast<size_t>(i)].logits[j] != ra[j]) ++mismatches;
+      if (exact_results[static_cast<size_t>(i)].logits[j] != re[j]) ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ServeFixture, SubmitIsAllocationFreeAfterWarmup) {
+  Session& s = engine_->session();
+  const Tensor sample = engine_->data().test.slice(0, 1).first;
+  // Warmup: every slot has been through one submit/await cycle.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<Ticket> warm;
+    for (int i = 0; i < kQueueCapacity; ++i) warm.push_back(s.submit(sample));
+    for (const Ticket& t : warm) (void)s.await(t);
+  }
+  engine_->drain();
+
+  Ticket tickets[kQueueCapacity];
+  t_alloc_count = 0;
+  t_count_allocs = true;
+  for (int i = 0; i < kQueueCapacity; ++i) tickets[i] = s.submit(sample);
+  t_count_allocs = false;
+  EXPECT_EQ(t_alloc_count, 0) << "submit path allocated on the steady state";
+  for (const Ticket& t : tickets) (void)s.await(t);
+}
+
+TEST_F(ServeFixture, DoubleAwaitThrows) {
+  Session& s = engine_->session();
+  const Ticket t = s.submit(engine_->data().test.slice(0, 1).first);
+  (void)s.await(t);
+  EXPECT_THROW(s.await(t), std::logic_error);
+  EXPECT_THROW(s.await(Ticket{}), std::logic_error);
+  EXPECT_THROW(s.submit(Tensor(Shape{3})), std::invalid_argument);
+}
+
+TEST_F(ServeFixture, EvaluateAccuracyMatchesDirect) {
+  constexpr int64_t kSamples = 48;
+  const double served = engine_->evaluate_accuracy(engine_->session(), kSamples);
+  const data::Dataset& test = engine_->data().test;
+  data::Dataset subset;
+  auto [images, labels] = test.slice(0, kSamples);
+  subset.images = std::move(images);
+  subset.labels = std::move(labels);
+  const double direct = train::evaluate_accuracy(engine_->model(0), subset,
+                                                 engine_->session().exec_context(0));
+  EXPECT_DOUBLE_EQ(served, direct);
+}
+
+TEST_F(ServeFixture, LoadGeneratorScenarios) {
+  const data::Dataset& pool = engine_->data().test;
+  for (const Arrival arrival : {Arrival::kClosed, Arrival::kPoisson, Arrival::kBurst}) {
+    LoadSpec spec;
+    spec.arrival = arrival;
+    spec.requests = 24;
+    spec.clients = 4;
+    spec.rate_rps = 2000.0;
+    spec.burst = 8;
+    spec.deadline_us = 5000;
+    const LoadReport r = run_load(*engine_, engine_->session(), pool, spec);
+    EXPECT_EQ(r.scenario, to_string(arrival));
+    EXPECT_EQ(r.requests, 24);
+    EXPECT_GT(r.batches, 0);
+    EXPECT_GT(r.throughput_rps, 0.0);
+    EXPECT_LE(r.latency.p50, r.latency.p95);
+    EXPECT_LE(r.latency.p95, r.latency.p99);
+    EXPECT_LE(r.latency.p99, r.latency.max);
+    EXPECT_GE(r.mean_batch, 1.0);
+    const obs::Json j = r.to_json();
+    EXPECT_NE(j.find("p99_ms"), nullptr);
+  }
+  const EngineStats stats = engine_->stats();
+  EXPECT_GT(stats.batches, 0);
+  EXPECT_GE(stats.max_batch, 1);
+}
+
+}  // namespace
+}  // namespace axnn::serve

@@ -6,6 +6,7 @@
 //   axnn_cli quantize    [--no-kd-stage1] ...               + 8A4W stage 1
 //   axnn_cli approximate --multiplier trunc5 --method approxkd+ge --t2 5 ...
 //   axnn_cli sweep       --method approxkd+ge               every paper multiplier
+//   axnn_cli serve       --arrival poisson --rate 500 ...   batched serving runtime
 //   axnn_cli inspect     --multiplier trunc5                model + multiplier stats
 //   axnn_cli list-multipliers                               registry at a glance
 //
@@ -14,6 +15,7 @@
 // flag. Any verb accepts `--report out.json` (machine-readable RunReport,
 // same schema as the bench harness) and `--timing` (attach a telemetry
 // collector; per-layer timings land in the report or on stdout).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +44,18 @@ struct CliOptions {
   bool sentinel = false;             ///< run the fault sweep under the sentinel
   std::optional<int> degrade_policy; ///< violations per leaf before degradation
   std::vector<std::string> plan_entries;  ///< repeated --plan key=spec overrides
+  // serve verb
+  std::vector<std::string> tenants;  ///< repeated --tenant name=plantext
+  std::string arrival = "closed";    ///< closed | poisson | burst
+  int requests = 128;
+  int clients = 4;
+  double rate_rps = 200.0;
+  int burst = 16;
+  std::optional<int> max_batch;
+  std::optional<int64_t> batch_delay_us;
+  std::optional<int64_t> deadline_us;
+  std::optional<int> lanes;
+  bool serve_finetune = false;  ///< --finetune: approximation stage before serving
   std::string report_path;  ///< --report: write a RunReport JSON here
   bool timing = false;      ///< --timing: attach a telemetry collector
   bool kd_stage1 = true;
@@ -51,7 +65,7 @@ struct CliOptions {
 
 void print_usage() {
   std::printf(
-      "usage: axnn_cli [train|quantize|approximate|sweep|inspect|list-multipliers] [options]\n"
+      "usage: axnn_cli [train|quantize|approximate|sweep|serve|inspect|list-multipliers] [options]\n"
       "  (no verb or 'run' = approximate; the stages nest: quantize runs train's\n"
       "   stage first, approximate runs both)\n"
       "  --model resnet20|resnet32|mobilenetv2   (default resnet20)\n"
@@ -76,6 +90,19 @@ void print_usage() {
       "                           spec is <mul>[:wN][:aN][:add=<adder>][:noge]\n"
       "                           [:mode=float|exact|approx]. --multiplier stays the\n"
       "                           default for unmatched layers.\n"
+      "serve options (batched multi-tenant runtime, DESIGN.md §5g):\n"
+      "  --arrival closed|poisson|burst   traffic shape (default closed)\n"
+      "  --requests <n>           total requests per session (default 128)\n"
+      "  --clients <n>            closed-loop concurrency (default 4)\n"
+      "  --rate <rps>             poisson offered load in req/s (default 200)\n"
+      "  --burst <n>              burst wave size (default 16)\n"
+      "  --deadline-us <n>        per-request deadline; 0 = none (default 0)\n"
+      "  --max-batch <n>          micro-batcher coalescing limit (default 8)\n"
+      "  --batch-delay-us <n>     micro-batcher max hold time (default 2000)\n"
+      "  --lanes <n>              model replicas for parallel batches (default 1)\n"
+      "  --tenant <name>=<plan>   extra session on its own plan, repeatable,\n"
+      "                           e.g. --tenant premium=default=exact_8x4\n"
+      "  --finetune               run the approximation stage before serving\n"
       "  --report <out.json>      write a machine-readable run report (bench-harness\n"
       "                           schema; events also land in <out>.jsonl)\n"
       "  --timing                 collect per-layer telemetry; merged into --report\n"
@@ -106,7 +133,7 @@ bool parse_model(const std::string& s, core::ModelKind& out) {
 
 bool parse_verb(const std::string& s, std::string& out) {
   if (s == "train" || s == "quantize" || s == "approximate" || s == "sweep" ||
-      s == "inspect" || s == "list-multipliers") {
+      s == "serve" || s == "inspect" || s == "list-multipliers") {
     out = s;
     return true;
   }
@@ -199,6 +226,73 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
       opt.plan_entries.emplace_back(v);
+    } else if (arg == "--arrival") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      const std::string s = v;
+      if (s != "closed" && s != "poisson" && s != "burst") {
+        std::fprintf(stderr, "invalid --arrival '%s': expected closed|poisson|burst\n", v);
+        return std::nullopt;
+      }
+      opt.arrival = s;
+    } else if (arg == "--requests") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.requests = std::atoi(v);
+      if (opt.requests <= 0) {
+        std::fprintf(stderr, "invalid --requests '%s': expected a positive count\n", v);
+        return std::nullopt;
+      }
+    } else if (arg == "--clients") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.clients = std::atoi(v);
+      if (opt.clients <= 0) {
+        std::fprintf(stderr, "invalid --clients '%s': expected a positive count\n", v);
+        return std::nullopt;
+      }
+    } else if (arg == "--rate") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.rate_rps = std::atof(v);
+      if (!(opt.rate_rps > 0.0)) {
+        std::fprintf(stderr, "invalid --rate '%s': expected req/s > 0\n", v);
+        return std::nullopt;
+      }
+    } else if (arg == "--burst") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.burst = std::atoi(v);
+      if (opt.burst <= 0) {
+        std::fprintf(stderr, "invalid --burst '%s': expected a positive count\n", v);
+        return std::nullopt;
+      }
+    } else if (arg == "--deadline-us") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.deadline_us = std::atoll(v);
+    } else if (arg == "--max-batch") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.max_batch = std::atoi(v);
+    } else if (arg == "--batch-delay-us") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.batch_delay_us = std::atoll(v);
+    } else if (arg == "--lanes") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.lanes = std::atoi(v);
+    } else if (arg == "--tenant") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      if (std::strchr(v, '=') == nullptr) {
+        std::fprintf(stderr, "invalid --tenant '%s': expected <name>=<plan text>\n", v);
+        return std::nullopt;
+      }
+      opt.tenants.emplace_back(v);
+    } else if (arg == "--finetune") {
+      opt.serve_finetune = true;
     } else if (arg == "--report") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -498,6 +592,90 @@ int cmd_sweep(const CliOptions& opt, obs::RunReport* report) {
   return 0;
 }
 
+// Bring up the serving engine (DESIGN.md §5g) and drive it with the
+// requested traffic shape. The default session serves the composed
+// --multiplier/--plan text; each --tenant name=plan opens another session
+// over the same weights and gets its own load run, so one invocation
+// exercises true multi-tenant batching. Reports land under "serving" in the
+// --report JSON (definitions.servingReport, same rows as bench_serving_load).
+int cmd_serve(const CliOptions& opt, obs::RunReport* report) {
+  serve::ModelSpec spec;
+  spec.model = opt.model;
+  if (opt.full) setenv("AXNN_REPRO_FULL", "1", 1);
+  spec.profile = core::BenchProfile::from_env();
+  spec.verbose = opt.verbose;
+  spec.plan = compose_plan_text(opt);
+  spec.kd_stage1 = opt.kd_stage1;
+  spec.finetune = opt.serve_finetune;
+  spec.method = opt.method;
+  if (const auto mul = axmul::find_spec(opt.multiplier)) spec.t2 = pick_t2(opt, *mul);
+  spec.sentinel = opt.sentinel;
+  if (opt.degrade_policy) spec.sentinel_config.policy.degrade_after = *opt.degrade_policy;
+  if (opt.max_batch) spec.batching.max_batch = *opt.max_batch;
+  if (opt.batch_delay_us) spec.batching.max_delay_us = *opt.batch_delay_us;
+  if (opt.lanes) spec.lanes = *opt.lanes;
+  spec.batching.queue_capacity =
+      std::max(spec.batching.queue_capacity, spec.batching.max_batch);
+
+  auto engine = serve::Engine::load(spec);
+  std::printf("engine up: %d lane(s), max_batch %d, max_delay %lldus\n", engine->lanes(),
+              spec.batching.max_batch, static_cast<long long>(spec.batching.max_delay_us));
+
+  std::vector<serve::Session*> sessions{&engine->session()};
+  for (const auto& t : opt.tenants) {
+    const size_t eq = t.find('=');
+    sessions.push_back(&engine->open_session(t.substr(0, eq), t.substr(eq + 1)));
+  }
+
+  serve::LoadSpec load;
+  if (opt.arrival == "poisson") load.arrival = serve::Arrival::kPoisson;
+  else if (opt.arrival == "burst") load.arrival = serve::Arrival::kBurst;
+  load.requests = opt.requests;
+  load.clients = opt.clients;
+  load.rate_rps = opt.rate_rps;
+  load.burst = opt.burst;
+  if (opt.deadline_us) load.deadline_us = *opt.deadline_us;
+
+  obs::Json serving = obs::Json::array();
+  core::Table table({"session", "plan", "scenario", "req", "mean batch", "thr [req/s]",
+                     "p50 [ms]", "p99 [ms]", "misses"});
+  for (serve::Session* s : sessions) {
+    const serve::LoadReport r = serve::run_load(*engine, *s, engine->data().test, load);
+    std::printf("%s (%s): %.1f req/s, p50 %.2fms p95 %.2fms p99 %.2fms, mean batch %.2f\n",
+                s->name().c_str(), r.scenario.c_str(), r.throughput_rps, r.latency.p50,
+                r.latency.p95, r.latency.p99, r.mean_batch);
+    obs::Json row = r.to_json();
+    row["session"] = s->name();
+    serving.push_back(std::move(row));
+    table.add_row({s->name(), s->plan_text(), r.scenario,
+                   core::Table::num(static_cast<double>(r.requests), 0),
+                   core::Table::num(r.mean_batch, 2), core::Table::num(r.throughput_rps, 1),
+                   core::Table::num(r.latency.p50, 2), core::Table::num(r.latency.p99, 2),
+                   core::Table::num(static_cast<double>(r.deadline_misses), 0)});
+    if (opt.sentinel) {
+      const auto rep = s->sentinel_report();
+      std::printf("  sentinel[%s]: %s\n", s->name().c_str(), rep.summary().c_str());
+    }
+  }
+  table.print();
+  report_table(report, "serve", table);
+
+  const serve::EngineStats stats = engine->stats();
+  std::printf("engine totals: %lld requests in %lld batches (mean %.2f, max %lld), "
+              "%lld timer flushes\n",
+              static_cast<long long>(stats.requests), static_cast<long long>(stats.batches),
+              stats.mean_batch, static_cast<long long>(stats.max_batch),
+              static_cast<long long>(stats.flush_timer));
+  if (report != nullptr) {
+    report->set("serving", std::move(serving));
+    report->metric("requests", stats.requests);
+    report->metric("batches", stats.batches);
+    report->metric("mean_batch", stats.mean_batch);
+    report->metric("deadline_misses", stats.deadline_misses);
+  }
+  return 0;
+}
+
 int dispatch(const CliOptions& opt, obs::RunReport* report) {
   if (opt.verb == "list-multipliers") return cmd_list_multipliers(report);
   if (opt.verb == "inspect") return cmd_inspect(opt, report);
@@ -505,6 +683,7 @@ int dispatch(const CliOptions& opt, obs::RunReport* report) {
   if (opt.verb == "quantize") return cmd_quantize(opt, report);
   if (opt.verb == "approximate") return cmd_approximate(opt, report);
   if (opt.verb == "sweep") return cmd_sweep(opt, report);
+  if (opt.verb == "serve") return cmd_serve(opt, report);
   std::fprintf(stderr, "unknown command '%s'\n", opt.verb.c_str());
   print_usage();
   return 1;

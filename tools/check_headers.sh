@@ -7,7 +7,7 @@ set -u
 cd "$(dirname "$0")/.."
 
 INCLUDES=()
-for dir in src/*/include; do
+for dir in src/include src/*/include; do
   INCLUDES+=("-I" "$dir")
 done
 
@@ -18,10 +18,10 @@ checked=0
 # -Werror if the header itself were the main file).
 tu=$(mktemp --suffix=.cpp)
 trap 'rm -f "$tu" /tmp/header_err.$$' EXIT
-for hpp in src/*/include/axnn/*.hpp src/*/include/axnn/*/*.hpp; do
+for hpp in src/include/axnn/*.hpp src/*/include/axnn/*.hpp src/*/include/axnn/*/*.hpp; do
   [ -f "$hpp" ] || continue
   checked=$((checked + 1))
-  printf '#include "%s"\n' "${hpp#src/*/include/}" > "$tu"
+  printf '#include "%s"\n' "${hpp#*include/}" > "$tu"
   if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Werror \
        "${INCLUDES[@]}" "$tu" 2>/tmp/header_err.$$; then
     echo "NOT self-contained: $hpp"

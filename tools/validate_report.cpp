@@ -128,6 +128,32 @@ void check_tables(const std::string& file, const Json& tables) {
   }
 }
 
+void check_serving(const std::string& file, const Json& serving) {
+  static const char* kNumericKeys[] = {"requests",   "batches",        "mean_batch",
+                                       "wall_s",     "throughput_rps", "p50_ms",
+                                       "p95_ms",     "p99_ms",         "max_ms",
+                                       "mean_ms",    "deadline_misses", "queue_full_waits"};
+  for (size_t i = 0; i < serving.items().size(); ++i) {
+    const Json& entry = serving.items()[i];
+    const std::string where = "serving[" + std::to_string(i) + "]";
+    if (!entry.is_object()) {
+      fail(file, where, "expected a servingReport object");
+      continue;
+    }
+    const Json* scenario = entry.find("scenario");
+    if (scenario == nullptr || !scenario->is_string())
+      fail(file, where + ".scenario", "expected string");
+    for (const char* key : kNumericKeys) {
+      const Json* v = entry.find(key);
+      if (v == nullptr)
+        fail(file, where, std::string("missing key '") + key + "'");
+      else if (!v->is_number())
+        fail(file, where + "." + key,
+             std::string("expected number, got ") + type_name(v->type()));
+    }
+  }
+}
+
 void validate(const std::string& file, const Json& schema, const Json& report) {
   if (!report.is_object()) {
     fail(file, "$", "report root must be an object");
@@ -146,12 +172,14 @@ void validate(const std::string& file, const Json& schema, const Json& report) {
         fail(file, key, "expected " + want->str() + ", got " + type_name(value->type()));
     }
   }
-  for (const char* section : {"metrics", "tables", "telemetry"})
+  for (const char* section : {"metrics", "tables", "telemetry", "serving"})
     if (const Json* v = report.find(section)) reject_nulls(file, section, *v);
   if (const Json* tel = report.find("telemetry"); tel != nullptr && tel->is_object())
     check_telemetry(file, *tel);
   if (const Json* tables = report.find("tables"); tables != nullptr && tables->is_object())
     check_tables(file, *tables);
+  if (const Json* serving = report.find("serving"); serving != nullptr && serving->is_array())
+    check_serving(file, *serving);
 }
 
 }  // namespace
