@@ -59,6 +59,8 @@
 #include "axnn/obs/report.hpp"
 #include "axnn/obs/stats.hpp"
 #include "axnn/obs/telemetry.hpp"
+#include "axnn/qos/governor.hpp"
+#include "axnn/qos/operating_point.hpp"
 #include "axnn/quant/calibration.hpp"
 #include "axnn/quant/quantizer.hpp"
 #include "axnn/resilience/crc32.hpp"

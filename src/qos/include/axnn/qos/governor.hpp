@@ -1,0 +1,157 @@
+// axnn — QoS governor: hysteretic operating-point switching (DESIGN.md §5h).
+//
+// The Governor decides, once per tick, which ladder point a session should
+// serve. It is deliberately a pure state machine — no threads, no clocks,
+// no engine types: the serving engine samples its signals under the engine
+// mutex and calls update(); unit tests drive it with synthetic signals and
+// a synthetic clock. Three signal families produce *pressure*:
+//
+//   health  — sentinel violation rate / newly degraded leaves (a faulty
+//             deployment moves to a safer point before accuracy collapses),
+//   load    — observed p95 vs the deadline, queue depth, submit-side
+//             backpressure (queue_full_waits),
+//   energy  — rolling estimated energy rate vs a configured cap (only
+//             actionable when the next point down is actually cheaper).
+//
+// Priority is health > load > energy. Under pressure the governor steps
+// DOWN the ladder one point at a time, at most once per dwell_ms. With no
+// pressure for recover_ms (and the recovery margins satisfied) it steps
+// back UP, again one point per dwell. Dwell + step-at-a-time + the recovery
+// margin are what prevent flapping under an oscillating signal (test_qos).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "axnn/obs/json.hpp"
+#include "axnn/qos/operating_point.hpp"
+
+namespace axnn::qos {
+
+/// Why a transition happened.
+enum class Cause { kLoad, kEnergy, kHealth, kRecovery, kManual };
+
+const char* to_string(Cause c);
+
+/// Governor thresholds. A threshold of 0 disables that trigger.
+struct GovernorConfig {
+  /// How often the engine samples signals and ticks the governor.
+  int64_t tick_interval_ms = 20;
+  /// Minimum time between two ladder moves (either direction).
+  int64_t dwell_ms = 250;
+  /// Continuous pressure-free time required before stepping back up.
+  int64_t recover_ms = 1500;
+
+  /// Load: step down when observed p95 exceeds this (ms). Recovery
+  /// additionally requires p95 <= p95_recover_frac * p95_high_ms.
+  double p95_high_ms = 0.0;
+  double p95_recover_frac = 0.5;
+  /// Load: step down when the session's queue depth reaches this.
+  int queue_high = 0;
+  /// Load: step down when submits blocked on a full slot pool this tick.
+  bool react_to_backpressure = true;
+
+  /// Energy: step down when the session's estimated energy rate (units/s,
+  /// 1.0 = one exact MAC) exceeds this — only when the next point down is
+  /// strictly cheaper per request. Recovery projects the rate at the upper
+  /// point and requires it under energy_recover_frac * cap.
+  double energy_cap_per_s = 0.0;
+  double energy_recover_frac = 0.8;
+
+  /// Health: step down when the sentinel violation rate (violations/checks
+  /// over the tick window) exceeds this.
+  double violation_rate_high = 0.0;
+  /// Health: step down whenever the tick window saw newly degraded leaves.
+  bool step_down_on_degraded = true;
+
+  void validate() const;  ///< throws std::invalid_argument on nonsense
+};
+
+/// One tick's observations. Rates/deltas are over the window since the
+/// previous tick; now_ns is any monotonic clock (tests use a synthetic one).
+struct GovernorSignals {
+  int64_t now_ns = 0;
+  double p95_ms = 0.0;            ///< completed-request p95, current window
+  int queue_depth = 0;            ///< session pending ring occupancy
+  int64_t queue_full_waits = 0;   ///< pool-exhausted submits since last tick
+  double energy_rate = 0.0;       ///< estimated units/s since last tick
+  double violation_rate = 0.0;    ///< sentinel violations/checks since last tick
+  int64_t new_degraded = 0;       ///< leaves degraded since last tick
+};
+
+/// One ladder move.
+struct Transition {
+  int64_t t_ns = 0;  ///< signal clock at the move
+  int from = 0;
+  int to = 0;
+  Cause cause = Cause::kManual;
+  std::string detail;  ///< human-readable trigger, e.g. "p95 41.2ms > 25ms"
+
+  obs::Json to_json(int64_t t0_ns = 0) const;
+};
+
+class Governor {
+public:
+  /// `points` is the calibrated ladder (metadata drives the energy guard);
+  /// must be non-empty. `initial` is the starting point index.
+  Governor(GovernorConfig cfg, std::vector<OperatingPoint> points, int initial = 0);
+
+  const GovernorConfig& config() const { return cfg_; }
+  const std::vector<OperatingPoint>& points() const { return points_; }
+  int active() const { return active_; }
+  int num_points() const { return static_cast<int>(points_.size()); }
+
+  /// One tick: fold the observations, maybe move one ladder step. Returns
+  /// the transition when a move happened.
+  std::optional<Transition> update(const GovernorSignals& s);
+
+  /// Unconditional move (CLI / tests); bypasses hysteresis but resets the
+  /// dwell and calm clocks so the next automatic move still waits.
+  Transition force(int to, int64_t now_ns);
+
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Wall-clock spent in each point so far (signal-clock based; the open
+  /// interval of the current point extends to now_ns).
+  std::vector<double> time_in_point_ms(int64_t now_ns) const;
+
+private:
+  Transition move(int to, Cause cause, std::string detail, int64_t now_ns);
+
+  GovernorConfig cfg_;
+  std::vector<OperatingPoint> points_;
+  int active_ = 0;
+  bool started_ = false;       ///< first tick seen (arms dwell/time accounting)
+  bool moved_ = false;         ///< any move yet (dwell runs from first tick until then)
+  bool calm_ = false;          ///< calm window armed (false = under pressure)
+  int64_t last_move_ns_ = 0;
+  int64_t first_tick_ns_ = 0;
+  int64_t calm_since_ns_ = 0;
+  int64_t enter_ns_ = 0;       ///< when the active point was entered
+  std::vector<double> time_in_point_ms_;
+  std::vector<Transition> transitions_;
+};
+
+/// Per-session QoS summary (Engine::qos_report()).
+struct SessionQos {
+  std::string session;
+  int active = 0;
+  std::vector<int64_t> requests_per_point;
+  std::vector<double> time_in_point_ms;
+  std::vector<Transition> transitions;
+};
+
+/// The "qos" section of a run report: the calibrated ladder plus every
+/// governed session's activity (schema: definitions.qosReport).
+struct QosReport {
+  std::vector<OperatingPoint> points;
+  std::vector<SessionQos> sessions;
+  int64_t t0_ns = 0;  ///< engine load time; transition times are relative
+
+  obs::Json to_json() const;
+  std::string summary() const;  ///< one line for CLI output
+};
+
+}  // namespace axnn::qos

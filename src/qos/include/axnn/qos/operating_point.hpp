@@ -1,0 +1,61 @@
+// axnn — QoS operating-point ladders (DESIGN.md §5h).
+//
+// An operating-point set is an ordered ladder of named NetPlans over one
+// shared weight set — e.g. high-accuracy / balanced / low-energy — written
+// in a line-oriented text format:
+//
+//   # comments and blank lines are ignored
+//   point high-accuracy = default=trunc5
+//   point balanced      = default=trunc5:mode=exact; stack2=trunc5
+//   point low-latency   = default=trunc5:mode=exact
+//
+// Order is the ladder: index 0 is the best-effort point, higher indices are
+// progressively cheaper (whatever "cheaper" means for the deployment —
+// faster, lower estimated energy, or more fault-tolerant; the governor only
+// assumes *down the ladder sheds quality under pressure*). Every plan is
+// validated with NetPlan::parse at parse time; resolution against the model
+// happens at Engine::load, which also measures per-point metadata (holdout
+// accuracy, estimated energy per request, single-sample latency).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axnn/obs/json.hpp"
+
+namespace axnn::qos {
+
+/// One parsed ladder entry: a name and the NetPlan text it serves.
+struct OperatingPointSpec {
+  std::string name;       ///< [A-Za-z0-9_.-]+, unique within the set
+  std::string plan_text;  ///< NetPlan grammar (validated at parse)
+};
+
+/// Ladders larger than this are rejected at parse time — a governor
+/// stepping one point per dwell cannot usefully exploit more.
+inline constexpr int kMaxOperatingPoints = 32;
+
+/// Parse an operating-point-set file. Throws std::invalid_argument (with a
+/// line number) on syntax errors, duplicate/invalid names, invalid plans,
+/// an empty set, or more than kMaxOperatingPoints entries.
+std::vector<OperatingPointSpec> parse_points(const std::string& text);
+
+/// Canonical text form; parse_points(to_text(p)) == p (round-trip, fuzzed
+/// by tools/fuzz/fuzz_qos_points).
+std::string to_text(const std::vector<OperatingPointSpec>& points);
+
+/// One calibrated ladder entry: the spec plus the metadata Engine::load
+/// measures once per point on lane 0.
+struct OperatingPoint {
+  std::string name;
+  std::string plan_text;
+  double holdout_acc = 0.0;       ///< top-1 on the holdout split, [0,1]
+  double energy_per_req = 0.0;    ///< estimate_mixed units (1.0 = exact MAC)
+  double energy_savings_pct = 0;  ///< vs all-exact, network level
+  double latency_est_ms = 0.0;    ///< mean single-sample forward, lane 0
+
+  obs::Json to_json() const;
+};
+
+}  // namespace axnn::qos

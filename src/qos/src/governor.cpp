@@ -1,0 +1,205 @@
+#include "axnn/qos/governor.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace axnn::qos {
+
+const char* to_string(Cause c) {
+  switch (c) {
+    case Cause::kLoad: return "load";
+    case Cause::kEnergy: return "energy";
+    case Cause::kHealth: return "health";
+    case Cause::kRecovery: return "recovery";
+    case Cause::kManual: return "manual";
+  }
+  return "?";
+}
+
+void GovernorConfig::validate() const {
+  if (tick_interval_ms < 1)
+    throw std::invalid_argument("GovernorConfig: tick_interval_ms must be >= 1");
+  if (dwell_ms < 0 || recover_ms < 0)
+    throw std::invalid_argument("GovernorConfig: dwell_ms/recover_ms must be >= 0");
+  if (p95_high_ms < 0 || energy_cap_per_s < 0 || violation_rate_high < 0 || queue_high < 0)
+    throw std::invalid_argument("GovernorConfig: thresholds must be >= 0");
+  if (p95_recover_frac <= 0 || p95_recover_frac > 1 || energy_recover_frac <= 0 ||
+      energy_recover_frac > 1)
+    throw std::invalid_argument("GovernorConfig: recover fractions must be in (0, 1]");
+}
+
+obs::Json Transition::to_json(int64_t t0_ns) const {
+  obs::Json j = obs::Json::object();
+  j["t_ms"] = static_cast<double>(t_ns - t0_ns) / 1e6;
+  j["from"] = from;
+  j["to"] = to;
+  j["cause"] = to_string(cause);
+  j["detail"] = detail;
+  return j;
+}
+
+Governor::Governor(GovernorConfig cfg, std::vector<OperatingPoint> points, int initial)
+    : cfg_(cfg), points_(std::move(points)), active_(initial) {
+  cfg_.validate();
+  if (points_.empty()) throw std::invalid_argument("Governor: empty operating-point ladder");
+  if (initial < 0 || initial >= num_points())
+    throw std::invalid_argument("Governor: initial point out of range");
+  time_in_point_ms_.resize(points_.size(), 0.0);
+}
+
+Transition Governor::move(int to, Cause cause, std::string detail, int64_t now_ns) {
+  time_in_point_ms_[static_cast<size_t>(active_)] +=
+      static_cast<double>(now_ns - enter_ns_) / 1e6;
+  Transition t{now_ns, active_, to, cause, std::move(detail)};
+  active_ = to;
+  enter_ns_ = now_ns;
+  last_move_ns_ = now_ns;
+  moved_ = true;
+  // Every move — either direction — restarts the calm window, so each
+  // subsequent step up waits a full recover_ms again.
+  calm_ = false;
+  transitions_.push_back(t);
+  return t;
+}
+
+std::optional<Transition> Governor::update(const GovernorSignals& s) {
+  if (!started_) {
+    started_ = true;
+    first_tick_ns_ = s.now_ns;
+    enter_ns_ = s.now_ns;
+  }
+  const int n = num_points();
+  char buf[160];
+  bool pressure = false;
+  Cause cause = Cause::kLoad;
+  std::string detail;
+
+  // Pressure detection, health > load > energy.
+  if (cfg_.step_down_on_degraded && s.new_degraded > 0) {
+    pressure = true;
+    cause = Cause::kHealth;
+    std::snprintf(buf, sizeof buf, "%lld leaves newly degraded",
+                  static_cast<long long>(s.new_degraded));
+    detail = buf;
+  } else if (cfg_.violation_rate_high > 0 && s.violation_rate > cfg_.violation_rate_high) {
+    pressure = true;
+    cause = Cause::kHealth;
+    std::snprintf(buf, sizeof buf, "sentinel violation rate %.4f > %.4f", s.violation_rate,
+                  cfg_.violation_rate_high);
+    detail = buf;
+  } else if (cfg_.p95_high_ms > 0 && s.p95_ms > cfg_.p95_high_ms) {
+    pressure = true;
+    cause = Cause::kLoad;
+    std::snprintf(buf, sizeof buf, "p95 %.2fms > %.2fms", s.p95_ms, cfg_.p95_high_ms);
+    detail = buf;
+  } else if (cfg_.queue_high > 0 && s.queue_depth >= cfg_.queue_high) {
+    pressure = true;
+    cause = Cause::kLoad;
+    std::snprintf(buf, sizeof buf, "queue depth %d >= %d", s.queue_depth, cfg_.queue_high);
+    detail = buf;
+  } else if (cfg_.react_to_backpressure && s.queue_full_waits > 0) {
+    pressure = true;
+    cause = Cause::kLoad;
+    std::snprintf(buf, sizeof buf, "%lld submits hit backpressure",
+                  static_cast<long long>(s.queue_full_waits));
+    detail = buf;
+  } else if (cfg_.energy_cap_per_s > 0 && s.energy_rate > cfg_.energy_cap_per_s) {
+    // Energy pressure is only actionable when descending actually helps —
+    // a latency-oriented ladder may get *more* expensive down-ladder.
+    if (active_ + 1 < n && points_[static_cast<size_t>(active_ + 1)].energy_per_req <
+                               points_[static_cast<size_t>(active_)].energy_per_req) {
+      pressure = true;
+      cause = Cause::kEnergy;
+      std::snprintf(buf, sizeof buf, "energy rate %.0f/s > cap %.0f/s", s.energy_rate,
+                    cfg_.energy_cap_per_s);
+      detail = buf;
+    }
+  }
+
+  const int64_t move_ref = moved_ ? last_move_ns_ : first_tick_ns_;
+  if (pressure) {
+    calm_ = false;
+    if (active_ + 1 >= n) return std::nullopt;  // already at the ladder floor
+    if (s.now_ns - move_ref < cfg_.dwell_ms * 1'000'000) return std::nullopt;
+    return move(active_ + 1, cause, std::move(detail), s.now_ns);
+  }
+
+  // Calm tick: arm / advance the recovery window.
+  if (!calm_) {
+    calm_ = true;
+    calm_since_ns_ = s.now_ns;
+  }
+  if (active_ == 0) return std::nullopt;
+  if (s.now_ns - calm_since_ns_ < cfg_.recover_ms * 1'000'000) return std::nullopt;
+  if (s.now_ns - move_ref < cfg_.dwell_ms * 1'000'000) return std::nullopt;
+  // Recovery margins: stepping up must not immediately re-trigger pressure.
+  if (cfg_.p95_high_ms > 0 && s.p95_ms > cfg_.p95_recover_frac * cfg_.p95_high_ms)
+    return std::nullopt;
+  if (cfg_.energy_cap_per_s > 0) {
+    const double cur = points_[static_cast<size_t>(active_)].energy_per_req;
+    const double up = points_[static_cast<size_t>(active_ - 1)].energy_per_req;
+    const double projected = cur > 0 ? s.energy_rate * (up / cur) : s.energy_rate;
+    if (projected > cfg_.energy_recover_frac * cfg_.energy_cap_per_s) return std::nullopt;
+  }
+  return move(active_ - 1, Cause::kRecovery, "pressure-free for recover window", s.now_ns);
+}
+
+Transition Governor::force(int to, int64_t now_ns) {
+  if (to < 0 || to >= num_points())
+    throw std::invalid_argument("Governor::force: point " + std::to_string(to) +
+                                " out of range [0, " + std::to_string(num_points()) + ")");
+  if (!started_) {
+    started_ = true;
+    first_tick_ns_ = now_ns;
+    enter_ns_ = now_ns;
+  }
+  if (to == active_) return Transition{now_ns, active_, active_, Cause::kManual, "no-op"};
+  return move(to, Cause::kManual, "forced", now_ns);
+}
+
+std::vector<double> Governor::time_in_point_ms(int64_t now_ns) const {
+  std::vector<double> out = time_in_point_ms_;
+  if (started_ && now_ns > enter_ns_)
+    out[static_cast<size_t>(active_)] += static_cast<double>(now_ns - enter_ns_) / 1e6;
+  return out;
+}
+
+obs::Json QosReport::to_json() const {
+  obs::Json j = obs::Json::object();
+  obs::Json pts = obs::Json::array();
+  for (const auto& p : points) pts.push_back(p.to_json());
+  j["points"] = std::move(pts);
+  obs::Json ss = obs::Json::array();
+  for (const auto& s : sessions) {
+    obs::Json e = obs::Json::object();
+    e["session"] = s.session;
+    e["active"] = s.active;
+    e["transitions_total"] = static_cast<int64_t>(s.transitions.size());
+    obs::Json req = obs::Json::array();
+    for (int64_t r : s.requests_per_point) req.push_back(r);
+    e["requests_per_point"] = std::move(req);
+    obs::Json tm = obs::Json::array();
+    for (double t : s.time_in_point_ms) tm.push_back(t);
+    e["time_in_point_ms"] = std::move(tm);
+    obs::Json trs = obs::Json::array();
+    for (const auto& t : s.transitions) trs.push_back(t.to_json(t0_ns));
+    e["transitions"] = std::move(trs);
+    ss.push_back(std::move(e));
+  }
+  j["sessions"] = std::move(ss);
+  return j;
+}
+
+std::string QosReport::summary() const {
+  char buf[160];
+  std::string out;
+  for (const auto& s : sessions) {
+    const std::string& active = points[static_cast<size_t>(s.active)].name;
+    std::snprintf(buf, sizeof buf, "%s%s: active=%s transitions=%zu", out.empty() ? "" : "; ",
+                  s.session.c_str(), active.c_str(), s.transitions.size());
+    out += buf;
+  }
+  return "qos[" + std::to_string(points.size()) + " points] " + out;
+}
+
+}  // namespace axnn::qos

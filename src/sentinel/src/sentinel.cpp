@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -65,6 +66,19 @@ std::string SentinelReport::summary() const {
   return os.str();
 }
 
+namespace {
+
+// Counter folding saturates instead of wrapping: reports merged in a loop
+// (long-lived serving engines fold per-lane/per-point reports every tick)
+// must never turn a huge count into a negative one.
+int64_t sat_add(int64_t a, int64_t b) {
+  int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) return std::numeric_limits<int64_t>::max();
+  return r;
+}
+
+}  // namespace
+
 void SentinelReport::merge(const SentinelReport& other) {
   for (const auto& o : other.leaves) {
     LeafStats* mine = nullptr;
@@ -77,12 +91,12 @@ void SentinelReport::merge(const SentinelReport& other) {
       leaves.push_back(o);
       continue;
     }
-    mine->gemm_checks += o.gemm_checks;
-    mine->range_checks += o.range_checks;
-    mine->abft_violations += o.abft_violations;
-    mine->weight_violations += o.weight_violations;
-    mine->range_violations += o.range_violations;
-    mine->reexecs += o.reexecs;
+    mine->gemm_checks = sat_add(mine->gemm_checks, o.gemm_checks);
+    mine->range_checks = sat_add(mine->range_checks, o.range_checks);
+    mine->abft_violations = sat_add(mine->abft_violations, o.abft_violations);
+    mine->weight_violations = sat_add(mine->weight_violations, o.weight_violations);
+    mine->range_violations = sat_add(mine->range_violations, o.range_violations);
+    mine->reexecs = sat_add(mine->reexecs, o.reexecs);
     mine->degraded = mine->degraded || o.degraded;
     mine->max_rel_dev = std::max(mine->max_rel_dev, o.max_rel_dev);
   }

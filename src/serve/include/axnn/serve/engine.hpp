@@ -34,8 +34,16 @@
 // single-sample forward of the same image under the session's context, on
 // both the exact and approximate paths (per-sample im2col columns and
 // eval-mode BatchNorm make batch composition invisible).
+// QoS (DESIGN.md §5h): when ModelSpec::qos_points names an operating-point
+// ladder, every session opened with an empty plan serves the whole ladder —
+// one resolved plan per (point, lane) over the same weights — and a
+// qos::Governor moves the session's *active point* under load, energy or
+// sentinel-health pressure. The swap is an epoch flip: the dispatcher stamps
+// the active point into each batch when it gathers it, so a batch executes
+// entirely under one point and every Result reports the point it ran under.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -46,6 +54,7 @@
 
 #include "axnn/core/pipeline.hpp"
 #include "axnn/nn/plan.hpp"
+#include "axnn/qos/governor.hpp"
 #include "axnn/sentinel/sentinel.hpp"
 #include "axnn/tensor/threadpool.hpp"
 
@@ -88,6 +97,18 @@ struct ModelSpec {
   bool sentinel = false;
   sentinel::SentinelConfig sentinel_config;
 
+  /// QoS operating-point ladder (qos::parse_points format). Non-empty turns
+  /// the engine into a multi-point deployment: sessions opened with an empty
+  /// plan serve the ladder under a governor, `plan` is ignored for them, and
+  /// finetune (if on) tunes for point 0's plan. Empty = single-plan serving.
+  std::string qos_points;
+  qos::GovernorConfig governor;
+  /// Holdout samples per point for the measured-accuracy metadata (taken
+  /// from the tail of the test split; clamped to its size; 0 = skip).
+  int64_t qos_holdout = 96;
+  /// Timed single-sample forwards per point for the latency estimate.
+  int qos_latency_probes = 4;
+
   BatchingConfig batching;
   /// Inter-op lanes (concurrent batches). Clamped by plan_split to the
   /// hardware; each lane is one model replica.
@@ -108,6 +129,10 @@ struct Result {
   double latency_ms = 0;  ///< slot acquisition -> batch completion
   int batch_size = 0;     ///< size of the batch this request rode in
   bool deadline_met = true;
+  /// Operating point the request's batch executed under (0 for single-plan
+  /// sessions) — the reference for per-response bit-identity checks.
+  int point = 0;
+  std::string point_name;
 };
 
 /// Aggregate dispatcher counters (monotonic since load).
@@ -120,6 +145,7 @@ struct EngineStats {
   double mean_batch = 0.0;
   int64_t deadline_misses = 0;
   int64_t queue_full_waits = 0;  ///< submits that blocked on a full pool
+  int64_t qos_transitions = 0;   ///< governor + manual point moves, all sessions
 };
 
 class Engine;
@@ -143,20 +169,39 @@ public:
   /// slot. A stale/duplicate ticket throws std::logic_error.
   Result await(const Ticket& t);
 
-  /// The exec context lane `lane` serves this session with — the reference
-  /// for bit-identity checks against direct model forwards.
+  /// The exec context lane `lane` serves this session with under the
+  /// *currently active* point — the reference for bit-identity checks
+  /// against direct model forwards. The two-argument form addresses a
+  /// specific ladder point (a Result's `point` field).
   const nn::ExecContext& exec_context(int lane = 0) const;
+  const nn::ExecContext& exec_context(int lane, int point) const;
 
-  /// Merged sentinel report across lanes (empty when the engine was loaded
-  /// without sentinel).
+  /// Operating-point surface. Single-plan sessions have exactly one point
+  /// (index 0, named after the session); ladder sessions mirror the
+  /// engine's operating-point set and are driven by the governor.
+  int num_points() const { return static_cast<int>(points_.size()); }
+  const std::string& point_name(int point) const;
+  int active_point() const;
+  /// Manual epoch flip (CLI / tests): in-flight batches finish under the
+  /// point they were gathered with; later batches use `point`. Recorded as
+  /// a kManual transition. Throws std::out_of_range on a bad index and
+  /// std::logic_error on ungoverned (single-point) sessions.
+  void set_active_point(int point);
+  bool governed() const { return governor_ != nullptr; }
+  /// Snapshot of this session's transitions (governor + manual).
+  std::vector<qos::Transition> transitions() const;
+
+  /// Merged sentinel report across lanes and points (empty when the engine
+  /// was loaded without sentinel).
   sentinel::SentinelReport sentinel_report() const;
 
 private:
   friend class Engine;
   Session() = default;
 
-  /// Per-lane serving state; PlanResolution/Sentinel are unique_ptr-held
-  /// for address stability (contexts and sentinels point into them).
+  /// Per-(point, lane) serving state; PlanResolution/Sentinel are
+  /// unique_ptr-held for address stability (contexts and sentinels point
+  /// into them).
   struct Lane {
     std::unique_ptr<nn::PlanResolution> resolution;
     std::unique_ptr<sentinel::Sentinel> sentinel;
@@ -166,12 +211,29 @@ private:
   Engine* engine_ = nullptr;
   std::string name_;
   std::string plan_text_;
-  std::vector<Lane> lanes_;
+  bool ladder_ = false;  ///< serves the engine's qos ladder
+  std::vector<std::string> point_names_;
+  std::vector<std::vector<Lane>> points_;  ///< [point][lane]
+  std::unique_ptr<qos::Governor> governor_;
   /// Pending slot indices, fixed ring of queue_capacity entries (guarded by
   /// the engine mutex).
   std::vector<int> ring_;
   int ring_head_ = 0;
   int ring_count_ = 0;
+
+  // --- QoS state, all guarded by the engine mutex ---
+  int active_point_ = 0;
+  std::vector<int64_t> requests_per_point_;
+  /// Completed-request latency window the governor computes p95 over.
+  std::array<double, 128> lat_win_{};
+  int lat_count_ = 0;
+  int lat_idx_ = 0;
+  double energy_accum_ = 0.0;       ///< estimated units served so far
+  double last_energy_accum_ = 0.0;  ///< snapshot at the previous tick
+  int64_t last_queue_full_waits_ = 0;
+  int64_t last_sent_checks_ = 0;
+  int64_t last_sent_violations_ = 0;
+  int64_t last_sent_degraded_ = 0;
 };
 
 /// The serving runtime. load() is the only way to construct one.
@@ -192,9 +254,20 @@ public:
 
   /// Create a tenant serving `plan_text`. Resolves the plan against every
   /// lane (throws on unknown multipliers, unmatched paths, bit-width
-  /// mismatches or non-approximable leaves) and, when the engine runs with
-  /// sentinel, calibrates a per-lane sentinel for it. Duplicate names throw.
+  /// mismatches or non-approximable leaves; errors name the failing lane,
+  /// point and stage) and, when the engine runs with sentinel, calibrates a
+  /// per-lane sentinel for it. Duplicate names throw. An empty `plan_text`
+  /// serves the engine default: the governed qos ladder when
+  /// spec.qos_points is set, spec.plan otherwise.
   Session& open_session(const std::string& name, const std::string& plan_text);
+
+  /// True when the engine serves a qos operating-point ladder.
+  bool qos_enabled() const { return !qos_specs_.empty(); }
+  /// The calibrated ladder (empty without qos): measured holdout accuracy,
+  /// estimated energy per request, single-sample latency per point.
+  const std::vector<qos::OperatingPoint>& operating_points() const { return points_meta_; }
+  /// The "qos" report section: ladder metadata + per-session activity.
+  qos::QosReport qos_report() const;
 
   /// Block until every submitted request has completed (results may still
   /// be waiting for await()).
@@ -231,6 +304,7 @@ private:
     int top1 = -1;
     double latency_ms = 0;
     bool deadline_met = true;
+    int point = 0;  ///< operating point the batch executed under
   };
 
   /// One ready batch handed to a lane.
@@ -239,6 +313,9 @@ private:
     int lane = -1;
     int count = 0;
     bool timer_flush = false;
+    /// Active point at gather time — the epoch flip: the batch executes
+    /// entirely under this point even if the governor moves mid-flight.
+    int point = 0;
     std::vector<int> slots;  ///< slot indices, preallocated to max_batch
   };
 
@@ -251,6 +328,13 @@ private:
   /// Execute one gathered batch on its lane (no engine mutex held).
   void execute_batch(BatchWork& work);
   void finish_batch(BatchWork& work, const Tensor* logits, std::exception_ptr error);
+  /// Sample every governed session's signals and tick its governor (engine
+  /// mutex held; called by the dispatcher every governor.tick_interval_ms).
+  void governor_tick(int64_t now);
+  /// Measure holdout accuracy / energy / latency metadata for every ladder
+  /// point on lane 0 (at load, before the dispatcher starts).
+  void measure_point_metadata(Session& def);
+  void record_transition(Session& s, const qos::Transition& t);
 
   ModelSpec spec_;
   std::unique_ptr<core::Workbench> wb_;
@@ -259,6 +343,12 @@ private:
   std::vector<std::unique_ptr<Session>> sessions_;
   int num_classes_ = 0;
   int64_t chw_ = 0;  ///< input numel per sample
+
+  // QoS ladder (empty without spec.qos_points).
+  std::vector<qos::OperatingPointSpec> qos_specs_;
+  std::vector<qos::OperatingPoint> points_meta_;
+  int64_t t0_ns_ = 0;            ///< load time; report times are relative
+  int64_t last_gov_tick_ns_ = 0;  ///< guarded by mu_
 
   mutable std::mutex mu_;
   std::condition_variable cv_dispatch_;  ///< dispatcher wake-up
@@ -283,6 +373,7 @@ private:
   int64_t stat_max_batch_ = 0;
   int64_t stat_deadline_misses_ = 0;
   int64_t stat_queue_full_waits_ = 0;
+  int64_t stat_qos_transitions_ = 0;
 
   std::vector<BatchWork> works_;  ///< one per lane, reused across dispatches
   std::thread dispatcher_;

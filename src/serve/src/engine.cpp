@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 
+#include "axnn/energy/energy.hpp"
 #include "axnn/obs/telemetry.hpp"
 #include "axnn/train/evaluate.hpp"
 
@@ -82,6 +84,8 @@ Result Session::await(const Ticket& t) {
   r.latency_ms = slot.latency_ms;
   r.batch_size = slot.batch_size;
   r.deadline_met = slot.deadline_met;
+  r.point = slot.point;
+  r.point_name = point_names_[static_cast<size_t>(slot.point)];
 
   slot.seq = 0;
   slot.done = false;
@@ -94,13 +98,47 @@ Result Session::await(const Ticket& t) {
 }
 
 const nn::ExecContext& Session::exec_context(int lane) const {
-  return lanes_.at(static_cast<size_t>(lane)).ctx;
+  return exec_context(lane, active_point());
+}
+
+const nn::ExecContext& Session::exec_context(int lane, int point) const {
+  return points_.at(static_cast<size_t>(point)).at(static_cast<size_t>(lane)).ctx;
+}
+
+const std::string& Session::point_name(int point) const {
+  return point_names_.at(static_cast<size_t>(point));
+}
+
+int Session::active_point() const {
+  std::lock_guard<std::mutex> lk(engine_->mu_);
+  return active_point_;
+}
+
+void Session::set_active_point(int point) {
+  Engine& e = *engine_;
+  std::lock_guard<std::mutex> lk(e.mu_);
+  if (!governor_)
+    throw std::logic_error("Session::set_active_point: session '" + name_ +
+                           "' serves a single fixed plan");
+  if (point < 0 || point >= num_points())
+    throw std::out_of_range("Session::set_active_point: point " + std::to_string(point) +
+                            " out of range [0, " + std::to_string(num_points()) + ")");
+  if (point == active_point_) return;
+  const qos::Transition t = governor_->force(point, obs::now_ns());
+  active_point_ = point;
+  e.record_transition(*this, t);
+}
+
+std::vector<qos::Transition> Session::transitions() const {
+  std::lock_guard<std::mutex> lk(engine_->mu_);
+  return governor_ ? governor_->transitions() : std::vector<qos::Transition>{};
 }
 
 sentinel::SentinelReport Session::sentinel_report() const {
   sentinel::SentinelReport merged;
-  for (const auto& lane : lanes_)
-    if (lane.sentinel) merged.merge(lane.sentinel->report());
+  for (const auto& point : points_)
+    for (const auto& lane : point)
+      if (lane.sentinel) merged.merge(lane.sentinel->report());
   return merged;
 }
 
@@ -111,6 +149,17 @@ std::unique_ptr<Engine> Engine::load(ModelSpec spec) {
   if (spec.batching.max_batch < 1 || spec.batching.queue_capacity < spec.batching.max_batch)
     throw std::invalid_argument("Engine::load: need 1 <= max_batch <= queue_capacity");
   if (spec.lanes < 1) throw std::invalid_argument("Engine::load: lanes must be >= 1");
+  // Validate the QoS ladder before any training happens — a bad points file
+  // must fail in milliseconds, not after the quantization stage.
+  std::vector<qos::OperatingPointSpec> qspecs;
+  if (!spec.qos_points.empty()) {
+    qspecs = qos::parse_points(spec.qos_points);
+    spec.governor.validate();
+    if (spec.qos_holdout < 0)
+      throw std::invalid_argument("Engine::load: qos_holdout must be >= 0");
+    if (spec.qos_latency_probes < 1)
+      throw std::invalid_argument("Engine::load: qos_latency_probes must be >= 1");
+  }
 
   // Partition the machine: `lanes` concurrent batches, conv kernels get the
   // rest. The global pool size is immutable once created, so the intra hint
@@ -127,6 +176,8 @@ std::unique_ptr<Engine> Engine::load(ModelSpec spec) {
 
   std::unique_ptr<Engine> e(new Engine());
   e->spec_ = spec;
+  e->qos_specs_ = std::move(qspecs);
+  e->t0_ns_ = obs::now_ns();
 
   core::WorkbenchConfig wcfg;
   wcfg.model = spec.model;
@@ -138,23 +189,44 @@ std::unique_ptr<Engine> Engine::load(ModelSpec spec) {
   e->wb_ = std::make_unique<core::Workbench>(wcfg);
   (void)e->wb_->run_quantization_stage(spec.kd_stage1);
   if (spec.finetune) {
+    // With a qos ladder the fine-tune targets the best-effort point — the
+    // one the deployment serves whenever it can afford to.
+    const std::string& tune_plan =
+        e->qos_specs_.empty() ? spec.plan : e->qos_specs_.front().plan_text;
     (void)e->wb_->run_approximation_stage(
-        core::ApproxStageSetup::with_plan(nn::NetPlan::parse(spec.plan), spec.method, spec.t2));
+        core::ApproxStageSetup::with_plan(nn::NetPlan::parse(tune_plan), spec.method, spec.t2));
   }
 
-  for (int i = 0; i < spec.lanes; ++i) e->lanes_.push_back(e->wb_->clone());
+  // Lane construction is all-or-nothing: a throw here unwinds the partially
+  // built engine (unique_ptr-owned lanes) and names the lane that failed.
+  for (int i = 0; i < spec.lanes; ++i) {
+    try {
+      e->lanes_.push_back(e->wb_->clone());
+    } catch (const std::exception& ex) {
+      throw std::runtime_error("Engine::load: lane " + std::to_string(i) +
+                               " (clone): " + ex.what());
+    }
+  }
   if (spec.lanes > 1) e->inter_pool_ = std::make_unique<ThreadPool>(split.inter);
 
   const data::Dataset& test = e->wb_->data().test;
   e->chw_ = test.channels() * test.height() * test.width();
 
-  Session& def = e->open_session("default", spec.plan);
+  Session& def = e->open_session("default", "");
 
   // Probe once through lane 0: pins num_classes and warms the conv geometry
   // caches for the single-sample shape.
   const Tensor probe =
       e->lanes_[0]->forward(test.slice(0, 1).first, def.exec_context(0));
   e->num_classes_ = static_cast<int>(probe.shape()[probe.shape().rank() - 1]);
+
+  if (e->qos_enabled()) {
+    // Calibrate per-point metadata on lane 0, then rebuild the default
+    // session's governor over the measured ladder (no ticks have run yet;
+    // sessions opened later get the measured metadata directly).
+    e->measure_point_metadata(def);
+    def.governor_ = std::make_unique<qos::Governor>(spec.governor, e->points_meta_);
+  }
 
   const int cap = spec.batching.queue_capacity;
   e->slots_.resize(static_cast<size_t>(cap));
@@ -186,32 +258,133 @@ Session& Engine::open_session(const std::string& name, const std::string& plan_t
   for (const auto& s : sessions_)
     if (s->name() == name)
       throw std::invalid_argument("Engine::open_session: duplicate session '" + name + "'");
-  const nn::NetPlan plan = nn::NetPlan::parse(plan_text);
+
+  // An empty plan serves the engine default: the qos ladder when one is
+  // configured, spec.plan otherwise. A non-empty plan pins the session to
+  // that single point (no governor), qos or not.
+  const bool ladder = qos_enabled() && plan_text.empty();
+  std::vector<qos::OperatingPointSpec> pts;
+  if (ladder)
+    pts = qos_specs_;
+  else
+    pts.push_back(qos::OperatingPointSpec{name, plan_text.empty() ? spec_.plan : plan_text});
 
   auto session = std::unique_ptr<Session>(new Session());
   session->engine_ = this;
   session->name_ = name;
-  session->plan_text_ = plan_text;
+  session->ladder_ = ladder;
+  session->plan_text_ = ladder ? qos::to_text(qos_specs_) : pts.front().plan_text;
   session->ring_.resize(static_cast<size_t>(spec_.batching.queue_capacity));
-  for (size_t i = 0; i < lanes_.size(); ++i) {
-    Session::Lane lane;
-    // Serving never fits GE (default ResolveOptions: fits are training-only
-    // and plan_leaf_exec ignores them in eval contexts) — resolution cost
-    // stays table-building only.
-    lane.resolution = std::make_unique<nn::PlanResolution>(plan.resolve(*lanes_[i]));
-    lane.resolution->require_approximable();
-    lane.resolution->require_bit_widths();
-    lane.ctx = nn::ExecContext{.mode = nn::ExecMode::kQuantApprox}.with_plan(*lane.resolution);
-    if (spec_.sentinel) {
-      lane.sentinel = std::make_unique<sentinel::Sentinel>(spec_.sentinel_config);
-      lane.sentinel->calibrate_plan(*lanes_[i], *lane.resolution);
-      lane.ctx = lane.ctx.with_monitor(*lane.sentinel);
+  session->requests_per_point_.assign(pts.size(), 0);
+  for (const auto& p : pts) session->point_names_.push_back(p.name);
+
+  for (size_t pi = 0; pi < pts.size(); ++pi) {
+    // A failure anywhere below leaks nothing (the half-built session is
+    // unique_ptr-owned and never registered) and names the point, lane and
+    // stage that failed. Validation errors stay std::invalid_argument.
+    const auto context = [&](size_t lane, const char* stage) {
+      return "Engine::open_session('" + name + "'): point '" + pts[pi].name + "' lane " +
+             std::to_string(lane) + " (" + stage + "): ";
+    };
+    const nn::NetPlan plan = [&] {
+      try {
+        return nn::NetPlan::parse(pts[pi].plan_text);
+      } catch (const std::exception& ex) {
+        throw std::invalid_argument(context(0, "parse") + ex.what());
+      }
+    }();
+    std::vector<Session::Lane> lanes;
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      const char* stage = "resolve";
+      try {
+        Session::Lane lane;
+        // Serving never fits GE (default ResolveOptions: fits are
+        // training-only and plan_leaf_exec ignores them in eval contexts) —
+        // resolution cost stays table-building only.
+        lane.resolution = std::make_unique<nn::PlanResolution>(plan.resolve(*lanes_[i]));
+        stage = "validate";
+        lane.resolution->require_approximable();
+        lane.resolution->require_bit_widths();
+        lane.ctx =
+            nn::ExecContext{.mode = nn::ExecMode::kQuantApprox}.with_plan(*lane.resolution);
+        if (spec_.sentinel) {
+          stage = "sentinel-calibrate";
+          lane.sentinel = std::make_unique<sentinel::Sentinel>(spec_.sentinel_config);
+          lane.sentinel->calibrate_plan(*lanes_[i], *lane.resolution);
+          lane.ctx = lane.ctx.with_monitor(*lane.sentinel);
+        }
+        lanes.push_back(std::move(lane));
+      } catch (const std::invalid_argument& ex) {
+        throw std::invalid_argument(context(i, stage) + ex.what());
+      } catch (const std::exception& ex) {
+        throw std::runtime_error(context(i, stage) + ex.what());
+      }
     }
-    session->lanes_.push_back(std::move(lane));
+    session->points_.push_back(std::move(lanes));
   }
+
+  if (ladder) {
+    // The ladder metadata may not be measured yet (the default session is
+    // opened before measure_point_metadata runs; load() rebuilds its
+    // governor afterwards). Fall back to name-only metadata.
+    std::vector<qos::OperatingPoint> meta = points_meta_;
+    if (meta.empty())
+      for (const auto& p : pts) meta.push_back(qos::OperatingPoint{p.name, p.plan_text});
+    session->governor_ = std::make_unique<qos::Governor>(spec_.governor, std::move(meta));
+  }
+
   std::lock_guard<std::mutex> lk(mu_);
   sessions_.push_back(std::move(session));
   return *sessions_.back();
+}
+
+void Engine::measure_point_metadata(Session& def) {
+  const data::Dataset& test = wb_->data().test;
+  const Tensor probe_img = test.slice(0, 1).first;
+  const axmul::MultiplierSpec exact_spec = axmul::find_spec("exact").value();
+
+  // Holdout split: the tail of the test set, disjoint from the head that
+  // accuracy benches/evaluate_accuracy conventionally sample first.
+  const int64_t h = std::min<int64_t>(spec_.qos_holdout, test.size());
+  data::Dataset holdout;
+  if (h > 0) {
+    auto sl = test.slice(test.size() - h, h);
+    holdout.images = sl.first;
+    holdout.labels = std::move(sl.second);
+  }
+
+  points_meta_.clear();
+  for (size_t p = 0; p < qos_specs_.size(); ++p) {
+    const nn::PlanResolution& res = *def.points_[p][0].resolution;
+    // Metadata forwards run without the sentinel monitor so calibration
+    // passes never pollute serving-side violation counters.
+    const nn::ExecContext ctx =
+        nn::ExecContext{.mode = nn::ExecMode::kQuantApprox}.with_plan(res);
+
+    qos::OperatingPoint op{qos_specs_[p].name, qos_specs_[p].plan_text};
+
+    // Latency: mean of single-sample forwards on lane 0 (also refreshes
+    // each leaf's last_mac_count for the energy estimate below).
+    const int64_t t0 = obs::now_ns();
+    for (int r = 0; r < spec_.qos_latency_probes; ++r) (void)lanes_[0]->forward(probe_img, ctx);
+    op.latency_est_ms = static_cast<double>(obs::now_ns() - t0) / 1e6 /
+                        static_cast<double>(spec_.qos_latency_probes);
+
+    std::vector<std::pair<int64_t, axmul::MultiplierSpec>> shares;
+    for (const auto& en : res.entries()) {
+      const bool exact_mode = en.plan.mode.has_value() && *en.plan.mode != nn::ExecMode::kQuantApprox;
+      shares.emplace_back(en.layer->last_mac_count(),
+                          (exact_mode || en.plan.multiplier.empty())
+                              ? exact_spec
+                              : axmul::find_spec(en.plan.multiplier).value());
+    }
+    const energy::EnergyEstimate est = energy::estimate_mixed(shares);
+    op.energy_per_req = est.approx_energy;
+    op.energy_savings_pct = est.savings_pct;
+
+    if (h > 0) op.holdout_acc = train::evaluate_accuracy(*lanes_[0], holdout, ctx, 32);
+    points_meta_.push_back(std::move(op));
+  }
 }
 
 nn::Sequential& Engine::model(int lane) { return *lanes_.at(static_cast<size_t>(lane)); }
@@ -231,7 +404,28 @@ EngineStats Engine::stats() const {
                         : 0.0;
   s.deadline_misses = stat_deadline_misses_;
   s.queue_full_waits = stat_queue_full_waits_;
+  s.qos_transitions = stat_qos_transitions_;
   return s;
+}
+
+qos::QosReport Engine::qos_report() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  qos::QosReport r;
+  r.points = points_meta_;
+  r.t0_ns = t0_ns_;
+  const int64_t now = obs::now_ns();
+  for (const auto& sp : sessions_) {
+    const Session& s = *sp;
+    if (!s.governor_) continue;
+    qos::SessionQos q;
+    q.session = s.name_;
+    q.active = s.active_point_;
+    q.requests_per_point = s.requests_per_point_;
+    q.time_in_point_ms = s.governor_->time_in_point_ms(now);
+    q.transitions = s.governor_->transitions();
+    r.sessions.push_back(std::move(q));
+  }
+  return r;
 }
 
 void Engine::drain() {
@@ -248,6 +442,10 @@ void Engine::gather_batch(Session& s, BatchWork& work, int64_t now) {
   work.session = &s;
   work.count = take;
   work.timer_flush = s.ring_count_ < spec_.batching.max_batch;
+  // Epoch flip: stamp the active point now, under the mutex. The batch
+  // executes entirely under this point even if the governor (or a manual
+  // set_active_point) moves the session before it finishes.
+  work.point = s.active_point_;
   for (int i = 0; i < take; ++i) {
     const int idx = s.ring_[static_cast<size_t>(s.ring_head_)];
     s.ring_head_ = (s.ring_head_ + 1) % static_cast<int>(s.ring_.size());
@@ -273,7 +471,7 @@ void Engine::execute_batch(BatchWork& work) {
   const int64_t t0 = obs::enabled() ? obs::now_ns() : 0;
   try {
     out = lanes_[static_cast<size_t>(work.lane)]->forward(batch,
-                                                          s.exec_context(work.lane));
+                                                          s.exec_context(work.lane, work.point));
     if (out.numel() != static_cast<int64_t>(b) * num_classes_)
       throw std::logic_error("serve: unexpected logits shape from lane forward");
   } catch (...) {
@@ -290,6 +488,7 @@ void Engine::execute_batch(BatchWork& work) {
 void Engine::finish_batch(BatchWork& work, const Tensor* logits, std::exception_ptr error) {
   const int64_t now = obs::now_ns();
   std::lock_guard<std::mutex> lk(mu_);
+  Session& sess = *work.session;
   for (int i = 0; i < work.count; ++i) {
     Slot& slot = slots_[static_cast<size_t>(work.slots[static_cast<size_t>(i)])];
     if (logits) {
@@ -300,11 +499,20 @@ void Engine::finish_batch(BatchWork& work, const Tensor* logits, std::exception_
       slot.failed = true;
     }
     slot.batch_size = work.count;
+    slot.point = work.point;
     slot.latency_ms = static_cast<double>(now - slot.submit_ns) / 1e6;
     slot.deadline_met = slot.deadline_ns == 0 || now <= slot.deadline_ns;
     if (!slot.deadline_met) ++stat_deadline_misses_;
     slot.done = true;
+    // Feed the governor's latency window (fixed ring, no allocation).
+    sess.lat_win_[static_cast<size_t>(sess.lat_idx_)] = slot.latency_ms;
+    sess.lat_idx_ = (sess.lat_idx_ + 1) % static_cast<int>(sess.lat_win_.size());
+    sess.lat_count_ = std::min(sess.lat_count_ + 1, static_cast<int>(sess.lat_win_.size()));
   }
+  sess.requests_per_point_[static_cast<size_t>(work.point)] += work.count;
+  if (sess.ladder_ && !points_meta_.empty())
+    sess.energy_accum_ +=
+        points_meta_[static_cast<size_t>(work.point)].energy_per_req * work.count;
   --inflight_;
   ++stat_batches_;
   stat_requests_ += work.count;
@@ -319,11 +527,80 @@ void Engine::finish_batch(BatchWork& work, const Tensor* logits, std::exception_
   if (error) cv_free_.notify_all();
 }
 
+void Engine::record_transition(Session& s, const qos::Transition& t) {
+  ++stat_qos_transitions_;
+  // Start the latency window fresh: samples measured under the old point
+  // would otherwise keep re-triggering (or masking) pressure on the new one
+  // for a full window.
+  s.lat_count_ = 0;
+  s.lat_idx_ = 0;
+  if (obs::enabled()) {
+    obs::Json ev = obs::Json::object();
+    ev["type"] = "qos_transition";
+    ev["session"] = s.name_;
+    ev["from"] = s.point_names_[static_cast<size_t>(t.from)];
+    ev["to"] = s.point_names_[static_cast<size_t>(t.to)];
+    ev["cause"] = qos::to_string(t.cause);
+    ev["detail"] = t.detail;
+    ev["t_ms"] = static_cast<double>(t.t_ns - t0_ns_) / 1e6;
+    obs::collector()->event(std::move(ev));
+  }
+}
+
+void Engine::governor_tick(int64_t now) {
+  const double dt_s =
+      last_gov_tick_ns_ > 0 ? static_cast<double>(now - last_gov_tick_ns_) / 1e9 : 0.0;
+  for (auto& sp : sessions_) {
+    Session& s = *sp;
+    if (!s.governor_) continue;
+    qos::GovernorSignals sig;
+    sig.now_ns = now;
+    if (s.lat_count_ > 0) {
+      // p95 of the completed-request window; fixed-size scratch, no heap.
+      std::array<double, 128> tmp;
+      const int n = s.lat_count_;
+      std::copy(s.lat_win_.begin(), s.lat_win_.begin() + n, tmp.begin());
+      const int k = std::min(n - 1, static_cast<int>(std::ceil(0.95 * n)) - 1);
+      std::nth_element(tmp.begin(), tmp.begin() + std::max(0, k), tmp.begin() + n);
+      sig.p95_ms = tmp[static_cast<size_t>(std::max(0, k))];
+    }
+    sig.queue_depth = s.ring_count_;
+    // queue_full_waits is pool-global (slots are shared), so every governed
+    // session sees the engine-wide backpressure — shedding anywhere helps.
+    sig.queue_full_waits = stat_queue_full_waits_ - s.last_queue_full_waits_;
+    s.last_queue_full_waits_ = stat_queue_full_waits_;
+    if (dt_s > 0)
+      sig.energy_rate = (s.energy_accum_ - s.last_energy_accum_) / dt_s;
+    s.last_energy_accum_ = s.energy_accum_;
+    if (spec_.sentinel) {
+      const sentinel::SentinelReport rep = s.sentinel_report();
+      const int64_t checks = rep.total_checks();
+      const int64_t violations = rep.total_violations();
+      const int64_t degraded = rep.degraded_leaves();
+      const int64_t dc = checks - s.last_sent_checks_;
+      const int64_t dv = violations - s.last_sent_violations_;
+      sig.violation_rate = dc > 0 ? static_cast<double>(dv) / static_cast<double>(dc) : 0.0;
+      sig.new_degraded = degraded - s.last_sent_degraded_;
+      s.last_sent_checks_ = checks;
+      s.last_sent_violations_ = violations;
+      s.last_sent_degraded_ = degraded;
+    }
+    if (const auto t = s.governor_->update(sig)) {
+      s.active_point_ = t->to;
+      record_transition(s, *t);
+    }
+  }
+  last_gov_tick_ns_ = now;
+}
+
 void Engine::dispatcher_loop() {
   std::unique_lock<std::mutex> lk(mu_);
   while (true) {
     if (stop_) return;
     const int64_t now = obs::now_ns();
+    if (qos_enabled() &&
+        now - last_gov_tick_ns_ >= spec_.governor.tick_interval_ms * 1'000'000)
+      governor_tick(now);
     // Pick ready sessions (full batch, or the oldest slot's flush time has
     // passed), one batch per free lane.
     int nwork = 0;
@@ -367,8 +644,15 @@ void Engine::dispatcher_loop() {
       continue;
     }
     if (pending_total_ > 0 && earliest_flush > 0) {
-      cv_dispatch_.wait_for(lk, std::chrono::nanoseconds(std::max<int64_t>(
-                                    1000, earliest_flush - obs::now_ns())));
+      int64_t wait_ns = std::max<int64_t>(1000, earliest_flush - obs::now_ns());
+      if (qos_enabled())
+        wait_ns = std::min(wait_ns, spec_.governor.tick_interval_ms * 1'000'000);
+      cv_dispatch_.wait_for(lk, std::chrono::nanoseconds(wait_ns));
+    } else if (qos_enabled()) {
+      // Governed engines keep ticking while idle so recovery (stepping back
+      // up the ladder) does not need traffic to make progress.
+      cv_dispatch_.wait_for(lk,
+                            std::chrono::milliseconds(spec_.governor.tick_interval_ms));
     } else {
       cv_dispatch_.wait(lk, [&] { return stop_ || pending_total_ > 0; });
     }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "axnn/approx/signed_lut.hpp"
 #include "axnn/axmul/registry.hpp"
@@ -324,6 +325,110 @@ TEST(SentinelCalibration, UncalibratedModelThrows) {
   const approx::SignedMulTable tab(axmul::make_lut("exact"));
   Sentinel s;
   EXPECT_THROW(s.calibrate_uniform(*net, tab, "exact"), std::logic_error);
+}
+
+// --- SentinelReport::merge edge cases --------------------------------------
+// The serving engine folds one report per (point, lane) into a session-level
+// view; these pin down the fold's semantics on the shapes the engine
+// produces.
+
+namespace {
+
+LeafStats leaf(const std::string& path, int64_t checks, int64_t viols, bool degraded = false,
+               double max_rel_dev = 0.0) {
+  LeafStats st;
+  st.path = path;
+  st.gemm_checks = checks;
+  st.abft_violations = viols;
+  st.degraded = degraded;
+  st.max_rel_dev = max_rel_dev;
+  return st;
+}
+
+}  // namespace
+
+TEST(SentinelReportMerge, EmptyReportsAreIdentity) {
+  SentinelReport empty;
+  SentinelReport some;
+  some.leaves.push_back(leaf("conv1", 10, 2));
+
+  // empty.merge(some): adopts the other side's rows.
+  SentinelReport a = empty;
+  a.merge(some);
+  ASSERT_EQ(a.leaves.size(), 1u);
+  EXPECT_EQ(a.leaves[0].gemm_checks, 10);
+
+  // some.merge(empty): unchanged.
+  SentinelReport b = some;
+  b.merge(empty);
+  ASSERT_EQ(b.leaves.size(), 1u);
+  EXPECT_EQ(b.total_checks(), some.total_checks());
+
+  SentinelReport c;
+  c.merge(SentinelReport{});
+  EXPECT_TRUE(c.leaves.empty());
+  EXPECT_EQ(c.total_checks(), 0);
+  EXPECT_DOUBLE_EQ(c.violation_rate(), 0.0);
+}
+
+TEST(SentinelReportMerge, DisjointLeafSetsAppendInOrder) {
+  SentinelReport a;
+  a.leaves.push_back(leaf("conv1", 4, 1));
+  a.leaves.push_back(leaf("conv2", 6, 0));
+  SentinelReport b;
+  b.leaves.push_back(leaf("fc", 8, 2));
+  b.leaves.push_back(leaf("conv9", 2, 0));
+
+  a.merge(b);
+  ASSERT_EQ(a.leaves.size(), 4u);
+  // Own rows keep their order; unknown paths append in the other report's
+  // order — the engine's per-point reports stay readable after the fold.
+  EXPECT_EQ(a.leaves[0].path, "conv1");
+  EXPECT_EQ(a.leaves[1].path, "conv2");
+  EXPECT_EQ(a.leaves[2].path, "fc");
+  EXPECT_EQ(a.leaves[3].path, "conv9");
+  EXPECT_EQ(a.total_checks(), 4 + 6 + 8 + 2);
+  EXPECT_EQ(a.total_violations(), 1 + 2);
+}
+
+TEST(SentinelReportMerge, OverlappingPathsSumOrAndMax) {
+  SentinelReport a;
+  a.leaves.push_back(leaf("conv1", 4, 1, /*degraded=*/false, 0.5));
+  SentinelReport b;
+  LeafStats other = leaf("conv1", 6, 2, /*degraded=*/true, 0.25);
+  other.range_checks = 3;
+  other.weight_violations = 1;
+  other.reexecs = 2;
+  b.leaves.push_back(other);
+
+  a.merge(b);
+  ASSERT_EQ(a.leaves.size(), 1u);
+  const LeafStats& m = a.leaves[0];
+  EXPECT_EQ(m.gemm_checks, 10);
+  EXPECT_EQ(m.range_checks, 3);
+  EXPECT_EQ(m.abft_violations, 3);
+  EXPECT_EQ(m.weight_violations, 1);
+  EXPECT_EQ(m.reexecs, 2);
+  EXPECT_TRUE(m.degraded);              // OR: degraded anywhere is degraded
+  EXPECT_DOUBLE_EQ(m.max_rel_dev, 0.5);  // max across replicas
+}
+
+TEST(SentinelReportMerge, CountersSaturateInsteadOfWrapping) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  SentinelReport a;
+  a.leaves.push_back(leaf("conv1", kMax - 5, kMax - 5));
+  SentinelReport b;
+  b.leaves.push_back(leaf("conv1", 100, 100));
+
+  a.merge(b);
+  // Adding past INT64_MAX must clamp, not overflow into UB / negatives.
+  EXPECT_EQ(a.leaves[0].gemm_checks, kMax);
+  EXPECT_EQ(a.leaves[0].abft_violations, kMax);
+  EXPECT_GE(a.total_violations(), 0);
+
+  // Repeated merges stay pinned at the ceiling.
+  a.merge(b);
+  EXPECT_EQ(a.leaves[0].gemm_checks, kMax);
 }
 
 }  // namespace

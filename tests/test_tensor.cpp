@@ -460,5 +460,29 @@ TEST(ThreadPool, PlanSplitPartitionsHardware) {
   EXPECT_GE(def.intra, 1);
 }
 
+TEST(ThreadPool, PlanSplitDegenerateInputs) {
+  // One hardware thread: every hint collapses to the serial split — the
+  // serving engine on a single-core box runs one lane, no intra fan-out.
+  for (const int hint : {-3, 0, 1, 2, 64}) {
+    const auto s = ThreadPool::plan_split(hint, 1);
+    EXPECT_EQ(s.inter, 1) << "hint " << hint;
+    EXPECT_EQ(s.intra, 1) << "hint " << hint;
+  }
+  // More requested lanes than threads: inter clamps to the hardware width
+  // and each lane keeps exactly one kernel thread — never zero, never
+  // oversubscribed.
+  for (const int hw : {2, 3, 5}) {
+    const auto s = ThreadPool::plan_split(hw + 7, hw);
+    EXPECT_EQ(s.inter, hw);
+    EXPECT_EQ(s.intra, 1);
+    EXPECT_LE(s.inter * s.intra, hw);
+  }
+  // Nonsense hints clamp up to one coarse task with full intra width.
+  EXPECT_EQ(ThreadPool::plan_split(0, 6).inter, 1);
+  EXPECT_EQ(ThreadPool::plan_split(0, 6).intra, 6);
+  EXPECT_EQ(ThreadPool::plan_split(-9, 4).inter, 1);
+  EXPECT_EQ(ThreadPool::plan_split(-9, 4).intra, 4);
+}
+
 }  // namespace
 }  // namespace axnn

@@ -20,7 +20,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,10 @@ struct CliOptions {
   std::optional<int64_t> batch_delay_us;
   std::optional<int64_t> deadline_us;
   std::optional<int> lanes;
+  std::optional<uint64_t> seed;      ///< --seed: load-generator arrival/sample seed
+  std::string qos_file;              ///< --qos: operating-point ladder file
+  std::optional<double> energy_cap;  ///< --energy-cap-j: estimated units/s cap
+  std::vector<std::string> governor_kv;  ///< --governor key=val,... entries
   bool serve_finetune = false;  ///< --finetune: approximation stage before serving
   std::string report_path;  ///< --report: write a RunReport JSON here
   bool timing = false;      ///< --timing: attach a telemetry collector
@@ -65,7 +71,7 @@ struct CliOptions {
 
 void print_usage() {
   std::printf(
-      "usage: axnn_cli [train|quantize|approximate|sweep|serve|inspect|list-multipliers] [options]\n"
+      "usage: axnn_cli [train|quantize|approximate|sweep|serve|qos|inspect|list-multipliers] [options]\n"
       "  (no verb or 'run' = approximate; the stages nest: quantize runs train's\n"
       "   stage first, approximate runs both)\n"
       "  --model resnet20|resnet32|mobilenetv2   (default resnet20)\n"
@@ -102,7 +108,20 @@ void print_usage() {
       "  --lanes <n>              model replicas for parallel batches (default 1)\n"
       "  --tenant <name>=<plan>   extra session on its own plan, repeatable,\n"
       "                           e.g. --tenant premium=default=exact_8x4\n"
+      "  --seed <n>               load-generator seed (arrival schedule + sample\n"
+      "                           selection) for reproducible load runs\n"
       "  --finetune               run the approximation stage before serving\n"
+      "qos options (adaptive operating points, DESIGN.md §5h; also the 'qos' verb,\n"
+      "which loads the engine and prints the calibrated ladder without traffic):\n"
+      "  --qos <file>             operating-point ladder ('point <name> = <plan>'\n"
+      "                           per line); sessions with no --tenant plan serve it\n"
+      "                           under the governor\n"
+      "  --energy-cap-j <x>       energy budget in estimated units/s (1 unit = one\n"
+      "                           exact MAC); the governor sheds down-ladder when the\n"
+      "                           rolling estimate exceeds it\n"
+      "  --governor <k=v,...>     governor knobs: tick-ms, dwell-ms, recover-ms,\n"
+      "                           p95-ms (step down when observed p95 exceeds it),\n"
+      "                           queue-high, violation-rate\n"
       "  --report <out.json>      write a machine-readable run report (bench-harness\n"
       "                           schema; events also land in <out>.jsonl)\n"
       "  --timing                 collect per-layer telemetry; merged into --report\n"
@@ -133,7 +152,7 @@ bool parse_model(const std::string& s, core::ModelKind& out) {
 
 bool parse_verb(const std::string& s, std::string& out) {
   if (s == "train" || s == "quantize" || s == "approximate" || s == "sweep" ||
-      s == "serve" || s == "inspect" || s == "list-multipliers") {
+      s == "serve" || s == "qos" || s == "inspect" || s == "list-multipliers") {
     out = s;
     return true;
   }
@@ -291,6 +310,43 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         return std::nullopt;
       }
       opt.tenants.emplace_back(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      char* end = nullptr;
+      const unsigned long long s = std::strtoull(v, &end, 0);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "invalid --seed '%s': expected an unsigned integer\n", v);
+        return std::nullopt;
+      }
+      opt.seed = static_cast<uint64_t>(s);
+    } else if (arg == "--qos") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.qos_file = v;
+    } else if (arg == "--energy-cap-j") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      char* end = nullptr;
+      const double cap = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !std::isfinite(cap) || cap <= 0.0) {
+        std::fprintf(stderr, "invalid --energy-cap-j '%s': expected units/s > 0\n", v);
+        return std::nullopt;
+      }
+      opt.energy_cap = cap;
+    } else if (arg == "--governor") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      std::string entry;
+      std::istringstream items(v);
+      while (std::getline(items, entry, ',')) {
+        if (entry.find('=') == std::string::npos) {
+          std::fprintf(stderr, "invalid --governor entry '%s': expected key=value\n",
+                       entry.c_str());
+          return std::nullopt;
+        }
+        opt.governor_kv.push_back(entry);
+      }
     } else if (arg == "--finetune") {
       opt.serve_finetune = true;
     } else if (arg == "--report") {
@@ -592,12 +648,77 @@ int cmd_sweep(const CliOptions& opt, obs::RunReport* report) {
   return 0;
 }
 
+// Governor knob spellings shared by `serve` and `qos`.
+bool apply_governor_flags(const CliOptions& opt, qos::GovernorConfig& g) {
+  for (const auto& entry : opt.governor_kv) {
+    const size_t eq = entry.find('=');
+    const std::string key = entry.substr(0, eq);
+    const std::string val = entry.substr(eq + 1);
+    if (key == "tick-ms") g.tick_interval_ms = std::atoll(val.c_str());
+    else if (key == "dwell-ms") g.dwell_ms = std::atoll(val.c_str());
+    else if (key == "recover-ms") g.recover_ms = std::atoll(val.c_str());
+    else if (key == "p95-ms") g.p95_high_ms = std::atof(val.c_str());
+    else if (key == "queue-high") g.queue_high = std::atoi(val.c_str());
+    else if (key == "violation-rate") g.violation_rate_high = std::atof(val.c_str());
+    else {
+      std::fprintf(stderr,
+                   "unknown --governor key '%s' (want tick-ms|dwell-ms|recover-ms|p95-ms|"
+                   "queue-high|violation-rate)\n",
+                   key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Fill the qos-related ModelSpec fields from --qos/--energy-cap-j/--governor.
+// Returns false (with a message) on an unreadable file or bad knob.
+bool apply_qos_flags(const CliOptions& opt, serve::ModelSpec& spec) {
+  if (!opt.qos_file.empty()) {
+    std::ifstream in(opt.qos_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read --qos file '%s'\n", opt.qos_file.c_str());
+      return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    spec.qos_points = ss.str();
+  }
+  if (opt.energy_cap) spec.governor.energy_cap_per_s = *opt.energy_cap;
+  if (!apply_governor_flags(opt, spec.governor)) return false;
+  // Operator ergonomics: with a request deadline but no explicit p95
+  // threshold, govern against the deadline itself.
+  if (spec.governor.p95_high_ms == 0.0 && opt.deadline_us && *opt.deadline_us > 0)
+    spec.governor.p95_high_ms = static_cast<double>(*opt.deadline_us) / 1000.0;
+  return true;
+}
+
+void print_qos_points(const serve::Engine& engine, obs::RunReport* report) {
+  core::Table t({"#", "point", "holdout acc[%]", "energy/req", "savings[%]", "lat est[ms]",
+                 "plan"});
+  int idx = 0;
+  for (const auto& p : engine.operating_points()) {
+    t.add_row({std::to_string(idx++), p.name, core::Table::pct(p.holdout_acc),
+               core::Table::num(p.energy_per_req, 0), core::Table::num(p.energy_savings_pct, 1),
+               core::Table::num(p.latency_est_ms, 2),
+               p.plan_text.size() > 48 ? p.plan_text.substr(0, 45) + "..." : p.plan_text});
+  }
+  std::printf("\n-- operating points (ladder order: 0 = best effort) --\n");
+  t.print();
+  if (report != nullptr) {
+    report->set("qos", engine.qos_report().to_json());
+    report->add_table("qos_points", t.headers(), t.rows());
+  }
+}
+
 // Bring up the serving engine (DESIGN.md §5g) and drive it with the
 // requested traffic shape. The default session serves the composed
-// --multiplier/--plan text; each --tenant name=plan opens another session
-// over the same weights and gets its own load run, so one invocation
-// exercises true multi-tenant batching. Reports land under "serving" in the
-// --report JSON (definitions.servingReport, same rows as bench_serving_load).
+// --multiplier/--plan text — or, with --qos, the governed operating-point
+// ladder; each --tenant name=plan opens another session over the same
+// weights and gets its own load run, so one invocation exercises true
+// multi-tenant batching. Reports land under "serving" in the --report JSON
+// (definitions.servingReport, same rows as bench_serving_load), plus "qos"
+// (definitions.qosReport) when a ladder is active.
 int cmd_serve(const CliOptions& opt, obs::RunReport* report) {
   serve::ModelSpec spec;
   spec.model = opt.model;
@@ -616,6 +737,7 @@ int cmd_serve(const CliOptions& opt, obs::RunReport* report) {
   if (opt.lanes) spec.lanes = *opt.lanes;
   spec.batching.queue_capacity =
       std::max(spec.batching.queue_capacity, spec.batching.max_batch);
+  if (!apply_qos_flags(opt, spec)) return 1;
 
   auto engine = serve::Engine::load(spec);
   std::printf("engine up: %d lane(s), max_batch %d, max_delay %lldus\n", engine->lanes(),
@@ -635,6 +757,7 @@ int cmd_serve(const CliOptions& opt, obs::RunReport* report) {
   load.rate_rps = opt.rate_rps;
   load.burst = opt.burst;
   if (opt.deadline_us) load.deadline_us = *opt.deadline_us;
+  if (opt.seed) load.seed = *opt.seed;
 
   obs::Json serving = obs::Json::array();
   core::Table table({"session", "plan", "scenario", "req", "mean batch", "thr [req/s]",
@@ -647,7 +770,13 @@ int cmd_serve(const CliOptions& opt, obs::RunReport* report) {
     obs::Json row = r.to_json();
     row["session"] = s->name();
     serving.push_back(std::move(row));
-    table.add_row({s->name(), s->plan_text(), r.scenario,
+    // A governed session's plan text is the whole multi-line ladder —
+    // summarize it instead of wrecking the table layout.
+    const std::string plan_cell =
+        s->governed() ? "qos ladder (" + std::to_string(s->num_points()) +
+                            " points, active=" + s->point_name(s->active_point()) + ")"
+                      : s->plan_text();
+    table.add_row({s->name(), plan_cell, r.scenario,
                    core::Table::num(static_cast<double>(r.requests), 0),
                    core::Table::num(r.mean_batch, 2), core::Table::num(r.throughput_rps, 1),
                    core::Table::num(r.latency.p50, 2), core::Table::num(r.latency.p99, 2),
@@ -673,6 +802,40 @@ int cmd_serve(const CliOptions& opt, obs::RunReport* report) {
     report->metric("mean_batch", stats.mean_batch);
     report->metric("deadline_misses", stats.deadline_misses);
   }
+  if (engine->qos_enabled()) {
+    const qos::QosReport qr = engine->qos_report();
+    std::printf("%s\n", qr.summary().c_str());
+    print_qos_points(*engine, report);
+    if (report != nullptr) report->metric("qos_transitions", stats.qos_transitions);
+  }
+  return 0;
+}
+
+// `qos` verb: load the engine with an operating-point ladder and print the
+// calibrated metadata (holdout accuracy, energy, latency estimate) without
+// driving traffic — the offline half of the governor story.
+int cmd_qos(const CliOptions& opt, obs::RunReport* report) {
+  if (opt.qos_file.empty()) {
+    std::fprintf(stderr, "the qos command requires --qos <points.plan>\n");
+    return 1;
+  }
+  serve::ModelSpec spec;
+  spec.model = opt.model;
+  if (opt.full) setenv("AXNN_REPRO_FULL", "1", 1);
+  spec.profile = core::BenchProfile::from_env();
+  spec.verbose = opt.verbose;
+  spec.kd_stage1 = opt.kd_stage1;
+  spec.finetune = opt.serve_finetune;
+  spec.method = opt.method;
+  if (const auto mul = axmul::find_spec(opt.multiplier)) spec.t2 = pick_t2(opt, *mul);
+  spec.sentinel = opt.sentinel;
+  if (opt.lanes) spec.lanes = *opt.lanes;
+  if (!apply_qos_flags(opt, spec)) return 1;
+
+  auto engine = serve::Engine::load(spec);
+  std::printf("engine up: %d lane(s), %zu operating point(s)\n", engine->lanes(),
+              engine->operating_points().size());
+  print_qos_points(*engine, report);
   return 0;
 }
 
@@ -684,6 +847,7 @@ int dispatch(const CliOptions& opt, obs::RunReport* report) {
   if (opt.verb == "approximate") return cmd_approximate(opt, report);
   if (opt.verb == "sweep") return cmd_sweep(opt, report);
   if (opt.verb == "serve") return cmd_serve(opt, report);
+  if (opt.verb == "qos") return cmd_qos(opt, report);
   std::fprintf(stderr, "unknown command '%s'\n", opt.verb.c_str());
   print_usage();
   return 1;

@@ -1,0 +1,36 @@
+// axnn — fuzz harness for the operating-point-set parser (qos::parse_points).
+//
+// parse_points must reject malformed ladders with std::invalid_argument and,
+// for every accepted input, round-trip through to_text() + parse_points()
+// without throwing — a parse of its own serialization failing means the text
+// form and the parser disagree on the grammar. Names, order, and plan texts
+// must all survive the round trip.
+#include <cstdint>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "axnn/qos/operating_point.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const std::vector<axnn::qos::OperatingPointSpec> pts =
+        axnn::qos::parse_points(text);
+    // Accepted input: the canonical form must survive a second parse and
+    // serialize back to itself.
+    const std::string canon = axnn::qos::to_text(pts);
+    const std::vector<axnn::qos::OperatingPointSpec> again =
+        axnn::qos::parse_points(canon);
+    if (again.size() != pts.size()) __builtin_trap();
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (again[i].name != pts[i].name) __builtin_trap();
+      if (again[i].plan_text != pts[i].plan_text) __builtin_trap();
+    }
+    if (axnn::qos::to_text(again) != canon) __builtin_trap();
+  } catch (const std::invalid_argument&) {
+    // expected rejection path
+  }
+  return 0;
+}

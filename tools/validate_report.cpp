@@ -154,6 +154,87 @@ void check_serving(const std::string& file, const Json& serving) {
   }
 }
 
+void check_qos(const std::string& file, const Json& qos) {
+  static const char* kPointNumeric[] = {"holdout_acc", "energy_per_req", "energy_savings_pct",
+                                        "latency_est_ms"};
+  const Json* points = qos.find("points");
+  const Json* sessions = qos.find("sessions");
+  if (points == nullptr || !points->is_array() || points->items().empty()) {
+    fail(file, "qos.points", "expected non-empty array of operating points");
+  } else {
+    for (size_t i = 0; i < points->items().size(); ++i) {
+      const Json& p = points->items()[i];
+      const std::string where = "qos.points[" + std::to_string(i) + "]";
+      if (!p.is_object()) {
+        fail(file, where, "expected an operating-point object");
+        continue;
+      }
+      for (const char* key : {"name", "plan"}) {
+        const Json* v = p.find(key);
+        if (v == nullptr || !v->is_string() || v->str().empty())
+          fail(file, where + "." + key, "expected non-empty string");
+      }
+      for (const char* key : kPointNumeric) {
+        const Json* v = p.find(key);
+        if (v == nullptr)
+          fail(file, where, std::string("missing key '") + key + "'");
+        else if (!v->is_number())
+          fail(file, where + "." + key,
+               std::string("expected number, got ") + type_name(v->type()));
+      }
+    }
+  }
+  if (sessions == nullptr || !sessions->is_array()) {
+    fail(file, "qos.sessions", "expected array of governed sessions");
+    return;
+  }
+  for (size_t i = 0; i < sessions->items().size(); ++i) {
+    const Json& s = sessions->items()[i];
+    const std::string where = "qos.sessions[" + std::to_string(i) + "]";
+    if (!s.is_object()) {
+      fail(file, where, "expected a session object");
+      continue;
+    }
+    const Json* name = s.find("session");
+    if (name == nullptr || !name->is_string()) fail(file, where + ".session", "expected string");
+    for (const char* key : {"active", "transitions_total"}) {
+      const Json* v = s.find(key);
+      if (v == nullptr || !v->is_number())
+        fail(file, where + "." + key, "expected number");
+    }
+    for (const char* key : {"requests_per_point", "time_in_point_ms"}) {
+      const Json* v = s.find(key);
+      if (v == nullptr || !v->is_array()) {
+        fail(file, where + "." + key, "expected array");
+        continue;
+      }
+      for (size_t k = 0; k < v->items().size(); ++k)
+        if (!v->items()[k].is_number())
+          fail(file, where + "." + key + "[" + std::to_string(k) + "]", "expected number");
+    }
+    const Json* trs = s.find("transitions");
+    if (trs == nullptr || !trs->is_array()) {
+      fail(file, where + ".transitions", "expected array");
+      continue;
+    }
+    for (size_t k = 0; k < trs->items().size(); ++k) {
+      const Json& t = trs->items()[k];
+      const std::string tw = where + ".transitions[" + std::to_string(k) + "]";
+      if (!t.is_object()) {
+        fail(file, tw, "expected a transition object");
+        continue;
+      }
+      for (const char* key : {"t_ms", "from", "to"}) {
+        const Json* v = t.find(key);
+        if (v == nullptr || !v->is_number()) fail(file, tw + "." + key, "expected number");
+      }
+      const Json* cause = t.find("cause");
+      if (cause == nullptr || !cause->is_string())
+        fail(file, tw + ".cause", "expected string");
+    }
+  }
+}
+
 void validate(const std::string& file, const Json& schema, const Json& report) {
   if (!report.is_object()) {
     fail(file, "$", "report root must be an object");
@@ -172,7 +253,7 @@ void validate(const std::string& file, const Json& schema, const Json& report) {
         fail(file, key, "expected " + want->str() + ", got " + type_name(value->type()));
     }
   }
-  for (const char* section : {"metrics", "tables", "telemetry", "serving"})
+  for (const char* section : {"metrics", "tables", "telemetry", "serving", "qos"})
     if (const Json* v = report.find(section)) reject_nulls(file, section, *v);
   if (const Json* tel = report.find("telemetry"); tel != nullptr && tel->is_object())
     check_telemetry(file, *tel);
@@ -180,6 +261,8 @@ void validate(const std::string& file, const Json& schema, const Json& report) {
     check_tables(file, *tables);
   if (const Json* serving = report.find("serving"); serving != nullptr && serving->is_array())
     check_serving(file, *serving);
+  if (const Json* qos = report.find("qos"); qos != nullptr && qos->is_object())
+    check_qos(file, *qos);
 }
 
 }  // namespace
