@@ -26,6 +26,10 @@ AXNN_BENCH_CASE(serving_load, "Serving: micro-batched latency/throughput under l
   spec.batching.queue_capacity = 64;
 
   auto engine = serve::Engine::load(spec);
+  // Engine::load pre-warmed every (lane, point, batch-size) plan; from this
+  // boundary on, serving traffic must resolve plans without a single cache
+  // miss (gated below).
+  kernels::PlanCache::global().reset_stats();
   serve::Session& session = engine->session();
   const data::Dataset& pool = engine->data().test;
   const int requests = ctx.full ? 2048 : 192;
@@ -94,9 +98,22 @@ AXNN_BENCH_CASE(serving_load, "Serving: micro-batched latency/throughput under l
   ctx.metric("flush_full", stats.flush_full);
   ctx.metric("flush_timer", stats.flush_timer);
 
+  const kernels::PlanCacheStats ps = kernels::PlanCache::global().stats();
+  std::printf("  plan cache after load: hit rate %.4f (%lld hits, %lld misses)\n",
+              ps.hit_rate(), static_cast<long long>(ps.hits),
+              static_cast<long long>(ps.misses));
+  ctx.metric("plan_cache_hit_rate", ps.hit_rate());
+  ctx.metric("plan_cache_misses", ps.misses);
+
   // Bursts of 16 against max_batch 8 must actually batch.
   if (rb.mean_batch < 2.0) {
     std::printf("FAIL: burst traffic did not batch (mean %.2f)\n", rb.mean_batch);
+    return 1;
+  }
+  // Pre-warm covered every shape the dispatcher can build, so post-load
+  // traffic may not miss the plan cache.
+  if (ps.hit_rate() < 0.99) {
+    std::printf("FAIL: plan cache hit rate %.4f < 0.99 after pre-warm\n", ps.hit_rate());
     return 1;
   }
   return 0;

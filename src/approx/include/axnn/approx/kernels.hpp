@@ -1,76 +1,6 @@
-// axnn — integer GEMM kernels behind the unified axnn::kernels dispatch.
-//
-// Shares GemmDesc/Backend with the float API (axnn/tensor/kernels.hpp).
-// Operand layout is fixed for the int path — W:[M,K] int8 (int4-range
-// weights), X:[K,N] int8 activations, C:[M,N] int32 accumulators — so the
-// transpose flags of GemmDesc must be false (std::invalid_argument
-// otherwise); `accumulate` is honoured.
-//
-// The kBlocked approximate kernel packs the 256×16 SignedMulTable into
-// per-weight-nibble contiguous 256-entry slices once per call: the naive
-// kernel's stride-16 lookups touch the whole 16 KiB table per activation
-// byte, the packed slices keep the hot lookups inside a few cache lines.
-// Integer addition is exact, so both backends are bit-identical.
+// axnn — forwarding header. The integer GEMM dispatch API moved to the
+// kernels module: axnn/kernels/int_gemm.hpp (target axnn::kernels, linked
+// PUBLIC by axnn::approx). API and namespace are unchanged.
 #pragma once
 
-#include <cstdint>
-
-#include "axnn/approx/signed_lut.hpp"
-#include "axnn/axmul/adder.hpp"
-#include "axnn/tensor/kernels.hpp"
-
-namespace axnn::kernels {
-
-/// C[M,N] (=|+=) W ·~ X through the multiplier LUT (paper Eq. 4).
-void gemm_approx(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
-                 int64_t m, int64_t k, int64_t n, const approx::SignedMulTable& tab,
-                 Backend backend, ThreadPool* pool = nullptr);
-inline void gemm_approx(const GemmDesc& desc, const int8_t* w, const int8_t* x,
-                        int32_t* c, int64_t m, int64_t k, int64_t n,
-                        const approx::SignedMulTable& tab) {
-  gemm_approx(desc, w, x, c, m, k, n, tab, auto_backend(m, k, n), nullptr);
-}
-
-/// C[M,N] (=|+=) W · X with exact int arithmetic (error-measurement baseline).
-void gemm_exact(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
-                int64_t m, int64_t k, int64_t n, Backend backend,
-                ThreadPool* pool = nullptr);
-inline void gemm_exact(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
-                       int64_t m, int64_t k, int64_t n) {
-  gemm_exact(desc, w, x, c, m, k, n, auto_backend(m, k, n), nullptr);
-}
-
-/// Approximate GEMM whose partial sums are combined through an adder model
-/// (paper outlook: multiple approximation techniques). The adder chain fixes
-/// the per-element reduction order, so both backends run the same
-/// column-ordered loop; the backend argument only exists for dispatch
-/// uniformity. One virtual call per MAC — evaluation passes only.
-void gemm_approx_accum(const GemmDesc& desc, const int8_t* w, const int8_t* x,
-                       int32_t* c, int64_t m, int64_t k, int64_t n,
-                       const approx::SignedMulTable& tab, const axmul::Adder& adder,
-                       Backend backend, ThreadPool* pool = nullptr);
-inline void gemm_approx_accum(const GemmDesc& desc, const int8_t* w, const int8_t* x,
-                              int32_t* c, int64_t m, int64_t k, int64_t n,
-                              const approx::SignedMulTable& tab,
-                              const axmul::Adder& adder) {
-  gemm_approx_accum(desc, w, x, c, m, k, n, tab, adder, default_backend(), nullptr);
-}
-
-/// ABFT column-sum probes over an already-computed int GEMM C[M,N] = W · X
-/// (sentinel subsystem, DESIGN.md §5f). Writes, per output column n:
-///
-///   actual[n]    = Σ_m C[m,n]                       (what the kernel produced)
-///   predicted[n] = Σ_k (Σ_m W[m,k]) · X[k,n]        (what exact math implies)
-///
-/// For the exact kernel the two are equal; for the LUT kernel they differ by
-/// the accumulated approximation error of the column, which the caller
-/// bounds with a calibrated tolerance. `wsum` (optional, length K) receives
-/// the weight column sums Σ_m W[m,k] — the caller compares them against a
-/// golden copy to detect corrupted weight operands, which a checksum over
-/// self-consistent corrupted operands cannot see. int64 accumulation: with
-/// int8×int4 operands the probes cannot overflow for any realistic shape.
-void abft_column_sums(const int8_t* w, const int8_t* x, const int32_t* c, int64_t m,
-                      int64_t k, int64_t n, int64_t* actual, int64_t* predicted,
-                      int64_t* wsum = nullptr);
-
-}  // namespace axnn::kernels
+#include "axnn/kernels/int_gemm.hpp"

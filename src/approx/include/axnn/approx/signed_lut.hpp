@@ -1,51 +1,6 @@
-// axnn — signed multiplication table.
-//
-// The hardware models in axnn::axmul are unsigned 8x4 units; symmetric
-// quantization produces signed operands (int8 activations in [-127,127],
-// int4 weights in [-7,7]). SignedMulTable folds the sign-magnitude wrapper
-// into a single 256x16 table indexed directly by the two's-complement
-// operand bit patterns, so the inner GEMM loop is one load and one add.
+// axnn — forwarding header. SignedMulTable moved to the kernels module
+// (axnn/kernels/signed_lut.hpp) so prepared GEMM plans can bake re-laid-out
+// copies of the table; the class stays in namespace axnn::approx.
 #pragma once
 
-#include <array>
-#include <cstdint>
-#include <string>
-
-#include "axnn/axmul/multiplier.hpp"
-
-namespace axnn::approx {
-
-class SignedMulTable {
-public:
-  /// Exact products.
-  SignedMulTable();
-  /// Products of the given hardware model with sign-magnitude wrapping.
-  explicit SignedMulTable(const axmul::MultiplierLut& lut);
-  explicit SignedMulTable(const axmul::Multiplier& m)
-      : SignedMulTable(axmul::MultiplierLut(m)) {}
-
-  const std::string& name() const { return name_; }
-
-  /// Signed product; qa in [-128,127], qw in [-8,7].
-  int32_t operator()(int32_t qa, int32_t qw) const {
-    return tab_[index(qa, qw)];
-  }
-
-  static size_t index(int32_t qa, int32_t qw) {
-    return (static_cast<size_t>(static_cast<uint8_t>(qa)) << 4) |
-           (static_cast<size_t>(qw) & 0xF);
-  }
-
-  const int32_t* data() const { return tab_.data(); }
-
-  /// Mutable entry access for fault-injection experiments (resilience
-  /// module): lets a copy of the table model stuck-at/transient defects in
-  /// the hardware's product LUT.
-  int32_t* mutable_data() { return tab_.data(); }
-
-private:
-  std::array<int32_t, axmul::kLutSize> tab_{};
-  std::string name_;
-};
-
-}  // namespace axnn::approx
+#include "axnn/kernels/signed_lut.hpp"

@@ -38,6 +38,12 @@
 #include "axnn/ge/fit_registry.hpp"
 #include "axnn/ge/monte_carlo.hpp"
 #include "axnn/kd/distill.hpp"
+#include "axnn/kernels/gemm.hpp"
+#include "axnn/kernels/int_gemm.hpp"
+#include "axnn/kernels/isa.hpp"
+#include "axnn/kernels/plan.hpp"
+#include "axnn/kernels/scratch.hpp"
+#include "axnn/kernels/signed_lut.hpp"
 #include "axnn/models/blocks.hpp"
 #include "axnn/models/mobilenetv2.hpp"
 #include "axnn/models/model_info.hpp"

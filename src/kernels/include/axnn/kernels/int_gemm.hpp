@@ -1,0 +1,95 @@
+// axnn — integer GEMM kernels behind the unified axnn::kernels dispatch.
+//
+// Shares GemmDesc/Backend with the float API (axnn/kernels/gemm.hpp).
+// Operand layout is fixed for the int path — W:[M,K] int8 (int4-range
+// weights), X:[K,N] int8 activations, C:[M,N] int32 accumulators — so the
+// transpose flags of GemmDesc must be false (std::invalid_argument
+// otherwise); `accumulate` is honoured.
+//
+// The kBlocked path runs through a prepared GemmPlan (axnn/kernels/plan.hpp)
+// acquired from the global PlanCache: the plan owns the re-laid-out LUT
+// (per-weight-nibble slices for the scalar kernel, a transposed
+// 64-byte-per-activation layout for the vector kernels) and the tile
+// geometry, so per-call work is just operand packing into pooled scratch.
+// Integer addition is exact and order-free, so every backend/ISA combination
+// is bit-identical to the naive reference.
+#pragma once
+
+#include <cstdint>
+
+#include "axnn/axmul/adder.hpp"
+#include "axnn/kernels/gemm.hpp"
+#include "axnn/kernels/signed_lut.hpp"
+
+namespace axnn::kernels {
+
+class GemmPlan;
+class PlanMemo;
+
+/// C[M,N] (=|+=) W ·~ X through the multiplier LUT (paper Eq. 4). `memo`,
+/// when given, is a per-call-site PlanMemo that resolves the plan without
+/// touching the global cache's mutex on repeat shapes (layers pass their
+/// own; one memo must not be shared across threads).
+void gemm_approx(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
+                 int64_t m, int64_t k, int64_t n, const approx::SignedMulTable& tab,
+                 Backend backend, ThreadPool* pool = nullptr, PlanMemo* memo = nullptr);
+inline void gemm_approx(const GemmDesc& desc, const int8_t* w, const int8_t* x,
+                        int32_t* c, int64_t m, int64_t k, int64_t n,
+                        const approx::SignedMulTable& tab) {
+  gemm_approx(desc, w, x, c, m, k, n, tab, auto_backend(m, k, n), nullptr);
+}
+
+/// C[M,N] (=|+=) W · X with exact int arithmetic (error-measurement baseline).
+void gemm_exact(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
+                int64_t m, int64_t k, int64_t n, Backend backend,
+                ThreadPool* pool = nullptr, PlanMemo* memo = nullptr);
+inline void gemm_exact(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
+                       int64_t m, int64_t k, int64_t n) {
+  gemm_exact(desc, w, x, c, m, k, n, auto_backend(m, k, n), nullptr);
+}
+
+/// Approximate GEMM whose partial sums are combined through an adder model
+/// (paper outlook: multiple approximation techniques). The adder chain fixes
+/// the per-element reduction order, so both backends run the same
+/// column-ordered loop; the backend argument only exists for dispatch
+/// uniformity. One virtual call per MAC — evaluation passes only.
+void gemm_approx_accum(const GemmDesc& desc, const int8_t* w, const int8_t* x,
+                       int32_t* c, int64_t m, int64_t k, int64_t n,
+                       const approx::SignedMulTable& tab, const axmul::Adder& adder,
+                       Backend backend, ThreadPool* pool = nullptr);
+inline void gemm_approx_accum(const GemmDesc& desc, const int8_t* w, const int8_t* x,
+                              int32_t* c, int64_t m, int64_t k, int64_t n,
+                              const approx::SignedMulTable& tab,
+                              const axmul::Adder& adder) {
+  gemm_approx_accum(desc, w, x, c, m, k, n, tab, adder, default_backend(), nullptr);
+}
+
+/// ABFT column-sum probes over an already-computed int GEMM C[M,N] = W · X
+/// (sentinel subsystem, DESIGN.md §5f). Writes, per output column n:
+///
+///   actual[n]    = Σ_m C[m,n]                       (what the kernel produced)
+///   predicted[n] = Σ_k (Σ_m W[m,k]) · X[k,n]        (what exact math implies)
+///
+/// For the exact kernel the two are equal; for the LUT kernel they differ by
+/// the accumulated approximation error of the column, which the caller
+/// bounds with a calibrated tolerance. `wsum` (optional, length K) receives
+/// the weight column sums Σ_m W[m,k] — the caller compares them against a
+/// golden copy to detect corrupted weight operands, which a checksum over
+/// self-consistent corrupted operands cannot see. int64 accumulation: with
+/// int8×int4 operands the probes cannot overflow for any realistic shape.
+/// Scratch comes from the kernels arena, so steady-state calls allocate
+/// nothing.
+void abft_column_sums(const int8_t* w, const int8_t* x, const int32_t* c, int64_t m,
+                      int64_t k, int64_t n, int64_t* actual, int64_t* predicted,
+                      int64_t* wsum = nullptr);
+
+/// Plan-aware ABFT: identical output, but `plan` (an int-path plan for the
+/// same [M,K]×[K,N] problem) supplies the column-major weight-nibble panel
+/// already packed for the vector kernels, letting the weight column sums
+/// walk unit-stride memory instead of striding the row-major W. Falls back
+/// to the plain path when the plan does not carry a packed panel.
+void abft_column_sums(const GemmPlan& plan, const int8_t* w, const int8_t* x,
+                      const int32_t* c, int64_t m, int64_t k, int64_t n,
+                      int64_t* actual, int64_t* predicted, int64_t* wsum = nullptr);
+
+}  // namespace axnn::kernels

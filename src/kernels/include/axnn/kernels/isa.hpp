@@ -1,0 +1,36 @@
+// axnn — runtime ISA selection for the vectorized kernels.
+//
+// The instruction set is probed once at startup (first query) and every
+// blocked kernel dispatches through the result, so the choice costs nothing
+// on the hot path and the whole process runs one consistent set of
+// micro-kernels. The environment variable AXNN_SIMD ("scalar" | "avx2" |
+// "neon", read at first query) and set_isa() (the CLI `--no-simd` escape
+// hatch) can force a downgrade; requesting an ISA the machine lacks falls
+// back to the detected one.
+//
+// Bit-identity contract: the vectorized int kernels add exactly the same
+// int32 LUT products as the scalar reference, so switching ISA never changes
+// results on the int paths. The float blocked kernels keep the scalar
+// kernel's per-element operation order (multiply then add, no FMA
+// contraction), so they too are bit-stable across ISAs.
+#pragma once
+
+namespace axnn::kernels {
+
+enum class Isa { kScalar, kAvx2, kNeon };
+
+const char* isa_name(Isa isa);
+
+/// Best ISA the running CPU supports (ignores overrides).
+Isa detected_isa();
+
+/// ISA the blocked kernels actually run: detected, unless downgraded via
+/// AXNN_SIMD or set_isa().
+Isa active_isa();
+
+/// Force the active ISA (clamped to what the CPU supports). Plans are keyed
+/// by ISA, so changing it mid-run is safe — already-cached plans for the old
+/// ISA keep working, new acquisitions build kernels for the new one.
+void set_isa(Isa isa);
+
+}  // namespace axnn::kernels

@@ -1,0 +1,85 @@
+// axnn — signed multiplication table.
+//
+// The hardware models in axnn::axmul are unsigned 8x4 units; symmetric
+// quantization produces signed operands (int8 activations in [-127,127],
+// int4 weights in [-7,7]). SignedMulTable folds the sign-magnitude wrapper
+// into a single 256x16 table indexed directly by the two's-complement
+// operand bit patterns, so the inner GEMM loop is one load and one add.
+//
+// Lives in the kernels module (historically axnn/approx/signed_lut.hpp,
+// which now forwards here) because prepared GEMM plans bake re-laid-out
+// copies of the table; the namespace stays axnn::approx for source
+// compatibility.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "axnn/axmul/multiplier.hpp"
+
+namespace axnn::approx {
+
+class SignedMulTable {
+public:
+  /// Exact products.
+  SignedMulTable();
+  /// Products of the given hardware model with sign-magnitude wrapping.
+  explicit SignedMulTable(const axmul::MultiplierLut& lut);
+  explicit SignedMulTable(const axmul::Multiplier& m)
+      : SignedMulTable(axmul::MultiplierLut(m)) {}
+
+  SignedMulTable(const SignedMulTable& o)
+      : tab_(o.tab_), name_(o.name_), tainted_(o.tainted_) {}
+  SignedMulTable& operator=(const SignedMulTable& o) {
+    tab_ = o.tab_;
+    name_ = o.name_;
+    tainted_ = o.tainted_;
+    fp_state_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+
+  /// Signed product; qa in [-128,127], qw in [-8,7].
+  int32_t operator()(int32_t qa, int32_t qw) const {
+    return tab_[index(qa, qw)];
+  }
+
+  static size_t index(int32_t qa, int32_t qw) {
+    return (static_cast<size_t>(static_cast<uint8_t>(qa)) << 4) |
+           (static_cast<size_t>(qw) & 0xF);
+  }
+
+  const int32_t* data() const { return tab_.data(); }
+
+  /// Mutable entry access for fault-injection experiments (resilience
+  /// module): lets a copy of the table model stuck-at/transient defects in
+  /// the hardware's product LUT. Marks the table tainted: plan-cache keys
+  /// re-hash its contents on every acquire from then on, so a corrupted copy
+  /// can never alias the clean table's cached plans.
+  int32_t* mutable_data() {
+    tainted_ = true;
+    fp_state_.store(0, std::memory_order_relaxed);
+    return tab_.data();
+  }
+
+  bool tainted() const { return tainted_; }
+
+  /// Content hash used in plan-cache keys. Memoized after the first call for
+  /// pristine tables; recomputed every call once mutable_data() has been
+  /// handed out (the caller may mutate entries at any time afterwards).
+  uint64_t fingerprint() const;
+
+private:
+  std::array<int32_t, axmul::kLutSize> tab_{};
+  std::string name_;
+  /// 0 = not computed; otherwise the cached fingerprint (never 0 itself —
+  /// the hash is forced odd). Atomic so concurrent plan acquires may race to
+  /// fill it without a data race; all writers store the same value.
+  mutable std::atomic<uint64_t> fp_state_{0};
+  bool tainted_ = false;
+};
+
+}  // namespace axnn::approx

@@ -1,14 +1,15 @@
-#include "axnn/tensor/kernels.hpp"
-
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <vector>
 
+#include "axnn/kernels/gemm.hpp"
+#include "axnn/kernels/plan.hpp"
+#include "axnn/kernels/scratch.hpp"
 #include "axnn/obs/telemetry.hpp"
 #include "axnn/tensor/threadpool.hpp"
+#include "internal.hpp"
 
 namespace axnn::kernels {
 
@@ -122,9 +123,9 @@ void naive_tt(const float* a, const float* b, float* c, int64_t m, int64_t k, in
 }
 
 // ---------------------------------------------------------------------------
-// Blocked backend — MC/KC/NC cache blocking, MR×NR register tiling,
-// per-thread packed panels. Transposes are absorbed by the packing, so one
-// micro-kernel serves all four layout combinations.
+// Blocked backend — MC/KC/NC cache blocking, MR×NR register tiling, packed
+// panels in per-thread scratch arenas. Transposes are absorbed by the
+// packing, so one micro-kernel serves all four layout combinations.
 // ---------------------------------------------------------------------------
 
 constexpr int64_t MR = 4;   // rows per register tile
@@ -176,30 +177,36 @@ void micro_kernel(const float* __restrict ap, const float* __restrict bp, int64_
   for (int64_t x = 0; x < MR * NR; ++x) out[x] = acc[x];
 }
 
-void blocked_gemm(const GemmDesc& desc, const float* a, const float* b, float* c,
-                  int64_t m, int64_t k, int64_t n, ThreadPool& pool) {
+}  // namespace
+
+namespace detail {
+
+void blocked_f32(const GemmDesc& desc, const float* a, const float* b, float* c,
+                 int64_t m, int64_t k, int64_t n, ThreadPool& pool) {
+  // Whole zero-padded strips: round the block edge up to MR/NR.
+  constexpr size_t kApackElems = static_cast<size_t>((MC + MR - 1) / MR * MR) * KC;
+  constexpr size_t kBpackElems = static_cast<size_t>((NC + NR - 1) / NR * NR) * KC;
   pool.parallel_for(
       m,
       [&](int64_t r0, int64_t r1) {
-        // Whole zero-padded strips: round the block edge up to MR/NR.
-        std::vector<float> apack(static_cast<size_t>((MC + MR - 1) / MR * MR) * KC);
-        std::vector<float> bpack(static_cast<size_t>((NC + NR - 1) / NR * NR) * KC);
+        float* apack = scratch<float>(ScratchSlot::kPackA, kApackElems);
+        float* bpack = scratch<float>(ScratchSlot::kPackB, kBpackElems);
         float acc[MR * NR];
         for (int64_t jc = 0; jc < n; jc += NC) {
           const int64_t nc = std::min(NC, n - jc);
           for (int64_t kb = 0; kb < k; kb += KC) {
             const int64_t kc = std::min(KC, k - kb);
-            pack_b(bpack.data(), b, desc.trans_b, k, n, kb, kc, jc, nc);
+            pack_b(bpack, b, desc.trans_b, k, n, kb, kc, jc, nc);
             const bool store = (kb == 0) && !desc.accumulate;
             for (int64_t i0 = r0; i0 < r1; i0 += MC) {
               const int64_t mc = std::min(MC, r1 - i0);
-              pack_a(apack.data(), a, desc.trans_a, m, k, i0, mc, kb, kc);
+              pack_a(apack, a, desc.trans_a, m, k, i0, mc, kb, kc);
               for (int64_t s = 0; s < mc; s += MR) {
                 const int64_t mr = std::min(MR, mc - s);
-                const float* ap = apack.data() + (s / MR) * kc * MR;
+                const float* ap = apack + (s / MR) * kc * MR;
                 for (int64_t t = 0; t < nc; t += NR) {
                   const int64_t nr = std::min(NR, nc - t);
-                  micro_kernel(ap, bpack.data() + (t / NR) * kc * NR, kc, acc);
+                  micro_kernel(ap, bpack + (t / NR) * kc * NR, kc, acc);
                   for (int64_t r = 0; r < mr; ++r) {
                     float* crow = c + (i0 + s + r) * n + jc + t;
                     const float* arow = acc + r * NR;
@@ -217,7 +224,7 @@ void blocked_gemm(const GemmDesc& desc, const float* a, const float* b, float* c
       std::max<int64_t>(row_grain(k, n), MR));
 }
 
-}  // namespace
+}  // namespace detail
 
 const char* backend_name(Backend b) {
   return b == Backend::kNaive ? "naive" : "blocked";
@@ -246,7 +253,7 @@ int64_t row_grain(int64_t k, int64_t n) {
 }
 
 void gemm(const GemmDesc& desc, const float* a, const float* b, float* c, int64_t m,
-          int64_t k, int64_t n, Backend backend, ThreadPool* pool) {
+          int64_t k, int64_t n, Backend backend, ThreadPool* pool, PlanMemo* memo) {
   if (m <= 0 || n <= 0) return;
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
   if (k <= 0) {
@@ -256,16 +263,20 @@ void gemm(const GemmDesc& desc, const float* a, const float* b, float* c, int64_
   const bool obs_on = obs::enabled();
   const bool obs_time = obs_on && obs::collector()->config().timing;
   const int64_t t0 = obs_time ? obs::now_ns() : 0;
-  if (backend == Backend::kBlocked)
-    blocked_gemm(desc, a, b, c, m, k, n, p);
-  else if (!desc.trans_a && !desc.trans_b)
+  if (backend == Backend::kBlocked) {
+    const PlanKey key = make_f32_key(desc, m, k, n, backend);
+    const PlanHandle plan =
+        memo != nullptr ? memo->find_or_acquire(key) : PlanCache::global().acquire(key);
+    plan->run(a, b, c, &p);
+  } else if (!desc.trans_a && !desc.trans_b) {
     naive_nn(a, b, c, m, k, n, desc.accumulate, p);
-  else if (!desc.trans_a && desc.trans_b)
+  } else if (!desc.trans_a && desc.trans_b) {
     naive_nt(a, b, c, m, k, n, desc.accumulate, p);
-  else if (desc.trans_a && !desc.trans_b)
+  } else if (desc.trans_a && !desc.trans_b) {
     naive_tn(a, b, c, m, k, n, desc.accumulate, p);
-  else
+  } else {
     naive_tt(a, b, c, m, k, n, desc.accumulate, p);
+  }
   if (obs_on) obs::record_gemm("gemm_f32", m * k * n, obs_time ? obs::now_ns() - t0 : -1);
 }
 

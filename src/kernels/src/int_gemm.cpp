@@ -1,13 +1,14 @@
-#include "axnn/approx/kernels.hpp"
-
 #include <algorithm>
-#include <array>
 #include <cstring>
 #include <stdexcept>
-#include <vector>
+#include <string>
 
+#include "axnn/kernels/int_gemm.hpp"
+#include "axnn/kernels/plan.hpp"
+#include "axnn/kernels/scratch.hpp"
 #include "axnn/obs/telemetry.hpp"
 #include "axnn/tensor/threadpool.hpp"
+#include "internal.hpp"
 
 namespace axnn::kernels {
 
@@ -83,37 +84,27 @@ void naive_exact(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_
       row_grain(k, n));
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Blocked backend.
-//
-// The key transform is the packed LUT: tt[nibble][act] is the SignedMulTable
-// re-laid-out so each weight nibble owns a contiguous 1 KiB slice indexed by
-// the activation byte. The naive layout strides by 16 ints per activation,
-// touching the whole 16 KiB table; a packed slice stays resident in L1.
-// The nibble-0 slice is forced to zero to mirror the naive kernel's
-// zero-weight skip bit-for-bit (hardware models return 0 there anyway).
-// Register tiling then processes MR_I weight rows per pass so every
-// activation byte is loaded once and looked up MR_I times.
+// Scalar blocked kernels (detail) — the pre-plan blocked backend, now fed
+// the packed LUT slices from the plan instead of re-packing per call.
+// Register tiling processes MR_I weight rows per pass so every activation
+// byte is loaded once and looked up MR_I times; the nibble-0 slice is zero,
+// mirroring the naive kernel's zero-weight skip bit-for-bit.
 // ---------------------------------------------------------------------------
 
+namespace detail {
+
+namespace {
 constexpr int64_t MR_I = 4;    // weight rows per pass
 constexpr int64_t NC_I = 512;  // output columns per block (2 KiB of C per row)
+}  // namespace
 
-using PackedLut = std::array<int32_t, 16 * 256>;
-
-PackedLut pack_lut(const approx::SignedMulTable& tab) {
-  PackedLut tt{};
-  const int32_t* t = tab.data();
-  for (size_t wn = 1; wn < 16; ++wn)
-    for (size_t ua = 0; ua < 256; ++ua) tt[wn * 256 + ua] = t[(ua << 4) | wn];
-  return tt;
-}
-
-void blocked_approx(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_t k,
-                    int64_t n, const approx::SignedMulTable& tab, bool accumulate,
-                    ThreadPool& pool) {
-  const PackedLut tt = pack_lut(tab);
-  const int32_t* t0 = tt.data();
+void blocked_approx_scalar(const int8_t* w, const int8_t* x, int32_t* c, int64_t m,
+                           int64_t k, int64_t n, const int32_t* slices,
+                           bool accumulate, ThreadPool& pool) {
+  const int32_t* t0 = slices;
   const uint8_t* xu = reinterpret_cast<const uint8_t*>(x);
   pool.parallel_for(
       m,
@@ -168,8 +159,8 @@ void blocked_approx(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int
       std::max<int64_t>(row_grain(k, n), MR_I));
 }
 
-void blocked_exact(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int64_t k,
-                   int64_t n, bool accumulate, ThreadPool& pool) {
+void blocked_exact_scalar(const int8_t* w, const int8_t* x, int32_t* c, int64_t m,
+                          int64_t k, int64_t n, bool accumulate, ThreadPool& pool) {
   pool.parallel_for(
       m,
       [&](int64_t r0, int64_t r1) {
@@ -218,36 +209,51 @@ void blocked_exact(const int8_t* w, const int8_t* x, int32_t* c, int64_t m, int6
       std::max<int64_t>(row_grain(k, n), MR_I));
 }
 
-}  // namespace
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Dispatch entries. kBlocked runs through a prepared plan from the global
+// PlanCache; kNaive stays plan-free so the golden reference has no moving
+// parts.
+// ---------------------------------------------------------------------------
 
 void gemm_approx(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
                  int64_t m, int64_t k, int64_t n, const approx::SignedMulTable& tab,
-                 Backend backend, ThreadPool* pool) {
+                 Backend backend, ThreadPool* pool, PlanMemo* memo) {
   check_desc(desc, "kernels::gemm_approx");
   if (handle_trivial(desc.accumulate, c, m, k, n)) return;
   ThreadPool& p = resolve_pool(pool);
   const bool obs_on = obs::enabled();
   const bool obs_time = obs_on && obs::collector()->config().timing;
   const int64_t t0 = obs_time ? obs::now_ns() : 0;
-  if (backend == Backend::kBlocked)
-    blocked_approx(w, x, c, m, k, n, tab, desc.accumulate, p);
-  else
+  if (backend == Backend::kBlocked) {
+    const PlanKey key = make_int_key(OpKind::kApprox, desc, m, k, n, backend, &tab);
+    const PlanHandle plan = memo != nullptr ? memo->find_or_acquire(key, &tab)
+                                            : PlanCache::global().acquire(key, &tab);
+    plan->run_int(w, x, c, &p);
+  } else {
     naive_approx(w, x, c, m, k, n, tab, desc.accumulate, p);
+  }
   if (obs_on) obs::record_gemm("gemm_approx", m * k * n, obs_time ? obs::now_ns() - t0 : -1);
 }
 
 void gemm_exact(const GemmDesc& desc, const int8_t* w, const int8_t* x, int32_t* c,
-                int64_t m, int64_t k, int64_t n, Backend backend, ThreadPool* pool) {
+                int64_t m, int64_t k, int64_t n, Backend backend, ThreadPool* pool,
+                PlanMemo* memo) {
   check_desc(desc, "kernels::gemm_exact");
   if (handle_trivial(desc.accumulate, c, m, k, n)) return;
   ThreadPool& p = resolve_pool(pool);
   const bool obs_on = obs::enabled();
   const bool obs_time = obs_on && obs::collector()->config().timing;
   const int64_t t0 = obs_time ? obs::now_ns() : 0;
-  if (backend == Backend::kBlocked)
-    blocked_exact(w, x, c, m, k, n, desc.accumulate, p);
-  else
+  if (backend == Backend::kBlocked) {
+    const PlanKey key = make_int_key(OpKind::kExactInt, desc, m, k, n, backend, nullptr);
+    const PlanHandle plan = memo != nullptr ? memo->find_or_acquire(key)
+                                            : PlanCache::global().acquire(key);
+    plan->run_int(w, x, c, &p);
+  } else {
     naive_exact(w, x, c, m, k, n, desc.accumulate, p);
+  }
   if (obs_on) obs::record_gemm("gemm_exact", m * k * n, obs_time ? obs::now_ns() - t0 : -1);
 }
 
@@ -288,20 +294,10 @@ void gemm_approx_accum(const GemmDesc& desc, const int8_t* w, const int8_t* x, i
     obs::record_gemm("gemm_approx_accum", m * k * n, obs_time ? obs::now_ns() - t0 : -1);
 }
 
-void abft_column_sums(const int8_t* w, const int8_t* x, const int32_t* c, int64_t m,
-                      int64_t k, int64_t n, int64_t* actual, int64_t* predicted,
-                      int64_t* wsum) {
-  std::vector<int64_t> ws_local;
-  int64_t* ws = wsum;
-  if (ws == nullptr) {
-    ws_local.assign(static_cast<size_t>(k), 0);
-    ws = ws_local.data();
-  }
-  for (int64_t kk = 0; kk < k; ++kk) {
-    int64_t s = 0;
-    for (int64_t i = 0; i < m; ++i) s += w[i * k + kk];
-    ws[kk] = s;
-  }
+namespace {
+
+void abft_from_wsum(const int8_t* x, const int32_t* c, int64_t m, int64_t k, int64_t n,
+                    const int64_t* ws, int64_t* actual, int64_t* predicted) {
   for (int64_t j = 0; j < n; ++j) {
     int64_t a = 0;
     for (int64_t i = 0; i < m; ++i) a += c[i * n + j];
@@ -310,6 +306,65 @@ void abft_column_sums(const int8_t* w, const int8_t* x, const int32_t* c, int64_
     for (int64_t kk = 0; kk < k; ++kk) p += ws[kk] * x[kk * n + j];
     predicted[j] = p;
   }
+}
+
+}  // namespace
+
+void abft_column_sums(const int8_t* w, const int8_t* x, const int32_t* c, int64_t m,
+                      int64_t k, int64_t n, int64_t* actual, int64_t* predicted,
+                      int64_t* wsum) {
+  int64_t* ws = wsum != nullptr
+                    ? wsum
+                    : scratch<int64_t>(ScratchSlot::kAbft, static_cast<size_t>(k));
+  for (int64_t kk = 0; kk < k; ++kk) {
+    int64_t s = 0;
+    for (int64_t i = 0; i < m; ++i) s += w[i * k + kk];
+    ws[kk] = s;
+  }
+  abft_from_wsum(x, c, m, k, n, ws, actual, predicted);
+}
+
+void abft_column_sums(const GemmPlan& plan, const int8_t* w, const int8_t* x,
+                      const int32_t* c, int64_t m, int64_t k, int64_t n,
+                      int64_t* actual, int64_t* predicted, int64_t* wsum) {
+  const size_t panel = plan.packed_weights_size();
+  if (panel == 0 || plan.key().m != m || plan.key().k != k || plan.key().n != n) {
+    abft_column_sums(w, x, c, m, k, n, actual, predicted, wsum);
+    return;
+  }
+  // Column sums over the plan's column-major nibble panel: each k-group is a
+  // contiguous [m][kf] block, so the inner walk is unit-stride and the kf
+  // per-column accumulators live in registers.
+  const int64_t kf = std::max<int64_t>(1, plan.tile().kf);
+  uint8_t* wq = scratch<uint8_t>(ScratchSlot::kWeights, panel);
+  plan.pack_weights(w, wq);
+  const bool nibble = plan.key().op == OpKind::kApprox;
+  int64_t* ws = wsum != nullptr
+                    ? wsum
+                    : scratch<int64_t>(ScratchSlot::kAbft, static_cast<size_t>(k));
+  int64_t kk = 0;
+  for (; kk + kf <= k; kk += kf) {
+    const uint8_t* group = wq + kk * m;
+    int64_t sums[detail::kFuse] = {};
+    for (int64_t i = 0; i < m; ++i) {
+      const uint8_t* row = group + i * kf;
+      for (int64_t f = 0; f < kf; ++f) {
+        const int64_t v = nibble ? (static_cast<int64_t>(row[f] ^ 8u) - 8)
+                                 : static_cast<int64_t>(static_cast<int8_t>(row[f]));
+        sums[f] += v;
+      }
+    }
+    for (int64_t f = 0; f < kf; ++f) ws[kk + f] = sums[f];
+  }
+  for (; kk < k; ++kk) {
+    const uint8_t* col = wq + kk * m;
+    int64_t s = 0;
+    for (int64_t i = 0; i < m; ++i)
+      s += nibble ? (static_cast<int64_t>(col[i] ^ 8u) - 8)
+                  : static_cast<int64_t>(static_cast<int8_t>(col[i]));
+    ws[kk] = s;
+  }
+  abft_from_wsum(x, c, m, k, n, ws, actual, predicted);
 }
 
 }  // namespace axnn::kernels

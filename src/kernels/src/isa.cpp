@@ -1,0 +1,67 @@
+#include "axnn/kernels/isa.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace axnn::kernels {
+
+namespace {
+
+Isa probe_isa() {
+#if defined(AXNN_HAVE_NEON_TU)
+  return Isa::kNeon;
+#elif defined(AXNN_HAVE_AVX2_TU) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  return Isa::kScalar;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+Isa clamp_to_detected(Isa want) {
+  const Isa have = detected_isa();
+  if (want == Isa::kScalar) return Isa::kScalar;
+  return want == have ? want : have == Isa::kScalar ? Isa::kScalar : have;
+}
+
+Isa isa_from_env(Isa detected) {
+  const char* env = std::getenv("AXNN_SIMD");
+  if (env == nullptr) return detected;
+  if (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "off") == 0)
+    return Isa::kScalar;
+  if (std::strcmp(env, "avx2") == 0) return clamp_to_detected(Isa::kAvx2);
+  if (std::strcmp(env, "neon") == 0) return clamp_to_detected(Isa::kNeon);
+  return detected;
+}
+
+std::atomic<Isa>& active_slot() {
+  static std::atomic<Isa> slot{isa_from_env(probe_isa())};
+  return slot;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+    default:
+      return "scalar";
+  }
+}
+
+Isa detected_isa() {
+  static const Isa detected = probe_isa();
+  return detected;
+}
+
+Isa active_isa() { return active_slot().load(std::memory_order_relaxed); }
+
+void set_isa(Isa isa) {
+  active_slot().store(clamp_to_detected(isa), std::memory_order_relaxed);
+}
+
+}  // namespace axnn::kernels

@@ -1,8 +1,10 @@
-#include "axnn/tensor/gemm.hpp"
-
+// Tensor-level matmul/transpose conveniences. Declared in
+// axnn/tensor/gemm.hpp for source compatibility; defined here because they
+// dispatch into axnn::kernels, which the tensor module must not depend on.
 #include <stdexcept>
 
-#include "axnn/tensor/kernels.hpp"
+#include "axnn/kernels/gemm.hpp"
+#include "axnn/tensor/gemm.hpp"
 
 namespace axnn {
 

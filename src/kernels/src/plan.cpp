@@ -1,0 +1,405 @@
+#include "axnn/kernels/plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "axnn/kernels/scratch.hpp"
+#include "axnn/obs/telemetry.hpp"
+#include "axnn/tensor/threadpool.hpp"
+#include "internal.hpp"
+
+namespace axnn::kernels {
+
+const char* op_kind_name(OpKind op) {
+  switch (op) {
+    case OpKind::kApprox:
+      return "approx";
+    case OpKind::kExactInt:
+      return "exact_int";
+    default:
+      return "f32";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PlanKey
+// ---------------------------------------------------------------------------
+
+bool PlanKey::operator==(const PlanKey& o) const {
+  return op == o.op && trans_a == o.trans_a && trans_b == o.trans_b &&
+         accumulate == o.accumulate && backend == o.backend && isa == o.isa &&
+         m == o.m && k == o.k && n == o.n && lut_fp == o.lut_fp &&
+         weight_bits == o.weight_bits && activation_bits == o.activation_bits &&
+         multiplier == o.multiplier;
+}
+
+std::string PlanKey::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s[%lldx%lldx%lld] %s/%s", op_kind_name(op),
+                static_cast<long long>(m), static_cast<long long>(k),
+                static_cast<long long>(n), backend_name(backend), isa_name(isa));
+  std::string s(buf);
+  if (trans_a) s += " tA";
+  if (trans_b) s += " tB";
+  if (accumulate) s += " acc";
+  if (op == OpKind::kApprox) {
+    std::snprintf(buf, sizeof(buf), " mul=%s fp=%04x",
+                  multiplier.empty() ? "?" : multiplier.c_str(),
+                  static_cast<unsigned>(lut_fp & 0xFFFF));
+    s += buf;
+  }
+  if (op != OpKind::kF32) {
+    std::snprintf(buf, sizeof(buf), " w%da%d", weight_bits, activation_bits);
+    s += buf;
+  }
+  return s;
+}
+
+size_t PlanKeyHash::operator()(const PlanKey& k) const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<uint64_t>(k.op));
+  mix((k.trans_a ? 1u : 0u) | (k.trans_b ? 2u : 0u) | (k.accumulate ? 4u : 0u));
+  mix(static_cast<uint64_t>(k.backend));
+  mix(static_cast<uint64_t>(k.isa));
+  mix(static_cast<uint64_t>(k.m));
+  mix(static_cast<uint64_t>(k.k));
+  mix(static_cast<uint64_t>(k.n));
+  mix(k.lut_fp);
+  mix(static_cast<uint64_t>(k.weight_bits) << 8 | static_cast<uint64_t>(k.activation_bits));
+  for (const char c : k.multiplier) mix(static_cast<uint8_t>(c));
+  return static_cast<size_t>(h);
+}
+
+PlanKey make_f32_key(const GemmDesc& desc, int64_t m, int64_t k, int64_t n,
+                     Backend backend) {
+  PlanKey key;
+  key.op = OpKind::kF32;
+  key.trans_a = desc.trans_a;
+  key.trans_b = desc.trans_b;
+  key.accumulate = desc.accumulate;
+  key.backend = backend;
+  key.isa = Isa::kScalar;  // float kernels are ISA-independent (scalar numerics)
+  key.m = m;
+  key.k = k;
+  key.n = n;
+  return key;
+}
+
+PlanKey make_int_key(OpKind op, const GemmDesc& desc, int64_t m, int64_t k, int64_t n,
+                     Backend backend, const approx::SignedMulTable* tab,
+                     int weight_bits, int activation_bits) {
+  PlanKey key;
+  key.op = op;
+  key.trans_a = desc.trans_a;
+  key.trans_b = desc.trans_b;
+  key.accumulate = desc.accumulate;
+  key.backend = backend;
+  key.isa = active_isa();
+  key.m = m;
+  key.k = k;
+  key.n = n;
+  key.weight_bits = weight_bits;
+  key.activation_bits = activation_bits;
+  if (op == OpKind::kApprox) {
+    if (tab == nullptr)
+      throw std::invalid_argument("kernels::make_int_key: approx key needs a table");
+    key.multiplier = tab->name();
+    key.lut_fp = tab->fingerprint();
+  }
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// GemmPlan
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int32_t* alloc_lut(size_t elems) {
+  return static_cast<int32_t*>(
+      ::operator new(elems * sizeof(int32_t), std::align_val_t{64}));
+}
+
+void free_lut(int32_t* p) {
+  if (p != nullptr) ::operator delete(p, std::align_val_t{64});
+}
+
+}  // namespace
+
+GemmPlan::GemmPlan(const PlanKey& key, const approx::SignedMulTable* tab) : key_(key) {
+  if (key_.op == OpKind::kF32) {
+    tile_ = Tile{4, 8, 64, 256, 256, 0};
+    return;
+  }
+  tile_ = Tile{4, detail::kStrip, 0, 0, 512, detail::kFuse};
+  if (key_.op == OpKind::kApprox) {
+    if (tab == nullptr)
+      throw std::invalid_argument("kernels::GemmPlan: approx plan needs a table");
+    // Two bakes of the multiplier table, nibble-0 forced to zero in both so
+    // the zero-weight skip of the naive kernel is exactly an add of 0:
+    //   slices_[wn*256 + a] — per-nibble slices, scalar kernel;
+    //   lines_[a*16 + wn]   — per-activation lines (one 64B cache line
+    //                         each), vector kernels.
+    const int32_t* t = tab->data();
+    slices_ = alloc_lut(16 * 256);
+    lines_ = alloc_lut(256 * 16);
+    for (size_t a = 0; a < 256; ++a)
+      for (size_t wn = 0; wn < 16; ++wn) {
+        const int32_t v = wn == 0 ? 0 : t[(a << 4) | wn];
+        slices_[wn * 256 + a] = v;
+        lines_[a * 16 + wn] = v;
+      }
+  }
+}
+
+GemmPlan::~GemmPlan() {
+  free_lut(slices_);
+  free_lut(lines_);
+}
+
+void GemmPlan::run(const float* a, const float* b, float* c, ThreadPool* pool) const {
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+  const GemmDesc desc{key_.trans_a, key_.trans_b, key_.accumulate};
+  detail::blocked_f32(desc, a, b, c, key_.m, key_.k, key_.n, p);
+}
+
+size_t GemmPlan::packed_weights_size() const {
+  if (key_.op == OpKind::kF32) return 0;
+  return static_cast<size_t>(key_.m) * static_cast<size_t>(key_.k);
+}
+
+void GemmPlan::pack_weights(const int8_t* w, uint8_t* dst) const {
+  const int64_t m = key_.m, k = key_.k;
+  const int64_t kf = tile_.kf > 0 ? tile_.kf : 1;
+  const bool nibble = key_.op == OpKind::kApprox;
+  int64_t kk = 0;
+  // Full groups: column-major panels of kf consecutive k-steps, so a row's
+  // kf weights for one fused pass are one contiguous kf-byte read.
+  for (; kk + kf <= k; kk += kf) {
+    uint8_t* group = dst + kk * m;
+    for (int64_t i = 0; i < m; ++i) {
+      const int8_t* wrow = w + i * k + kk;
+      uint8_t* out = group + i * kf;
+      for (int64_t f = 0; f < kf; ++f)
+        out[f] = nibble ? static_cast<uint8_t>(wrow[f]) & 0xF
+                        : static_cast<uint8_t>(wrow[f]);
+    }
+  }
+  // Remainder k-steps: flat column-major, dst[kk*m + i].
+  for (; kk < k; ++kk) {
+    uint8_t* col = dst + kk * m;
+    for (int64_t i = 0; i < m; ++i)
+      col[i] = nibble ? static_cast<uint8_t>(w[i * k + kk]) & 0xF
+                      : static_cast<uint8_t>(w[i * k + kk]);
+  }
+}
+
+void GemmPlan::run_int(const int8_t* w, const int8_t* x, int32_t* c,
+                       ThreadPool* pool) const {
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+  const int64_t m = key_.m, k = key_.k, n = key_.n;
+  const bool acc = key_.accumulate;
+  if (key_.isa == Isa::kScalar) {
+    // Scalar kernels consume the row-major weights directly — no packing.
+    if (key_.op == OpKind::kApprox)
+      detail::blocked_approx_scalar(w, x, c, m, k, n, slices_, acc, p);
+    else
+      detail::blocked_exact_scalar(w, x, c, m, k, n, acc, p);
+    return;
+  }
+  // Vector kernels: pack the weights once (per-thread arena, no heap), then
+  // partition output columns over strips. Column-strip partitioning keeps
+  // every output element's full reduction inside one task, so results are
+  // bit-identical across thread counts.
+  uint8_t* wq = scratch<uint8_t>(ScratchSlot::kWeights, packed_weights_size());
+  pack_weights(w, wq);
+  const int64_t nstrips = (n + detail::kStrip - 1) / detail::kStrip;
+  p.parallel_for(
+      nstrips,
+      [&](int64_t s0, int64_t s1) {
+        const int64_t j0 = s0 * detail::kStrip;
+        const int64_t j1 = std::min(n, s1 * detail::kStrip);
+#if defined(AXNN_HAVE_AVX2_TU)
+        if (key_.isa == Isa::kAvx2) {
+          if (key_.op == OpKind::kApprox)
+            detail::avx2_approx_cols(wq, x, c, m, k, n, lines_, acc, j0, j1);
+          else
+            detail::avx2_exact_cols(wq, x, c, m, k, n, acc, j0, j1);
+          return;
+        }
+#endif
+#if defined(AXNN_HAVE_NEON_TU)
+        if (key_.isa == Isa::kNeon) {
+          if (key_.op == OpKind::kApprox)
+            detail::neon_approx_cols(wq, x, c, m, k, n, lines_, acc, j0, j1);
+          else
+            detail::neon_exact_cols(wq, x, c, m, k, n, acc, j0, j1);
+          return;
+        }
+#endif
+        // Unreachable when keys are built via make_int_key (isa is clamped
+        // to what this binary carries); degrade to a scalar column walk on a
+        // hand-built key rather than crash.
+        const bool lut = key_.op == OpKind::kApprox;
+        for (int64_t j = j0; j < j1; ++j)
+          for (int64_t i = 0; i < m; ++i) {
+            int32_t sum = acc ? c[i * n + j] : 0;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const int8_t qw = w[i * k + kk];
+              if (qw == 0) continue;
+              const size_t ua = static_cast<size_t>(static_cast<uint8_t>(x[kk * n + j]));
+              sum += lut ? slices_[(static_cast<size_t>(qw) & 0xF) * 256 + ua]
+                         : static_cast<int32_t>(qw) * x[kk * n + j];
+            }
+            c[i * n + j] = sum;
+          }
+      },
+      detail::strip_grain(m, k));
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void count_cache_event(const char* metric) {
+  if (obs::enabled()) obs::collector()->add("kernels", metric, 1.0);
+}
+
+}  // namespace
+
+struct PlanCache::Impl {
+  mutable std::mutex mu;
+  size_t capacity;
+  /// Front = most recently used. The map holds iterators into the list.
+  std::list<std::pair<PlanKey, PlanHandle>> lru;
+  std::unordered_map<PlanKey, std::list<std::pair<PlanKey, PlanHandle>>::iterator,
+                     PlanKeyHash>
+      map;
+  int64_t hits = 0, misses = 0, evictions = 0;
+  /// PlanMemo front-side hits, folded into stats().hits (relaxed: counters
+  /// only — no ordering requirement against the map).
+  std::atomic<int64_t> memo_hits{0};
+
+  void evict_over_capacity() {
+    while (lru.size() > capacity) {
+      map.erase(lru.back().first);
+      lru.pop_back();
+      ++evictions;
+      count_cache_event("plan_cache.evict");
+    }
+  }
+};
+
+PlanCache::PlanCache(size_t capacity) : impl_(new Impl) {
+  impl_->capacity = capacity > 0 ? capacity : 1;
+}
+
+PlanCache::~PlanCache() = default;
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+PlanHandle PlanCache::acquire(const PlanKey& key, const approx::SignedMulTable* tab) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  const auto it = impl_->map.find(key);
+  if (it != impl_->map.end()) {
+    impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+    ++impl_->hits;
+    count_cache_event("plan_cache.hit");
+    return it->second->second;
+  }
+  ++impl_->misses;
+  count_cache_event("plan_cache.miss");
+  PlanHandle handle(new GemmPlan(key, tab));
+  impl_->lru.emplace_front(key, handle);
+  impl_->map.emplace(key, impl_->lru.begin());
+  impl_->evict_over_capacity();
+  return handle;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  PlanCacheStats s;
+  s.hits = impl_->hits + impl_->memo_hits.load(std::memory_order_relaxed);
+  s.misses = impl_->misses;
+  s.evictions = impl_->evictions;
+  s.size = static_cast<int64_t>(impl_->lru.size());
+  s.capacity = static_cast<int64_t>(impl_->capacity);
+  return s;
+}
+
+void PlanCache::reset_stats() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->hits = impl_->misses = impl_->evictions = 0;
+  impl_->memo_hits.store(0, std::memory_order_relaxed);
+}
+
+void PlanCache::note_memo_hit() {
+  impl_->memo_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->map.clear();
+  impl_->lru.clear();
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->capacity = capacity > 0 ? capacity : 1;
+  impl_->evict_over_capacity();
+}
+
+// ---------------------------------------------------------------------------
+// PlanMemo
+// ---------------------------------------------------------------------------
+
+const PlanHandle& PlanMemo::find_or_acquire(const PlanKey& key,
+                                            const approx::SignedMulTable* tab) {
+  for (Entry& e : slots_)
+    if (e.handle != nullptr && e.key == key) {
+      PlanCache::global().note_memo_hit();
+      return e.handle;
+    }
+  Entry& e = slots_[next_];
+  next_ = (next_ + 1) % kSlots;
+  e.handle = PlanCache::global().acquire(key, tab);
+  e.key = key;
+  return e.handle;
+}
+
+void PlanMemo::clear() {
+  for (Entry& e : slots_) {
+    e.handle.reset();
+    e.key = PlanKey{};
+  }
+  next_ = 0;
+}
+
+std::vector<PlanKey> PlanMemo::keys() const {
+  std::vector<PlanKey> out;
+  // Walk in fill order: oldest surviving slot first, most recent last.
+  for (size_t i = 0; i < kSlots; ++i) {
+    const Entry& e = slots_[(next_ + i) % kSlots];
+    if (e.handle != nullptr) out.push_back(e.key);
+  }
+  return out;
+}
+
+}  // namespace axnn::kernels

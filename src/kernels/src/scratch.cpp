@@ -1,0 +1,35 @@
+#include "axnn/kernels/scratch.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace axnn::kernels {
+
+namespace {
+
+struct Arena {
+  void* p = nullptr;
+  size_t cap = 0;
+  ~Arena() {
+    if (p != nullptr) ::operator delete(p, std::align_val_t{64});
+  }
+};
+
+}  // namespace
+
+void* scratch_bytes(ScratchSlot slot, size_t bytes) {
+  thread_local Arena arenas[static_cast<size_t>(ScratchSlot::kSlotCount)];
+  Arena& a = arenas[static_cast<size_t>(slot)];
+  if (a.cap < bytes) {
+    // Grow-once geometric: double past the request so a slowly increasing
+    // batch size settles after a couple of rounds.
+    size_t want = a.cap < 1024 ? 1024 : a.cap;
+    while (want < bytes) want *= 2;
+    if (a.p != nullptr) ::operator delete(a.p, std::align_val_t{64});
+    a.p = ::operator new(want, std::align_val_t{64});
+    a.cap = want;
+  }
+  return a.p;
+}
+
+}  // namespace axnn::kernels

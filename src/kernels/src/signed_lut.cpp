@@ -1,5 +1,6 @@
-#include "axnn/approx/signed_lut.hpp"
+#include "axnn/kernels/signed_lut.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace axnn::approx {
@@ -19,6 +20,23 @@ SignedMulTable::SignedMulTable(const axmul::MultiplierLut& lut) : name_(lut.name
       tab_[index(qa, qw)] = ((qa < 0) != (qw < 0)) ? -p : p;
     }
   }
+}
+
+uint64_t SignedMulTable::fingerprint() const {
+  if (!tainted_) {
+    const uint64_t cached = fp_state_.load(std::memory_order_relaxed);
+    if (cached != 0) return cached;
+  }
+  // FNV-1a over the table contents, forced odd so 0 stays the "not computed"
+  // sentinel and distinct tables can never collide with it.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const int32_t v : tab_) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+    h *= 0x100000001b3ull;
+  }
+  h |= 1;
+  if (!tainted_) fp_state_.store(h, std::memory_order_relaxed);
+  return h;
 }
 
 }  // namespace axnn::approx

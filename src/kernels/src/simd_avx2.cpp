@@ -1,0 +1,283 @@
+// axnn — AVX2 int GEMM kernels. This TU is compiled with -mavx2 and must
+// only be *called* after a runtime CPU check (Isa::kAvx2 active).
+//
+// Bit-identity contract: every output element accumulates exactly the same
+// multiset of int32 terms as the naive reference kernel. int32 addition is
+// associative and commutative (wrap-around), so reordering is bit-exact; the
+// zero-weight skip of the naive kernel is reproduced by zeroing the nibble-0
+// column of the transposed LUT (approx) / multiplying by literal 0 (exact).
+//
+// The approx kernel avoids vpgatherdd entirely (slow on the virtualized
+// cores we target): the plan stores the LUT transposed as 256 activation
+// lines of 16 int32 — one 64-byte cache line each — so a k-step's 16-entry
+// nibble→product register file R is built from plain aligned loads plus
+// in-register 8×8 int32 transposes.
+#include "internal.hpp"
+
+#if defined(AXNN_HAVE_AVX2_TU)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace axnn::kernels::detail {
+
+bool avx2_runtime_ok() {
+#if defined(__GNUC__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// Transpose 8 rows of 8 int32 held in r[0..7], in registers.
+inline void transpose8(__m256i r[8]) {
+  __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+  __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+  __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+  __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+  __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+  __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+  __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+  __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+  __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+  __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+  __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+  __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+  __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+  __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+  __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+  __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+  r[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+  r[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+  r[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+  r[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+  r[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+  r[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+  r[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+  r[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+}
+
+/// Build R[16][8] — per-nibble product vectors for 8 activation bytes — from
+/// the transposed LUT: 16 aligned line loads + two 8×8 transposes, no
+/// gathers. `lines` is 64-byte aligned, line a = products of activation a
+/// against nibbles 0..15 (nibble 0 zeroed).
+inline void build_r8(const int32_t* lines, const int8_t* xr, int32_t* rout) {
+  __m256i lo[8], hi[8];
+  for (int j = 0; j < 8; ++j) {
+    const int32_t* line = lines + static_cast<size_t>(static_cast<uint8_t>(xr[j])) * 16;
+    lo[j] = _mm256_load_si256(reinterpret_cast<const __m256i*>(line));
+    hi[j] = _mm256_load_si256(reinterpret_cast<const __m256i*>(line + 8));
+  }
+  transpose8(lo);
+  transpose8(hi);
+  for (int wn = 0; wn < 8; ++wn) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(rout + wn * 8), lo[wn]);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(rout + (wn + 8) * 8), hi[wn]);
+  }
+}
+
+constexpr int64_t F = kFuse;
+static_assert(kStrip == 16, "strip geometry baked into the kernels below");
+
+}  // namespace
+
+void avx2_approx_cols(const uint8_t* wq, const int8_t* x, int32_t* c, int64_t m,
+                      int64_t k, int64_t n, const int32_t* lines, bool accumulate,
+                      int64_t j0, int64_t j1) {
+  alignas(64) int32_t R[F][16 * 16];  // [f][wn*8 .. | 16*8 + wn*8 ..] lo/hi halves
+  const int64_t kmain = k - k % F;
+  int64_t jj = j0;
+  // --- 16-column strips ---
+  for (; jj + 16 <= j1; jj += 16) {
+    if (!accumulate)
+      for (int64_t i = 0; i < m; ++i) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i * n + jj),
+                            _mm256_setzero_si256());
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i * n + jj + 8),
+                            _mm256_setzero_si256());
+      }
+    int64_t kk = 0;
+    for (; kk < kmain; kk += F) {
+      for (int64_t f = 0; f < F; ++f) {
+        build_r8(lines, x + (kk + f) * n + jj, R[f]);
+        build_r8(lines, x + (kk + f) * n + jj + 8, R[f] + 16 * 8);
+      }
+      const uint8_t* wg = wq + kk * m;  // F-group base: groups are contiguous
+      for (int64_t i = 0; i < m; ++i) {
+        const uint8_t* wn = wg + i * F;
+        int32_t* cr = c + i * n + jj;
+        __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cr));
+        __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cr + 8));
+        for (int64_t f = 0; f < F; ++f) {
+          const size_t o = static_cast<size_t>(wn[f]) * 8;
+          a0 = _mm256_add_epi32(
+              a0, _mm256_load_si256(reinterpret_cast<const __m256i*>(R[f] + o)));
+          a1 = _mm256_add_epi32(
+              a1, _mm256_load_si256(reinterpret_cast<const __m256i*>(R[f] + 16 * 8 + o)));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(cr), a0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(cr + 8), a1);
+      }
+    }
+    for (; kk < k; ++kk) {  // k remainder: flat column layout wq[kk*m + i]
+      build_r8(lines, x + kk * n + jj, R[0]);
+      build_r8(lines, x + kk * n + jj + 8, R[0] + 16 * 8);
+      const uint8_t* wcol = wq + kk * m;
+      for (int64_t i = 0; i < m; ++i) {
+        int32_t* cr = c + i * n + jj;
+        const size_t o = static_cast<size_t>(wcol[i]) * 8;
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(cr),
+            _mm256_add_epi32(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(cr)),
+                             _mm256_load_si256(reinterpret_cast<const __m256i*>(R[0] + o))));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(cr + 8),
+            _mm256_add_epi32(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cr + 8)),
+                _mm256_load_si256(reinterpret_cast<const __m256i*>(R[0] + 16 * 8 + o))));
+      }
+    }
+  }
+  // --- one 8-column strip if at least 8 columns remain ---
+  if (jj + 8 <= j1) {
+    if (!accumulate)
+      for (int64_t i = 0; i < m; ++i)
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i * n + jj),
+                            _mm256_setzero_si256());
+    int64_t kk = 0;
+    for (; kk < kmain; kk += F) {
+      for (int64_t f = 0; f < F; ++f) build_r8(lines, x + (kk + f) * n + jj, R[f]);
+      const uint8_t* wg = wq + kk * m;
+      for (int64_t i = 0; i < m; ++i) {
+        const uint8_t* wn = wg + i * F;
+        int32_t* cr = c + i * n + jj;
+        __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cr));
+        for (int64_t f = 0; f < F; ++f)
+          acc = _mm256_add_epi32(acc, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                                          R[f] + static_cast<size_t>(wn[f]) * 8)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(cr), acc);
+      }
+    }
+    for (; kk < k; ++kk) {
+      build_r8(lines, x + kk * n + jj, R[0]);
+      const uint8_t* wcol = wq + kk * m;
+      for (int64_t i = 0; i < m; ++i) {
+        int32_t* cr = c + i * n + jj;
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(cr),
+            _mm256_add_epi32(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(cr)),
+                             _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                                 R[0] + static_cast<size_t>(wcol[i]) * 8))));
+      }
+    }
+    jj += 8;
+  }
+  // --- scalar tail (< 8 columns) ---
+  for (; jj < j1; ++jj) {
+    for (int64_t i = 0; i < m; ++i) {
+      int32_t acc = accumulate ? c[i * n + jj] : 0;
+      int64_t kk = 0;
+      for (; kk < kmain; kk += F) {
+        const uint8_t* wn = wq + kk * m + i * F;
+        for (int64_t f = 0; f < F; ++f)
+          acc += lines[static_cast<size_t>(static_cast<uint8_t>(x[(kk + f) * n + jj])) * 16 +
+                       wn[f]];
+      }
+      for (; kk < k; ++kk)
+        acc += lines[static_cast<size_t>(static_cast<uint8_t>(x[kk * n + jj])) * 16 +
+                     wq[kk * m + i]];
+      c[i * n + jj] = acc;
+    }
+  }
+}
+
+void avx2_exact_cols(const uint8_t* wq, const int8_t* x, int32_t* c, int64_t m,
+                     int64_t k, int64_t n, bool accumulate, int64_t j0, int64_t j1) {
+  // Packed weights hold raw int8 bytes in the same F-group layout. Per fused
+  // pass the 16-column activation strip is sign-extended once into XS, then
+  // each row broadcasts its F weights and runs mullo+add — products are the
+  // same int32 values the naive kernel computes (|w|,|x| ≤ 2^7 so no wrap in
+  // the multiply itself), and a zero weight contributes exactly 0.
+  alignas(64) int32_t XS[F][16];
+  const int64_t kmain = k - k % F;
+  int64_t jj = j0;
+  for (; jj + 16 <= j1; jj += 16) {
+    if (!accumulate)
+      for (int64_t i = 0; i < m; ++i) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i * n + jj),
+                            _mm256_setzero_si256());
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i * n + jj + 8),
+                            _mm256_setzero_si256());
+      }
+    int64_t kk = 0;
+    for (; kk < kmain; kk += F) {
+      for (int64_t f = 0; f < F; ++f) {
+        const __m128i bytes =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + (kk + f) * n + jj));
+        _mm256_store_si256(reinterpret_cast<__m256i*>(XS[f]),
+                           _mm256_cvtepi8_epi32(bytes));
+        _mm256_store_si256(reinterpret_cast<__m256i*>(XS[f] + 8),
+                           _mm256_cvtepi8_epi32(_mm_srli_si128(bytes, 8)));
+      }
+      const uint8_t* wg = wq + kk * m;
+      for (int64_t i = 0; i < m; ++i) {
+        const uint8_t* wn = wg + i * F;
+        int32_t* cr = c + i * n + jj;
+        __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cr));
+        __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cr + 8));
+        for (int64_t f = 0; f < F; ++f) {
+          const __m256i wv = _mm256_set1_epi32(static_cast<int8_t>(wn[f]));
+          a0 = _mm256_add_epi32(
+              a0, _mm256_mullo_epi32(
+                      wv, _mm256_load_si256(reinterpret_cast<const __m256i*>(XS[f]))));
+          a1 = _mm256_add_epi32(
+              a1, _mm256_mullo_epi32(
+                      wv, _mm256_load_si256(reinterpret_cast<const __m256i*>(XS[f] + 8))));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(cr), a0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(cr + 8), a1);
+      }
+    }
+    for (; kk < k; ++kk) {
+      const __m128i bytes =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + kk * n + jj));
+      const __m256i x0 = _mm256_cvtepi8_epi32(bytes);
+      const __m256i x1 = _mm256_cvtepi8_epi32(_mm_srli_si128(bytes, 8));
+      const uint8_t* wcol = wq + kk * m;
+      for (int64_t i = 0; i < m; ++i) {
+        int32_t* cr = c + i * n + jj;
+        const __m256i wv = _mm256_set1_epi32(static_cast<int8_t>(wcol[i]));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(cr),
+            _mm256_add_epi32(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(cr)),
+                             _mm256_mullo_epi32(wv, x0)));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(cr + 8),
+            _mm256_add_epi32(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(cr + 8)),
+                             _mm256_mullo_epi32(wv, x1)));
+      }
+    }
+  }
+  // --- scalar tail (< 16 columns) ---
+  for (; jj < j1; ++jj) {
+    for (int64_t i = 0; i < m; ++i) {
+      int32_t acc = accumulate ? c[i * n + jj] : 0;
+      int64_t kk = 0;
+      for (; kk < kmain; kk += F) {
+        const uint8_t* wn = wq + kk * m + i * F;
+        for (int64_t f = 0; f < F; ++f)
+          acc += static_cast<int32_t>(static_cast<int8_t>(wn[f])) * x[(kk + f) * n + jj];
+      }
+      for (; kk < k; ++kk)
+        acc += static_cast<int32_t>(static_cast<int8_t>(wq[kk * m + i])) * x[kk * n + jj];
+      c[i * n + jj] = acc;
+    }
+  }
+}
+
+}  // namespace axnn::kernels::detail
+
+#endif  // AXNN_HAVE_AVX2_TU

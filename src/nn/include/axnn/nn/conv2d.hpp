@@ -15,6 +15,7 @@
 
 #include <optional>
 
+#include "axnn/kernels/plan.hpp"
 #include "axnn/nn/im2col.hpp"
 #include "axnn/nn/layer.hpp"
 #include "axnn/quant/calibration.hpp"
@@ -42,6 +43,7 @@ public:
   std::vector<Param*> params() override;
   void finalize_calibration(quant::Calibration method) override;
   int64_t last_mac_count() const override { return last_macs_; }
+  const kernels::PlanMemo* plan_memo() const override { return &plan_memo_; }
 
   const Conv2dConfig& config() const { return cfg_; }
   Param& weight() { return weight_; }
@@ -102,6 +104,12 @@ private:
   ExecMode cached_mode_ = ExecMode::kFloat;
   int64_t last_macs_ = 0;
   std::string obs_path_;  ///< telemetry path captured at forward (backward reuses it)
+
+  /// Per-leaf plan memo: the forward/backward GEMMs of this layer resolve
+  /// their prepared plans here without touching the global cache's mutex.
+  /// mutable because run_gemm_float is const; layers are single-threaded at
+  /// a time (the serving lanes each own a model replica).
+  mutable kernels::PlanMemo plan_memo_;
 };
 
 }  // namespace axnn::nn

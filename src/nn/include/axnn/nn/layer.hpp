@@ -17,6 +17,10 @@
 #include "axnn/quant/quantizer.hpp"
 #include "axnn/tensor/tensor.hpp"
 
+namespace axnn::kernels {
+class PlanMemo;
+}
+
 namespace axnn::nn {
 
 /// A trainable tensor with its gradient accumulator.
@@ -62,6 +66,11 @@ public:
   /// Multiply-accumulate operations executed by the last forward (whole
   /// batch; 0 for non-GEMM layers).
   virtual int64_t last_mac_count() const { return 0; }
+
+  /// The per-leaf plan memo (GEMM leaves only; nullptr elsewhere). After a
+  /// forward, its keys() name the prepared plans this leaf executes —
+  /// `axnn_cli inspect` prints them.
+  virtual const kernels::PlanMemo* plan_memo() const { return nullptr; }
 
   /// Fold BatchNorm layers into their preceding convolutions wherever the
   /// graph allows (the paper folds BN in the ResNets before quantization).

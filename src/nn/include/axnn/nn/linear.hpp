@@ -8,6 +8,7 @@
 
 #include <optional>
 
+#include "axnn/kernels/plan.hpp"
 #include "axnn/nn/layer.hpp"
 #include "axnn/quant/calibration.hpp"
 
@@ -23,6 +24,7 @@ public:
   std::vector<Param*> params() override;
   void finalize_calibration(quant::Calibration method) override;
   int64_t last_mac_count() const override { return last_macs_; }
+  const kernels::PlanMemo* plan_memo() const override { return &plan_memo_; }
 
   int64_t in_features() const { return in_; }
   int64_t out_features() const { return out_; }
@@ -65,6 +67,9 @@ private:
   const ge::ErrorFit* cached_fit_ = nullptr;
   int64_t last_macs_ = 0;
   std::string obs_path_;  ///< telemetry path captured at forward (backward reuses it)
+
+  /// See Conv2d::plan_memo_ — per-leaf prepared-plan memo.
+  mutable kernels::PlanMemo plan_memo_;
 };
 
 }  // namespace axnn::nn

@@ -88,7 +88,8 @@ Tensor Conv2d::run_gemm_float(const Tensor& w_mat, const Tensor& cols) const {
   Tensor out(Shape{o, p});
   for (int64_t g = 0; g < grp; ++g)
     kernels::gemm({}, w_mat.data() + g * og * kg, cols.data() + g * kg * p,
-                  out.data() + g * og * p, og, kg, p);
+                  out.data() + g * og * p, og, kg, p,
+                  kernels::auto_backend(og, kg, p), nullptr, &plan_memo_);
   return out;
 }
 
@@ -185,9 +186,11 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
         if (ex.adder != nullptr)
           kernels::gemm_approx_accum({}, wg, xg, cg, og, kg, p, *mul, *ex.adder);
         else if (forced_exact)
-          kernels::gemm_exact({}, wg, xg, cg, og, kg, p);
+          kernels::gemm_exact({}, wg, xg, cg, og, kg, p,
+                              kernels::auto_backend(og, kg, p), nullptr, &plan_memo_);
         else
-          kernels::gemm_approx({}, wg, xg, cg, og, kg, p, *mul);
+          kernels::gemm_approx({}, wg, xg, cg, og, kg, p, *mul,
+                               kernels::auto_backend(og, kg, p), nullptr, &plan_memo_);
         if (ctx.monitor != nullptr && ex.adder == nullptr)
           ctx.monitor->on_leaf_gemm(*this, g, !forced_exact, wg, xg, cg, og, kg, p,
                                     forced_exact ? nullptr : mul);
@@ -215,7 +218,8 @@ Tensor Conv2d::forward(const Tensor& x, const ExecContext& ctx) {
           TensorI32 exact(Shape{o, p});
           for (int64_t g = 0; g < grp; ++g)
             kernels::gemm_exact({}, qw.data() + g * og * kg, qcols.data() + g * kg * p,
-                                exact.data() + g * og * p, og, kg, p);
+                                exact.data() + g * og * p, og, kg, p,
+                                kernels::auto_backend(og, kg, p), nullptr, &plan_memo_);
           detail::record_ge_residual(obs_path_, ex.fit, acc.data(), exact.data(), acc.numel());
         }
       }
@@ -260,14 +264,16 @@ Tensor Conv2d::backward(const Tensor& dy) {
   Tensor dw_mat(Shape{o, kg});
   for (int64_t g = 0; g < grp; ++g)
     kernels::gemm({.trans_b = true}, dyw->data() + g * og * p,
-                  cached_cols_.data() + g * kg * p, dw_mat.data() + g * og * kg, og, p, kg);
+                  cached_cols_.data() + g * kg * p, dw_mat.data() + g * og * kg, og, p, kg,
+                  kernels::auto_backend(og, p, kg), nullptr, &plan_memo_);
   ops::add_inplace(weight_.grad, dw_mat.reshaped(weight_.grad.shape()));
 
   Tensor dcols(Shape{grp * kg, p}, 0.0f);
   for (int64_t g = 0; g < grp; ++g)
     kernels::gemm({.trans_a = true, .accumulate = true},
                   cached_w_mat_.data() + g * og * kg, dy_mat.data() + g * og * p,
-                  dcols.data() + g * kg * p, kg, og, p);
+                  dcols.data() + g * kg * p, kg, og, p,
+                  kernels::auto_backend(kg, og, p), nullptr, &plan_memo_);
   Tensor dx = col2im(dcols, geom_);
 
   // Clipped STE on activations: gradients are blocked where the input

@@ -48,10 +48,12 @@ void Linear::set_bit_widths(int weight_bits, int activation_bits) {
 }
 
 namespace {
-Tensor linear_forward_float(const Tensor& x, const Tensor& w, const Tensor* bias) {
+Tensor linear_forward_float(const Tensor& x, const Tensor& w, const Tensor* bias,
+                            kernels::PlanMemo* memo) {
   const int64_t n = x.shape()[0], f = x.shape()[1], o = w.shape()[0];
   Tensor y(Shape{n, o});
-  kernels::gemm({.trans_b = true}, x.data(), w.data(), y.data(), n, f, o);
+  kernels::gemm({.trans_b = true}, x.data(), w.data(), y.data(), n, f, o,
+                kernels::auto_backend(n, f, o), nullptr, memo);
   if (bias != nullptr)
     for (int64_t i = 0; i < n; ++i)
       for (int64_t j = 0; j < o; ++j) y(i, j) += (*bias)[j];
@@ -78,11 +80,11 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
   switch (ex.mode) {
     case ExecMode::kFloat:
     case ExecMode::kCalibrate: {
-      Tensor y = linear_forward_float(x, weight_.value, bias);
+      Tensor y = linear_forward_float(x, weight_.value, bias, &plan_memo_);
       if (ex.mode == ExecMode::kCalibrate) {
         act_obs_.observe(x);
         calib_x_ = x;
-        calib_out_fp_ = linear_forward_float(x, weight_.value, nullptr);
+        calib_out_fp_ = linear_forward_float(x, weight_.value, nullptr, &plan_memo_);
       }
       cached_x_ = x;
       cached_w_ = weight_.value;
@@ -96,7 +98,7 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
       Tensor xq = quant::fake_quantize(x, act_qp_);
       cached_act_mask_ = quant::ste_mask(x, act_qp_);
       Tensor wq = quant::fake_quantize(weight_.value, wgt_qp_);
-      Tensor y = linear_forward_float(xq, wq, bias);
+      Tensor y = linear_forward_float(xq, wq, bias, &plan_memo_);
       cached_x_ = std::move(xq);
       cached_w_ = std::move(wq);
       if (obs_on) detail::record_leaf_forward(obs_path_, ex.mode, last_macs_, cached_act_mask_);
@@ -127,9 +129,11 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
         kernels::gemm_approx_accum({}, qw.data(), qxt.data(), acc.data(), out_, in_, n,
                                    *mul, *ex.adder);
       else if (forced_exact)
-        kernels::gemm_exact({}, qw.data(), qxt.data(), acc.data(), out_, in_, n);
+        kernels::gemm_exact({}, qw.data(), qxt.data(), acc.data(), out_, in_, n,
+                            kernels::auto_backend(out_, in_, n), nullptr, &plan_memo_);
       else
-        kernels::gemm_approx({}, qw.data(), qxt.data(), acc.data(), out_, in_, n, *mul);
+        kernels::gemm_approx({}, qw.data(), qxt.data(), acc.data(), out_, in_, n, *mul,
+                             kernels::auto_backend(out_, in_, n), nullptr, &plan_memo_);
       if (ctx.monitor != nullptr && ex.adder == nullptr)
         ctx.monitor->on_leaf_gemm(*this, 0, !forced_exact, qw.data(), qxt.data(), acc.data(),
                                   out_, in_, n, forced_exact ? nullptr : mul);
@@ -154,7 +158,8 @@ Tensor Linear::forward(const Tensor& x, const ExecContext& ctx) {
         obs::Collector* c = obs::collector();
         if (c != nullptr && c->config().ge_residual) {
           TensorI32 exact(Shape{out_, n});
-          kernels::gemm_exact({}, qw.data(), qxt.data(), exact.data(), out_, in_, n);
+          kernels::gemm_exact({}, qw.data(), qxt.data(), exact.data(), out_, in_, n,
+                              kernels::auto_backend(out_, in_, n), nullptr, &plan_memo_);
           detail::record_ge_residual(obs_path_, ex.fit, acc.data(), exact.data(), acc.numel());
         }
       }
@@ -189,11 +194,13 @@ Tensor Linear::backward(const Tensor& dy) {
 
   // dW[O,F] += dyᵀ · x
   kernels::gemm({.trans_a = true, .accumulate = true}, dyw->data(), cached_x_.data(),
-                weight_.grad.data(), out_, n, in_);
+                weight_.grad.data(), out_, n, in_,
+                kernels::auto_backend(out_, n, in_), nullptr, &plan_memo_);
 
   // dx[N,F] = dy · W
   Tensor dx(Shape{n, in_});
-  kernels::gemm({}, dy.data(), cached_w_.data(), dx.data(), n, out_, in_);
+  kernels::gemm({}, dy.data(), cached_w_.data(), dx.data(), n, out_, in_,
+                kernels::auto_backend(n, out_, in_), nullptr, &plan_memo_);
   if (!cached_act_mask_.empty())
     for (int64_t i = 0; i < dx.numel(); ++i) dx[i] *= cached_act_mask_[i];
   return dx;
@@ -219,7 +226,7 @@ void Linear::finalize_calibration(quant::Calibration method) {
       wgt_qp_ = quant::calibrate_min_prop_qe(
           weight_.value, wgt_bits_, [&](const quant::QuantParams& p) {
             const Tensor wq = quant::fake_quantize(weight_.value, p);
-            const Tensor out = linear_forward_float(*calib_x_, wq, nullptr);
+            const Tensor out = linear_forward_float(*calib_x_, wq, nullptr, &plan_memo_);
             return ops::mse(out, *calib_out_fp_);
           });
       break;

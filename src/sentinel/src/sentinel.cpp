@@ -8,10 +8,12 @@
 
 #include "axnn/approx/kernels.hpp"
 #include "axnn/axmul/registry.hpp"
+#include "axnn/kernels/plan.hpp"
 #include "axnn/nn/conv2d.hpp"
 #include "axnn/nn/linear.hpp"
 #include "axnn/nn/qutils.hpp"
 #include "axnn/obs/telemetry.hpp"
+#include "axnn/tensor/buffer_pool.hpp"
 
 namespace axnn::sentinel {
 namespace {
@@ -283,7 +285,6 @@ void Sentinel::on_leaf_input(const nn::Layer& leaf, const Tensor& x) {
 bool Sentinel::on_leaf_gemm(const nn::Layer& leaf, int64_t group, bool approx, const int8_t* w,
                             const int8_t* x, int32_t* c, int64_t m, int64_t k, int64_t n,
                             const approx::SignedMulTable* tab) {
-  (void)tab;
   if (!cfg_.abft) return false;
   auto it = leaves_.find(&leaf);  // read-only after calibrate; no lock needed
   if (it == leaves_.end()) return false;
@@ -308,10 +309,26 @@ bool Sentinel::on_leaf_gemm(const nn::Layer& leaf, int64_t group, bool approx, c
     return true;
   }
 
-  std::vector<int64_t> actual(static_cast<size_t>(n));
-  std::vector<int64_t> predicted(static_cast<size_t>(n));
-  std::vector<int64_t> wsum(static_cast<size_t>(k));
-  kernels::abft_column_sums(w, x, c, m, k, n, actual.data(), predicted.data(), wsum.data());
+  // Pooled: a monitored forward runs this per leaf, and the serving steady
+  // state must stay allocation-free (test_serve's instrumented operator new).
+  std::vector<int64_t, PoolAllocator<int64_t>> actual(static_cast<size_t>(n));
+  std::vector<int64_t, PoolAllocator<int64_t>> predicted(static_cast<size_t>(n));
+  std::vector<int64_t, PoolAllocator<int64_t>> wsum(static_cast<size_t>(k));
+  // Probe through the prepared plan when the leaf just executed one — the
+  // weight column sums then walk the plan's column-major nibble panel at
+  // unit stride instead of striding the row-major operand. The key below
+  // matches the one the leaf's GEMM built, so the acquire is a cache hit.
+  const kernels::Backend abft_be = kernels::auto_backend(m, k, n);
+  if (abft_be == kernels::Backend::kBlocked && (!approx || tab != nullptr)) {
+    const kernels::PlanKey key = kernels::make_int_key(
+        approx ? kernels::OpKind::kApprox : kernels::OpKind::kExactInt, {}, m, k, n,
+        abft_be, approx ? tab : nullptr);
+    const kernels::PlanHandle plan = kernels::PlanCache::global().acquire(key, tab);
+    kernels::abft_column_sums(*plan, w, x, c, m, k, n, actual.data(), predicted.data(),
+                              wsum.data());
+  } else {
+    kernels::abft_column_sums(w, x, c, m, k, n, actual.data(), predicted.data(), wsum.data());
+  }
 
   // Golden weight checksum: a corrupted weight operand is self-consistent
   // under ABFT, but its column sums no longer match the calibration capture.

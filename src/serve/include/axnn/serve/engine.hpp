@@ -113,6 +113,14 @@ struct ModelSpec {
   /// Inter-op lanes (concurrent batches). Clamped by plan_split to the
   /// hardware; each lane is one model replica.
   int lanes = 1;
+
+  /// Pre-warm the kernel plan cache at load: forward one zero batch of every
+  /// size in [1, max_batch] through each (lane, operating point) before the
+  /// dispatcher starts, so every GEMM shape served traffic can produce has
+  /// its prepared plan resolved into the per-leaf memos. Steady-state
+  /// forwards then never take the plan-cache mutex, never build a plan, and
+  /// never allocate. Off = plans build lazily on first use.
+  bool prewarm = true;
 };
 
 /// Handle for one submitted request. Move-free POD; await()ing it twice

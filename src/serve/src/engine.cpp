@@ -228,6 +228,25 @@ std::unique_ptr<Engine> Engine::load(ModelSpec spec) {
     def.governor_ = std::make_unique<qos::Governor>(spec.governor, e->points_meta_);
   }
 
+  if (spec.prewarm) {
+    // Resolve every plan served traffic can need — each (point, lane, batch
+    // size) combination maps to a fixed set of GEMM shapes — so the
+    // dispatcher's steady state is pure plan execution: no cache mutex, no
+    // plan construction, no heap allocation. Zero inputs: plans are keyed by
+    // shape and multiplier, never by operand values. The warm-up context
+    // drops the sentinel monitor so calibrated check counters stay clean.
+    for (size_t pt = 0; pt < def.points_.size(); ++pt) {
+      for (int lane = 0; lane < spec.lanes; ++lane) {
+        nn::ExecContext warm_ctx = def.points_[pt][static_cast<size_t>(lane)].ctx;
+        warm_ctx.monitor = nullptr;
+        for (int b = 1; b <= spec.batching.max_batch; ++b) {
+          const Tensor warm(Shape{b, test.channels(), test.height(), test.width()}, 0.0f);
+          (void)e->lanes_[static_cast<size_t>(lane)]->forward(warm, warm_ctx);
+        }
+      }
+    }
+  }
+
   const int cap = spec.batching.queue_capacity;
   e->slots_.resize(static_cast<size_t>(cap));
   e->free_ring_.resize(static_cast<size_t>(cap));

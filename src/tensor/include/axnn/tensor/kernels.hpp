@@ -1,74 +1,7 @@
-// axnn — unified GEMM kernel dispatch (axnn::kernels).
-//
-// Every GEMM in the repo — float forward/backward, approximate LUT,
-// quantized-exact — goes through this API. A GemmDesc names the operation
-// (operand layouts + accumulate), a Backend names the implementation:
-//
-//   kNaive   — the original triple-loop kernels, kept verbatim as the golden
-//              reference for tests and debugging.
-//   kBlocked — cache-blocked (MC/KC/NC), register-tiled (MR×NR) kernels with
-//              per-thread packed operand panels. Default.
-//
-// The process-wide default backend is kBlocked; override it with
-// set_default_backend() or the environment variable AXNN_GEMM_BACKEND
-// ("naive" | "blocked", read once at first use).
-//
-// Determinism: for a fixed backend, results are bit-identical across thread
-// counts — work is partitioned over output rows and each output element's
-// reduction order is fixed by the k-blocking, not the partition.
-//
-// Integer kernel overloads (approximate LUT / exact int8) live in
-// axnn/approx/kernels.hpp and share GemmDesc/Backend from here.
+// axnn — forwarding header. The GEMM dispatch API moved to its own module:
+// axnn/kernels/gemm.hpp (target axnn::kernels). This header remains so code
+// written against the original location keeps compiling; the API and the
+// axnn::kernels namespace are unchanged.
 #pragma once
 
-#include <cstdint>
-
-namespace axnn {
-class ThreadPool;
-}
-
-namespace axnn::kernels {
-
-enum class Backend { kNaive, kBlocked };
-
-const char* backend_name(Backend b);
-
-/// Process-wide backend used when a call site doesn't pass one. Initialised
-/// from AXNN_GEMM_BACKEND on first query (defaults to kBlocked).
-Backend default_backend();
-void set_default_backend(Backend b);
-
-/// Backend the no-backend overloads actually run for an m×k×n problem:
-/// kBlocked only pays for its packing once the problem is big enough, so
-/// tiny GEMMs (depthwise-conv groups, single-row batches) cut over to
-/// kNaive. A kNaive default is always honoured; an explicitly passed
-/// backend bypasses this heuristic entirely.
-Backend auto_backend(int64_t m, int64_t k, int64_t n);
-
-/// Describes C = op(A)·op(B) (or += with accumulate). All matrices are
-/// row-major; `m, k, n` are the *logical* GEMM dimensions, so A holds m×k
-/// values stored as [M,K] (trans_a=false) or [K,M] (trans_a=true), and B
-/// holds k×n values stored as [K,N] (trans_b=false) or [N,K] (trans_b=true).
-struct GemmDesc {
-  bool trans_a = false;
-  bool trans_b = false;
-  bool accumulate = false;
-};
-
-/// Float GEMM: C[M,N] (=|+=) op(A)·op(B). `pool` selects the thread pool
-/// (nullptr = the global pool); passing an explicit pool is how tests pin a
-/// thread count without touching process-wide state.
-void gemm(const GemmDesc& desc, const float* a, const float* b, float* c, int64_t m,
-          int64_t k, int64_t n, Backend backend, ThreadPool* pool = nullptr);
-
-inline void gemm(const GemmDesc& desc, const float* a, const float* b, float* c,
-                 int64_t m, int64_t k, int64_t n) {
-  gemm(desc, a, b, c, m, k, n, auto_backend(m, k, n), nullptr);
-}
-
-/// Rows-per-task grain so each parallel_for task carries enough MACs
-/// (~32k · rows worth of k·n work) to amortise pool dispatch. Replaces the
-/// old hardcoded grain constants.
-int64_t row_grain(int64_t k, int64_t n);
-
-}  // namespace axnn::kernels
+#include "axnn/kernels/gemm.hpp"

@@ -1,10 +1,13 @@
 // axnn — dense row-major tensor with value semantics.
 //
 // Design notes:
-//  * BasicTensor<T> owns its storage in a std::vector<T>; copies are deep,
-//    moves are cheap. No views/strides — the kernels this library needs
-//    (im2col GEMM, elementwise, reductions) all operate on contiguous data,
-//    and value semantics keeps the autograd caches trivially correct.
+//  * BasicTensor<T> owns its storage in a pool-allocated vector
+//    (axnn/tensor/buffer_pool.hpp): copies are deep, moves are cheap, and
+//    repeated construction of the same shapes — the serving steady state —
+//    recycles blocks from the pool's freelists instead of hitting the heap.
+//    No views/strides — the kernels this library needs (im2col GEMM,
+//    elementwise, reductions) all operate on contiguous data, and value
+//    semantics keeps the autograd caches trivially correct.
 //  * Indexing is bounds-checked in debug builds only (operator() uses
 //    unchecked math; at() always checks).
 #pragma once
@@ -14,6 +17,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "axnn/tensor/buffer_pool.hpp"
 #include "axnn/tensor/rng.hpp"
 #include "axnn/tensor/shape.hpp"
 
@@ -23,13 +27,21 @@ template <typename T>
 class BasicTensor {
 public:
   using value_type = T;
+  using storage_type = std::vector<T, PoolAllocator<T>>;
 
   BasicTensor() = default;
 
   explicit BasicTensor(Shape shape, T fill = T{})
       : shape_(shape), data_(static_cast<size_t>(shape.numel()), fill) {}
 
-  BasicTensor(Shape shape, std::vector<T> data) : shape_(shape), data_(std::move(data)) {
+  BasicTensor(Shape shape, storage_type data) : shape_(shape), data_(std::move(data)) {
+    if (static_cast<int64_t>(data_.size()) != shape_.numel())
+      throw std::invalid_argument("BasicTensor: data size does not match shape");
+  }
+
+  /// Compatibility overload: copies a plain vector into pooled storage.
+  BasicTensor(Shape shape, const std::vector<T>& data)
+      : shape_(shape), data_(data.begin(), data.end()) {
     if (static_cast<int64_t>(data_.size()) != shape_.numel())
       throw std::invalid_argument("BasicTensor: data size does not match shape");
   }
@@ -41,8 +53,8 @@ public:
   T* data() { return data_.data(); }
   const T* data() const { return data_.data(); }
 
-  std::vector<T>& vec() { return data_; }
-  const std::vector<T>& vec() const { return data_; }
+  storage_type& vec() { return data_; }
+  const storage_type& vec() const { return data_; }
 
   T& operator[](int64_t i) {
     assert(i >= 0 && i < numel());
@@ -105,7 +117,7 @@ public:
 
 private:
   Shape shape_;
-  std::vector<T> data_;
+  storage_type data_;
 };
 
 using Tensor = BasicTensor<float>;

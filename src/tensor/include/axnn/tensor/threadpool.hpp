@@ -14,7 +14,6 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -128,8 +127,20 @@ private:
   void run_chunks(int64_t n, int64_t chunk, int64_t chunks, ChunkFn invoke, const void* ctx);
   void worker_loop();
 
+  // Pending tasks live in a grow-once ring buffer (guarded by mu_). A single
+  // dispatch enqueues at most size()-1 tasks, so the ring — pre-sized at
+  // construction — only reallocates if dispatches from several outside
+  // threads overlap, and never again after the peak burst: steady-state
+  // dispatch performs zero heap allocations (std::queue would allocate a
+  // deque node per push).
+  void push_locked(const Task& t);
+  Task pop_locked();
+  bool queue_empty() const { return task_count_ == 0; }
+
   std::vector<std::thread> workers_;
-  std::queue<Task> tasks_;
+  std::vector<Task> ring_;
+  size_t ring_head_ = 0;
+  size_t task_count_ = 0;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -24,6 +24,10 @@ int resolve_thread_count(int threads) {
 
 ThreadPool::ThreadPool(int threads) {
   threads = resolve_thread_count(threads);
+  // One dispatch enqueues at most threads-1 tasks; ring capacity for a few
+  // overlapping outside dispatchers avoids even the first-growth realloc in
+  // the common case.
+  ring_.resize(static_cast<size_t>(threads) * 4 + 4);
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
 }
@@ -39,6 +43,27 @@ ThreadPool::~ThreadPool() {
 
 ThreadPool* ThreadPool::current() { return t_worker_pool; }
 
+void ThreadPool::push_locked(const Task& t) {
+  if (task_count_ == ring_.size()) {
+    // Grow by relinearising into a fresh buffer (rare: only when overlapping
+    // dispatches exceed the pre-sized capacity, and never twice for the same
+    // peak load).
+    std::vector<Task> grown(ring_.size() * 2);
+    for (size_t i = 0; i < task_count_; ++i) grown[i] = ring_[(ring_head_ + i) % ring_.size()];
+    ring_ = std::move(grown);
+    ring_head_ = 0;
+  }
+  ring_[(ring_head_ + task_count_) % ring_.size()] = t;
+  ++task_count_;
+}
+
+ThreadPool::Task ThreadPool::pop_locked() {
+  Task t = ring_[ring_head_];
+  ring_head_ = (ring_head_ + 1) % ring_.size();
+  --task_count_;
+  return t;
+}
+
 ThreadPool::Split ThreadPool::plan_split(int inter_hint, int hw) {
   hw = resolve_thread_count(hw);
   Split s;
@@ -53,10 +78,9 @@ void ThreadPool::worker_loop() {
     Task task;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = tasks_.front();
-      tasks_.pop();
+      cv_.wait(lk, [this] { return stop_ || !queue_empty(); });
+      if (stop_ && queue_empty()) return;
+      task = pop_locked();
     }
     try {
       task.job->invoke(task.job->ctx, task.begin, task.end);
@@ -100,7 +124,7 @@ void ThreadPool::run_chunks(int64_t n, int64_t chunk, int64_t chunks, ChunkFn in
     for (int64_t c = 1; c < chunks; ++c) {
       const int64_t b = c * chunk;
       const int64_t e = std::min<int64_t>(n, b + chunk);
-      tasks_.push(Task{&job, b, e});
+      push_locked(Task{&job, b, e});
     }
   }
   cv_.notify_all();

@@ -14,6 +14,7 @@
 #include "axnn/approx/approx_gemm.hpp"
 #include "axnn/axmul/adder.hpp"
 #include "axnn/axmul/registry.hpp"
+#include "axnn/kernels/isa.hpp"
 #include "axnn/tensor/gemm.hpp"
 #include "axnn/tensor/kernels.hpp"
 #include "axnn/tensor/rng.hpp"
@@ -151,6 +152,63 @@ TEST(ApproxGolden, ExactBlockedMatchesNaiveBitExact) {
         kernels::gemm_exact({}, w.data(), x.data(), c_blocked.data(), m, k, n,
                             Backend::kBlocked);
         ASSERT_EQ(c_naive, c_blocked) << "m=" << m << " k=" << k << " n=" << n;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ISA tiers: the vectorized blocked kernels must be bit-identical to the
+// forced-scalar tier (the --no-simd / AXNN_SIMD=scalar escape hatch). Plans
+// are keyed by ISA, so flipping it mid-process builds fresh plans for the
+// scalar tier while the vector-tier plans stay cached and valid.
+// ---------------------------------------------------------------------------
+
+TEST(IsaGolden, ScalarTierMatchesVectorTierBitExact) {
+  const kernels::Isa vector_isa = kernels::active_isa();
+  if (vector_isa == kernels::Isa::kScalar)
+    GTEST_SKIP() << "no vector ISA on this machine";
+  const approx::SignedMulTable tab(axmul::make_lut("trunc3"));
+
+  struct Restore {
+    kernels::Isa isa;
+    ~Restore() { kernels::set_isa(isa); }
+  } restore{vector_isa};
+
+  for (int64_t m : kDims) {
+    for (int64_t k : kDims) {
+      for (int64_t n : kDims) {
+        const auto w = random_i8(m * k, 21 * m + k, -7, 7);
+        const auto x = random_i8(k * n, 23 * k + n, -127, 127);
+        const auto a = random_floats(m * k, 25 * m + k);
+        const auto b = random_floats(k * n, 27 * k + n);
+        std::vector<int32_t> approx_vec(static_cast<size_t>(m * n));
+        std::vector<int32_t> exact_vec(static_cast<size_t>(m * n));
+        std::vector<float> f32_vec(static_cast<size_t>(m * n));
+
+        kernels::set_isa(vector_isa);
+        kernels::gemm_approx({}, w.data(), x.data(), approx_vec.data(), m, k, n, tab,
+                             Backend::kBlocked);
+        kernels::gemm_exact({}, w.data(), x.data(), exact_vec.data(), m, k, n,
+                            Backend::kBlocked);
+        kernels::gemm({}, a.data(), b.data(), f32_vec.data(), m, k, n, Backend::kBlocked);
+
+        kernels::set_isa(kernels::Isa::kScalar);
+        std::vector<int32_t> approx_sc(static_cast<size_t>(m * n));
+        std::vector<int32_t> exact_sc(static_cast<size_t>(m * n));
+        std::vector<float> f32_sc(static_cast<size_t>(m * n));
+        kernels::gemm_approx({}, w.data(), x.data(), approx_sc.data(), m, k, n, tab,
+                             Backend::kBlocked);
+        kernels::gemm_exact({}, w.data(), x.data(), exact_sc.data(), m, k, n,
+                            Backend::kBlocked);
+        kernels::gemm({}, a.data(), b.data(), f32_sc.data(), m, k, n, Backend::kBlocked);
+
+        ASSERT_EQ(approx_vec, approx_sc) << "approx m=" << m << " k=" << k << " n=" << n;
+        ASSERT_EQ(exact_vec, exact_sc) << "exact m=" << m << " k=" << k << " n=" << n;
+        // Float is bit-stable across ISAs too: same operation order, no FMA.
+        ASSERT_EQ(0, std::memcmp(f32_vec.data(), f32_sc.data(),
+                                 f32_vec.size() * sizeof(float)))
+            << "f32 m=" << m << " k=" << k << " n=" << n;
       }
     }
   }

@@ -197,6 +197,30 @@ TEST_F(ServeFixture, SubmitIsAllocationFreeAfterWarmup) {
   for (const Ticket& t : tickets) (void)s.await(t);
 }
 
+TEST_F(ServeFixture, BatchedForwardIsAllocationFreeAfterWarmup) {
+  // The full batched conv forward — the call the dispatcher makes per flush —
+  // must not touch the heap on the steady state: activation/im2col tensors
+  // recycle through the buffer pool, GEMMs resolve prepared plans via each
+  // layer's memo, parallel_for dispatch uses the pre-sized task ring, and the
+  // sentinel's ABFT scratch is pooled too. Run it on this thread (the
+  // allocation counter is thread-local) under the session's own monitored
+  // approx context.
+  Session& s = engine_->session();
+  engine_->drain();
+  const Tensor batch = engine_->data().test.slice(0, kMaxBatch).first;
+  const nn::ExecContext ctx = s.exec_context(0);
+  // Warmup: first pass builds plans and populates pool freelists; a couple
+  // more let every transient block class reach its steady-state population.
+  for (int i = 0; i < 3; ++i) (void)engine_->model(0).forward(batch, ctx);
+
+  t_alloc_count = 0;
+  t_count_allocs = true;
+  const Tensor logits = engine_->model(0).forward(batch, ctx);
+  t_count_allocs = false;
+  EXPECT_EQ(logits.shape()[0], kMaxBatch);
+  EXPECT_EQ(t_alloc_count, 0) << "batched forward allocated on the steady state";
+}
+
 TEST_F(ServeFixture, DoubleAwaitThrows) {
   Session& s = engine_->session();
   const Ticket t = s.submit(engine_->data().test.slice(0, 1).first);

@@ -484,5 +484,57 @@ TEST(ThreadPool, PlanSplitDegenerateInputs) {
   EXPECT_EQ(ThreadPool::plan_split(-9, 4).intra, 4);
 }
 
+// ---------------------------------------------------------------------------
+// Buffer pool: tensor storage recycles through size-class freelists.
+// ---------------------------------------------------------------------------
+
+TEST(BufferPool, RecyclesBlocksAcrossTensorLifetimes) {
+  const Shape shape{4, 16, 8, 8};
+  const float* first_block = nullptr;
+  {
+    Tensor warm(shape, 1.0f);
+    first_block = warm.data();
+  }  // block parks on its freelist
+  buffer_pool_reset_stats();
+  Tensor again(shape, 2.0f);
+  // Same size class, nothing else competing: the freelist hands the block
+  // straight back without touching the heap.
+  EXPECT_EQ(again.data(), first_block);
+  const BufferPoolStats s = buffer_pool_stats();
+  EXPECT_GE(s.hits, 1);
+  EXPECT_EQ(s.misses, 0);
+  EXPECT_GT(s.hit_rate(), 0.99);
+}
+
+TEST(BufferPool, SteadyStateTensorChurnIsAllHits) {
+  // Warm one block per class used, then churn: every construct/destruct
+  // cycle after warm-up must be freelist-only.
+  for (int round = 0; round < 2; ++round) {
+    Tensor a(Shape{3, 5, 7, 9});
+    TensorI8 b(Shape{129});
+    TensorI32 c(Shape{64, 64});
+    if (round == 0) buffer_pool_reset_stats();
+  }
+  const BufferPoolStats s = buffer_pool_stats();
+  EXPECT_EQ(s.misses, 0);
+  EXPECT_GE(s.hits, 3);
+  EXPECT_GE(s.returned, 6);  // both rounds' blocks went back to the lists
+}
+
+TEST(BufferPool, TrimReleasesParkedBytes) {
+  { Tensor t(Shape{1024}); }
+  EXPECT_GT(buffer_pool_stats().cached_bytes, 0);
+  buffer_pool_trim();
+  EXPECT_EQ(buffer_pool_stats().cached_bytes, 0);
+  // The pool stays usable after a trim.
+  Tensor t(Shape{1024}, 3.0f);
+  EXPECT_EQ(t[0], 3.0f);
+}
+
+TEST(BufferPool, StatsReportCapacity) {
+  const BufferPoolStats s = buffer_pool_stats();
+  EXPECT_GT(s.cap_bytes, 0);  // default cap is 256 MiB unless overridden
+}
+
 }  // namespace
 }  // namespace axnn

@@ -64,6 +64,7 @@ struct CliOptions {
   bool serve_finetune = false;  ///< --finetune: approximation stage before serving
   std::string report_path;  ///< --report: write a RunReport JSON here
   bool timing = false;      ///< --timing: attach a telemetry collector
+  bool no_simd = false;     ///< --no-simd: pin the scalar kernels (bit-identity checks)
   bool kd_stage1 = true;
   bool full = false;
   bool verbose = false;
@@ -126,6 +127,9 @@ void print_usage() {
       "                           schema; events also land in <out>.jsonl)\n"
       "  --timing                 collect per-layer telemetry; merged into --report\n"
       "                           or summarised on stdout\n"
+      "  --no-simd                force the scalar GEMM kernels (same as AXNN_SIMD=\n"
+      "                           scalar); the escape hatch for verifying SIMD\n"
+      "                           bit-identity and for debugging vector kernels\n"
       "  --list-multipliers       alias for the list-multipliers verb\n"
       "  --no-kd-stage1           plain fine-tuning in the quantization stage\n"
       "  --full                   paper-scale profile (same as AXNN_REPRO_FULL=1)\n"
@@ -355,6 +359,8 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       opt.report_path = v;
     } else if (arg == "--timing") {
       opt.timing = true;
+    } else if (arg == "--no-simd") {
+      opt.no_simd = true;
     } else if (arg == "--list-multipliers") {
       opt.verb = "list-multipliers";
     } else if (arg == "--no-kd-stage1") {
@@ -450,6 +456,14 @@ int cmd_list_multipliers(obs::RunReport* report) {
 int cmd_inspect(const CliOptions& opt, obs::RunReport* report) {
   core::Workbench wb = make_workbench(opt);
   const auto info = wb.info();
+  // Kernel execution environment: which vector ISA the startup probe
+  // selected (and whether it was clamped by AXNN_SIMD / --no-simd), which
+  // GEMM backend unqualified calls resolve to, and the plan cache geometry.
+  std::printf("kernels: isa %s (detected %s), backend %s, plan cache capacity %lld\n",
+              kernels::isa_name(kernels::active_isa()),
+              kernels::isa_name(kernels::detected_isa()),
+              kernels::backend_name(kernels::default_backend()),
+              static_cast<long long>(kernels::PlanCache::global().stats().capacity));
   std::printf("model %s: %lld params, %lld MACs/sample, FP acc %.2f%%\n", info.name.c_str(),
               static_cast<long long>(info.parameters),
               static_cast<long long>(info.macs_per_sample), 100.0 * wb.fp_accuracy());
@@ -467,19 +481,44 @@ int cmd_inspect(const CliOptions& opt, obs::RunReport* report) {
   std::printf("GE fit: %s\n", fit.to_string().c_str());
   std::printf("network energy: %.0f -> %.0f units (%.0f%% savings)\n", energy.exact_energy,
               energy.approx_energy, energy.savings_pct);
-  std::printf("plan-addressable layers (use these paths with --plan):\n");
-  core::Table leaves({"path", "kind", "dot_length"});
-  for (const auto& leaf : nn::enumerate_gemm_leaves(wb.model())) {
-    std::printf("  %-52s %s dot=%lld\n", leaf.path.c_str(), leaf.is_conv ? "conv" : "fc  ",
-                static_cast<long long>(leaf.dot_length));
-    leaves.add_row({leaf.path, leaf.is_conv ? "conv" : "fc",
-                    std::to_string(leaf.dot_length)});
+  // One warm-up forward (float path, batch of 1) so every GEMM leaf resolves
+  // its prepared plans into its per-leaf memo; the keys printed below are
+  // exactly what the serving engine pre-warms at load.
+  {
+    auto [images, labels] = wb.data().test.slice(0, 1);
+    (void)labels;
+    (void)wb.model().forward(images, nn::ExecContext{});
   }
+  std::printf("plan-addressable layers (use these paths with --plan):\n");
+  core::Table leaves({"path", "kind", "dot_length", "plan"});
+  for (const auto& leaf : nn::enumerate_gemm_leaves(wb.model())) {
+    std::string plans;
+    if (const kernels::PlanMemo* memo = leaf.layer->plan_memo()) {
+      for (const auto& key : memo->keys()) {
+        if (!plans.empty()) plans += ", ";
+        plans += key.to_string();
+      }
+    }
+    if (plans.empty()) plans = "-";
+    std::printf("  %-52s %s dot=%-6lld %s\n", leaf.path.c_str(), leaf.is_conv ? "conv" : "fc  ",
+                static_cast<long long>(leaf.dot_length), plans.c_str());
+    leaves.add_row({leaf.path, leaf.is_conv ? "conv" : "fc",
+                    std::to_string(leaf.dot_length), plans});
+  }
+  const kernels::PlanCacheStats pstats = kernels::PlanCache::global().stats();
+  std::printf("plan cache: %lld plans, %lld hits / %lld misses (%.0f%% hit rate)\n",
+              static_cast<long long>(pstats.size), static_cast<long long>(pstats.hits),
+              static_cast<long long>(pstats.misses), 100.0 * pstats.hit_rate());
   if (report != nullptr) {
     report->metric("fp_acc", wb.fp_accuracy());
     report->metric("parameters", info.parameters);
     report->metric("macs_per_sample", info.macs_per_sample);
     report->metric("multiplier_mre", stats.mre);
+    report->metric("isa", std::string(kernels::isa_name(kernels::active_isa())));
+    report->metric("backend",
+                   std::string(kernels::backend_name(kernels::default_backend())));
+    report->metric("plan_cache_size", pstats.size);
+    report->metric("plan_cache_hit_rate", pstats.hit_rate());
     report->set("ge_fit", core::to_json(fit));
     report->set("energy", core::to_json(energy));
     report_table(report, "layers", leaves);
@@ -877,6 +916,7 @@ int main(int argc, char** argv) {
   try {
     const auto opt = parse(argc, argv);
     if (!opt) return 1;
+    if (opt->no_simd) axnn::kernels::set_isa(axnn::kernels::Isa::kScalar);
 
     std::optional<obs::RunReport> report;
     if (!opt->report_path.empty())
