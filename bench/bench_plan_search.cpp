@@ -1,0 +1,84 @@
+// Plan-search bench (DESIGN.md §5j) — automated per-layer multiplier search
+// on ResNet20.
+//
+// Runs search::run_search against the stage-1 workbench and checks the two
+// acceptance properties end to end: (1) every uniform single-multiplier
+// baseline (the configurations bench_mixed_multipliers compares by hand) is
+// weakly dominated by some point of the emitted Pareto front — the bench
+// FAILS (nonzero exit) on any violation; (2) the emitted ladder is servable
+// as-is: it re-parses through qos::parse_points and boots a serve::Engine,
+// exactly what `axnn_cli serve --qos <file>` does. The full SearchResult
+// lands in the report under "search" (definitions.searchReport in
+// schemas/bench_report.schema.json).
+#include "bench_common.hpp"
+
+AXNN_BENCH_CASE(plan_search,
+                "Extension — automated per-layer plan search (ResNet20)") {
+  using namespace axnn;
+
+  core::Workbench wb(bench::workbench_config(core::ModelKind::kResNet20));
+  const auto s1 = wb.run_quantization_stage(/*use_kd=*/true);
+  std::printf("FP %.2f%% | stage-1 8A4W %.2f%%\n", 100.0 * wb.fp_accuracy(),
+              100.0 * s1.final_acc);
+
+  search::SearchSpec spec;
+  spec.multipliers = {"trunc2", "trunc3", "trunc4", "trunc5"};
+  spec.budget_evals = core::BenchProfile::from_env().full ? 64 : 24;
+  spec.evolution_generations = 2;
+  spec.seed = 7;
+  const search::SearchResult result = search::run_search(wb, spec);
+  std::printf("search: %d holdout evals, exact baseline %.2f%% at %.0f units/sample\n\n",
+              result.evals_used, 100.0 * result.baseline_acc, result.exact_energy);
+
+  core::Table table({"config", "holdout[%]", "energy[units]", "savings[%]"});
+  for (const auto& p : result.front)
+    table.add_row({p.name, bench::pct(p.holdout_acc),
+                   core::Table::num(p.energy_per_sample, 0),
+                   core::Table::num(p.energy_savings_pct, 1)});
+  for (const auto& p : result.uniform_baselines)
+    table.add_row({p.name, bench::pct(p.holdout_acc),
+                   core::Table::num(p.energy_per_sample, 0),
+                   core::Table::num(p.energy_savings_pct, 1)});
+  bench::emit_table(ctx, "plan_search", table);
+  ctx.report.set("search", result.to_json());
+
+  // Gate 1: the searched front must weakly dominate every uniform plan.
+  int violations = 0;
+  for (const auto& ub : result.uniform_baselines) {
+    bool covered = false;
+    for (const auto& fp : result.front)
+      covered = covered ||
+                search::weakly_dominates({fp.holdout_acc, fp.energy_per_sample},
+                                         {ub.holdout_acc, ub.energy_per_sample});
+    if (!covered) {
+      std::printf("VIOLATION: %s (%.2f%%, %.0f units) not dominated by the front\n",
+                  ub.name.c_str(), 100.0 * ub.holdout_acc, ub.energy_per_sample);
+      ++violations;
+    }
+  }
+  ctx.metric("dominance_violations", static_cast<int64_t>(violations));
+
+  // Gate 2: the emitted ladder is directly servable — same text a
+  // `--emit` file holds, parsed by the QoS machinery and booted as an
+  // engine ladder without modification.
+  const std::string ladder = result.to_ladder_text();
+  const auto pts = qos::parse_points(ladder);
+  serve::ModelSpec mspec;
+  mspec.model = core::ModelKind::kResNet20;
+  mspec.profile = core::BenchProfile::from_env();
+  mspec.qos_points = ladder;
+  const auto engine = serve::Engine::load(mspec);
+  std::printf("\nladder: %zu point(s) re-parsed, engine up with %d operating point(s)\n",
+              pts.size(), static_cast<int>(engine->operating_points().size()));
+  ctx.metric("ladder_points", static_cast<int64_t>(pts.size()));
+  ctx.metric("engine_points", static_cast<int64_t>(static_cast<int>(engine->operating_points().size())));
+  if (static_cast<int>(engine->operating_points().size()) != static_cast<int>(result.front.size())) {
+    std::printf("VIOLATION: engine ladder size differs from the emitted front\n");
+    ++violations;
+  }
+
+  std::printf("\nExpected shape: the searched front matches the best uniform's accuracy at\n"
+              "equal-or-lower energy and extends to cheaper mixed points no uniform\n"
+              "assignment reaches.\n");
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// axnn — unified plan-spec I/O (DESIGN.md §5j).
+//
+// One parser/serializer entry point for the two on-disk plan grammars:
+//
+//   plan file    — a NetPlan ("default=<spec>; <path>=<spec>; ...") written
+//                  over one or more lines; '#' lines are comments. Entries
+//                  accumulate across lines, so long heterogeneous plans can
+//                  be written one override per line.
+//   ladder file  — a QoS operating-point set: "point <name> = <netplan>"
+//                  lines (the format qos::parse_points historically owned).
+//
+// parse() auto-detects the grammar from the first significant line (a
+// leading "point " keyword means ladder), so every consumer — the CLI, the
+// serving engine, the search driver — reads any plan-spec file through one
+// call. Errors are std::invalid_argument carrying the 1-based line number.
+//
+// Round-trip guarantees (fuzzed by tools/fuzz/fuzz_plan_io):
+//   parse(to_text(doc))   == doc   for every successfully parsed document
+//   parse_ladder(to_text(points)) == points
+// Entry plan text is preserved byte-for-byte (trimmed, inner whitespace
+// intact), never canonicalized — what the user wrote is what serializes.
+//
+// Spec-level grammar (attributes of one "<key>=<spec>" entry) stays owned
+// by nn::NetPlan::parse; this module owns the document level: line
+// splitting, comments, the ladder keyword grammar, names, limits and line
+// blaming. qos::parse_points / qos::to_text delegate here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "axnn/nn/plan.hpp"
+
+namespace axnn::core::plan_io {
+
+/// One ladder entry: a point name and the NetPlan text it serves.
+struct NamedPlan {
+  std::string name;       ///< [A-Za-z0-9_.-]{1,64}, unique within a ladder
+  std::string plan_text;  ///< NetPlan grammar, validated at parse
+
+  friend bool operator==(const NamedPlan& a, const NamedPlan& b) {
+    return a.name == b.name && a.plan_text == b.plan_text;
+  }
+};
+
+/// Ladders larger than this are rejected at parse time (mirrors
+/// qos::kMaxOperatingPoints — a governor stepping one point per dwell
+/// cannot usefully exploit more).
+inline constexpr int kMaxLadderPoints = 32;
+
+/// A parsed plan-spec document of either grammar.
+struct PlanDocument {
+  bool ladder = false;
+  /// Ladder: one entry per point, in file order. Plan: exactly one entry
+  /// with an empty name whose plan_text joins the file's significant lines
+  /// with "; " (still valid single-line NetPlan grammar).
+  std::vector<NamedPlan> entries;
+
+  friend bool operator==(const PlanDocument& a, const PlanDocument& b) {
+    return a.ladder == b.ladder && a.entries == b.entries;
+  }
+};
+
+/// Parse either grammar, auto-detected from the first significant line.
+/// Throws std::invalid_argument with a 1-based line number on any error
+/// (including an empty document).
+PlanDocument parse(const std::string& text);
+
+/// Parse a (possibly multi-line) plan file into a NetPlan. Blank lines and
+/// '#' comments are ignored; entries accumulate across lines. Throws
+/// std::invalid_argument naming the offending line.
+nn::NetPlan parse_plan(const std::string& text);
+
+/// Parse a ladder file. `who` prefixes error messages (defaults to this
+/// module; qos::parse_points passes its own name to keep legacy messages
+/// stable). Throws std::invalid_argument on syntax errors, invalid or
+/// duplicate names, invalid plans, an empty set, or more than
+/// kMaxLadderPoints entries.
+std::vector<NamedPlan> parse_ladder(const std::string& text,
+                                    const char* who = "plan_io::parse_ladder");
+
+/// Canonical ladder text: one "point <name> = <plan>" line per entry.
+/// parse_ladder(to_text(p)) == p.
+std::string to_text(const std::vector<NamedPlan>& points);
+
+/// Canonical document text: ladder text for ladders, the plan line plus a
+/// trailing newline otherwise. parse(to_text(doc)) == doc.
+std::string to_text(const PlanDocument& doc);
+
+}  // namespace axnn::core::plan_io

@@ -1,0 +1,158 @@
+#include "axnn/core/plan_io.hpp"
+
+#include <stdexcept>
+
+namespace axnn::core::plan_io {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  const size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool valid_name(const std::string& n) {
+  if (n.empty() || n.size() > 64) return false;
+  for (char c : n) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+[[noreturn]] void fail(const char* who, int line, const std::string& what) {
+  throw std::invalid_argument(std::string(who) + ": line " + std::to_string(line) + ": " + what);
+}
+
+/// One significant (non-blank, non-comment) line with its 1-based number.
+struct Line {
+  int number = 0;
+  std::string text;
+};
+
+std::vector<Line> significant_lines(const std::string& text) {
+  std::vector<Line> out;
+  size_t pos = 0;
+  int lineno = 0;
+  while (pos <= text.size()) {
+    const size_t nl = text.find('\n', pos);
+    const std::string raw =
+        text.substr(pos, nl == std::string::npos ? std::string::npos : nl - pos);
+    pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    out.push_back({lineno, std::move(line)});
+  }
+  return out;
+}
+
+bool is_ladder_line(const std::string& line) {
+  return line.rfind("point", 0) == 0 && line.size() > 5 && (line[5] == ' ' || line[5] == '\t');
+}
+
+NamedPlan parse_point_line(const Line& ln, const std::vector<NamedPlan>& so_far,
+                           const char* who) {
+  if (!is_ladder_line(ln.text)) fail(who, ln.number, "expected 'point <name> = <plan>'");
+  const size_t eq = ln.text.find('=', 6);
+  if (eq == std::string::npos) fail(who, ln.number, "missing '=' after point name");
+  const std::string name = trim(ln.text.substr(6, eq - 6));
+  const std::string plan = trim(ln.text.substr(eq + 1));
+  if (!valid_name(name))
+    fail(who, ln.number, "invalid point name '" + name + "' (want [A-Za-z0-9_.-]{1,64})");
+  for (const auto& p : so_far)
+    if (p.name == name) fail(who, ln.number, "duplicate point name '" + name + "'");
+  if (plan.empty()) fail(who, ln.number, "empty plan for point '" + name + "'");
+  try {
+    (void)nn::NetPlan::parse(plan);
+  } catch (const std::exception& e) {
+    fail(who, ln.number, "point '" + name + "': " + e.what());
+  }
+  if (static_cast<int>(so_far.size()) == kMaxLadderPoints)
+    fail(who, ln.number, "more than " + std::to_string(kMaxLadderPoints) + " points");
+  return NamedPlan{name, plan};
+}
+
+/// Join significant plan lines with "; " after validating each one
+/// individually (every line is itself a valid entry list, so a syntax error
+/// blames the line that introduced it, not the whole file).
+std::string join_plan_lines(const std::vector<Line>& lines, const char* who) {
+  std::string joined;
+  for (const auto& ln : lines) {
+    if (is_ladder_line(ln.text))
+      fail(who, ln.number, "'point' line in a plan file (mixed grammars)");
+    try {
+      (void)nn::NetPlan::parse(ln.text);
+    } catch (const std::exception& e) {
+      fail(who, ln.number, e.what());
+    }
+    if (!joined.empty()) joined += "; ";
+    joined += ln.text;
+  }
+  // Entries accumulated across lines can interact (e.g. a later `default=`
+  // replacing an earlier one) — validate the joined form too.
+  try {
+    (void)nn::NetPlan::parse(joined);
+  } catch (const std::exception& e) {
+    fail(who, lines.back().number, e.what());
+  }
+  return joined;
+}
+
+}  // namespace
+
+PlanDocument parse(const std::string& text) {
+  static constexpr const char* kWho = "plan_io::parse";
+  const auto lines = significant_lines(text);
+  if (lines.empty()) throw std::invalid_argument("plan_io::parse: empty plan-spec document");
+  PlanDocument doc;
+  doc.ladder = is_ladder_line(lines.front().text);
+  if (doc.ladder) {
+    for (const auto& ln : lines) doc.entries.push_back(parse_point_line(ln, doc.entries, kWho));
+  } else {
+    doc.entries.push_back(NamedPlan{"", join_plan_lines(lines, kWho)});
+  }
+  return doc;
+}
+
+nn::NetPlan parse_plan(const std::string& text) {
+  static constexpr const char* kWho = "plan_io::parse_plan";
+  const auto lines = significant_lines(text);
+  if (lines.empty()) throw std::invalid_argument("plan_io::parse_plan: empty plan");
+  return nn::NetPlan::parse(join_plan_lines(lines, kWho));
+}
+
+std::vector<NamedPlan> parse_ladder(const std::string& text, const char* who) {
+  std::vector<NamedPlan> out;
+  for (const auto& ln : significant_lines(text)) out.push_back(parse_point_line(ln, out, who));
+  if (out.empty())
+    throw std::invalid_argument(std::string(who) + ": no operating points defined");
+  return out;
+}
+
+std::string to_text(const std::vector<NamedPlan>& points) {
+  std::string out;
+  for (const auto& p : points) {
+    out += "point ";
+    out += p.name;
+    out += " = ";
+    out += p.plan_text;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_text(const PlanDocument& doc) {
+  if (doc.ladder) return to_text(doc.entries);
+  std::string out;
+  for (const auto& e : doc.entries) {
+    out += e.plan_text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace axnn::core::plan_io

@@ -28,6 +28,7 @@
 #include "axnn/axmul/stats.hpp"
 #include "axnn/axmul/truncated.hpp"
 #include "axnn/core/pipeline.hpp"
+#include "axnn/core/plan_io.hpp"
 #include "axnn/core/profile.hpp"
 #include "axnn/core/report_adapters.hpp"
 #include "axnn/core/table.hpp"
@@ -72,6 +73,8 @@
 #include "axnn/resilience/crc32.hpp"
 #include "axnn/resilience/fault.hpp"
 #include "axnn/resilience/guard.hpp"
+#include "axnn/search/pareto.hpp"
+#include "axnn/search/search.hpp"
 #include "axnn/sentinel/sentinel.hpp"
 #include "axnn/serve/engine.hpp"
 #include "axnn/serve/loadgen.hpp"

@@ -38,7 +38,9 @@ inline constexpr int kMaxOperatingPoints = 32;
 
 /// Parse an operating-point-set file. Throws std::invalid_argument (with a
 /// line number) on syntax errors, duplicate/invalid names, invalid plans,
-/// an empty set, or more than kMaxOperatingPoints entries.
+/// an empty set, or more than kMaxOperatingPoints entries. Thin wrapper
+/// over core::plan_io::parse_ladder — the unified plan-spec parser the
+/// search emitter writes through, so searched ladders load unmodified.
 std::vector<OperatingPointSpec> parse_points(const std::string& text);
 
 /// Canonical text form; parse_points(to_text(p)) == p (round-trip, fuzzed

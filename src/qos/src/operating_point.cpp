@@ -1,84 +1,29 @@
 #include "axnn/qos/operating_point.hpp"
 
-#include <stdexcept>
-
-#include "axnn/nn/plan.hpp"
+#include "axnn/core/plan_io.hpp"
 
 namespace axnn::qos {
 
-namespace {
+static_assert(kMaxOperatingPoints == core::plan_io::kMaxLadderPoints,
+              "qos ladder cap must match the shared plan_io document cap");
 
-std::string trim(const std::string& s) {
-  size_t b = s.find_first_not_of(" \t\r");
-  if (b == std::string::npos) return {};
-  size_t e = s.find_last_not_of(" \t\r");
-  return s.substr(b, e - b + 1);
-}
-
-bool valid_name(const std::string& n) {
-  if (n.empty() || n.size() > 64) return false;
-  for (char c : n) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
-    if (!ok) return false;
-  }
-  return true;
-}
-
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::invalid_argument("qos::parse_points: line " + std::to_string(line) + ": " + what);
-}
-
-}  // namespace
+// Thin delegating wrappers: the ladder grammar (line splitting, names,
+// limits, line-numbered errors) lives in core::plan_io, shared with the
+// plan-search emitter and the CLI. The `who` argument keeps the historical
+// "qos::parse_points: line N: ..." error prefix stable.
 
 std::vector<OperatingPointSpec> parse_points(const std::string& text) {
   std::vector<OperatingPointSpec> out;
-  size_t pos = 0;
-  int lineno = 0;
-  while (pos <= text.size()) {
-    const size_t nl = text.find('\n', pos);
-    const std::string raw =
-        text.substr(pos, nl == std::string::npos ? std::string::npos : nl - pos);
-    pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
-    ++lineno;
-
-    const std::string line = trim(raw);
-    if (line.empty() || line[0] == '#') continue;
-    if (line.rfind("point", 0) != 0 || line.size() < 6 || (line[5] != ' ' && line[5] != '\t'))
-      fail(lineno, "expected 'point <name> = <plan>'");
-    const size_t eq = line.find('=', 6);
-    if (eq == std::string::npos) fail(lineno, "missing '=' after point name");
-    const std::string name = trim(line.substr(6, eq - 6));
-    const std::string plan = trim(line.substr(eq + 1));
-    if (!valid_name(name))
-      fail(lineno, "invalid point name '" + name + "' (want [A-Za-z0-9_.-]{1,64})");
-    for (const auto& p : out)
-      if (p.name == name) fail(lineno, "duplicate point name '" + name + "'");
-    if (plan.empty()) fail(lineno, "empty plan for point '" + name + "'");
-    try {
-      (void)nn::NetPlan::parse(plan);
-    } catch (const std::exception& e) {
-      fail(lineno, "point '" + name + "': " + e.what());
-    }
-    if (static_cast<int>(out.size()) == kMaxOperatingPoints)
-      fail(lineno, "more than " + std::to_string(kMaxOperatingPoints) + " points");
-    out.push_back(OperatingPointSpec{name, plan});
-  }
-  if (out.empty())
-    throw std::invalid_argument("qos::parse_points: no operating points defined");
+  for (auto& p : core::plan_io::parse_ladder(text, "qos::parse_points"))
+    out.push_back(OperatingPointSpec{std::move(p.name), std::move(p.plan_text)});
   return out;
 }
 
 std::string to_text(const std::vector<OperatingPointSpec>& points) {
-  std::string out;
-  for (const auto& p : points) {
-    out += "point ";
-    out += p.name;
-    out += " = ";
-    out += p.plan_text;
-    out += '\n';
-  }
-  return out;
+  std::vector<core::plan_io::NamedPlan> named;
+  named.reserve(points.size());
+  for (const auto& p : points) named.push_back({p.name, p.plan_text});
+  return core::plan_io::to_text(named);
 }
 
 obs::Json OperatingPoint::to_json() const {

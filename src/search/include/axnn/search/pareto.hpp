@@ -1,0 +1,39 @@
+// axnn — Pareto-dominance utilities for the plan search (DESIGN.md §5j).
+//
+// The search optimizes two objectives per candidate plan: holdout accuracy
+// (maximize) and modeled energy per sample (minimize). These helpers are
+// deliberately tiny and exactly specified so the search driver, the bench
+// dominance gate and the tests all share one definition of "better".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace axnn::search {
+
+/// One point in the objective plane: accuracy is maximized, energy is
+/// minimized (energy::estimate_mixed units — 1.0 per exact MAC).
+struct Objective {
+  double accuracy = 0.0;
+  double energy = 0.0;
+
+  friend bool operator==(const Objective& x, const Objective& y) {
+    return x.accuracy == y.accuracy && x.energy == y.energy;
+  }
+};
+
+/// Strict (Pareto) dominance: `a` is at least as good as `b` in both
+/// objectives and strictly better in at least one. dominates(a, a) is false.
+bool dominates(const Objective& a, const Objective& b);
+
+/// Non-strict dominance: `a` is at least as good as `b` in both objectives.
+/// weakly_dominates(a, a) is true; equal points weakly dominate each other.
+bool weakly_dominates(const Objective& a, const Objective& b);
+
+/// Indices of the non-dominated points, in their original (stable) order.
+/// Tie handling: of several points with identical objectives, only the
+/// first survives — a front never carries duplicate objective pairs.
+/// Guarantee: every input point is weakly dominated by some front member.
+std::vector<size_t> pareto_front(const std::vector<Objective>& points);
+
+}  // namespace axnn::search

@@ -1,0 +1,28 @@
+#include "axnn/search/pareto.hpp"
+
+namespace axnn::search {
+
+bool weakly_dominates(const Objective& a, const Objective& b) {
+  return a.accuracy >= b.accuracy && a.energy <= b.energy;
+}
+
+bool dominates(const Objective& a, const Objective& b) {
+  return weakly_dominates(a, b) && (a.accuracy > b.accuracy || a.energy < b.energy);
+}
+
+std::vector<size_t> pareto_front(const std::vector<Objective>& points) {
+  std::vector<size_t> front;
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool keep = true;
+    for (size_t j = 0; j < points.size() && keep; ++j) {
+      if (j == i) continue;
+      if (dominates(points[j], points[i])) keep = false;
+      // Duplicate objectives: the earliest occurrence represents the tie.
+      if (j < i && points[j] == points[i]) keep = false;
+    }
+    if (keep) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace axnn::search

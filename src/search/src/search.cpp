@@ -1,0 +1,590 @@
+#include "axnn/search/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "axnn/axmul/registry.hpp"
+#include "axnn/core/plan_io.hpp"
+#include "axnn/energy/energy.hpp"
+#include "axnn/search/pareto.hpp"
+#include "axnn/tensor/rng.hpp"
+#include "axnn/train/evaluate.hpp"
+
+namespace axnn::search {
+
+namespace {
+
+using Assignment = std::vector<int>;  ///< candidate index per leaf
+
+const std::vector<std::string>& default_multipliers() {
+  static const std::vector<std::string> kDefault = {"trunc2", "trunc3", "trunc4", "trunc5"};
+  return kDefault;
+}
+
+double width_scale(const Candidate& c) {
+  return static_cast<double>(c.weight_bits * c.activation_bits) /
+         static_cast<double>(quant::kWeightBits * quant::kActivationBits);
+}
+
+nn::LayerPlan candidate_layer_plan(const Candidate& c) {
+  nn::LayerPlan lp;
+  lp.multiplier = c.multiplier;
+  lp.weight_bits = c.weight_bits;
+  lp.activation_bits = c.activation_bits;
+  if (c.exact()) lp.mode = nn::ExecMode::kQuantExact;
+  return lp;
+}
+
+/// Holdout evaluation with a per-width-signature clone cache: plans at the
+/// calibrated widths run on the stage-1 clone directly; plans asking for
+/// other widths get a clone with apply_bit_widths + recalibration, keyed by
+/// the width signature so repeated evaluations share the calibration cost.
+class HoldoutEvaluator {
+public:
+  HoldoutEvaluator(core::Workbench& wb, const SearchSpec& spec) : wb_(wb) {
+    const auto& test = wb.data().test;
+    const int64_t h = std::min<int64_t>(spec.holdout, test.size());
+    if (h <= 0) throw std::invalid_argument("run_search: holdout must be > 0");
+    auto sl = test.slice(test.size() - h, h);
+    holdout_.images = sl.first;
+    holdout_.labels = std::move(sl.second);
+    base_ = wb.clone();
+  }
+
+  nn::Sequential& base_model() { return *base_; }
+  const data::Dataset& holdout() const { return holdout_; }
+  int evals_used() const { return evals_; }
+
+  double accuracy(const nn::NetPlan& plan) {
+    nn::Sequential& m = model_for(plan);
+    const nn::PlanResolution res = plan.resolve(m);
+    res.require_approximable();
+    res.require_bit_widths();
+    const nn::ExecContext ctx{.mode = nn::ExecMode::kQuantApprox, .plan = &res};
+    ++evals_;
+    return train::evaluate_accuracy(m, holdout_, ctx, 32);
+  }
+
+private:
+  nn::Sequential& model_for(const nn::NetPlan& plan) {
+    std::string sig;
+    bool all_default = true;
+    const auto leaves = nn::enumerate_gemm_leaves(*base_);
+    for (const auto& leaf : leaves) {
+      const nn::LayerPlan& lp = plan.match(leaf.path);
+      if (lp.weight_bits != quant::kWeightBits || lp.activation_bits != quant::kActivationBits)
+        all_default = false;
+      sig += std::to_string(lp.weight_bits) + "." + std::to_string(lp.activation_bits) + "/";
+    }
+    if (all_default) return *base_;
+    auto it = by_widths_.find(sig);
+    if (it == by_widths_.end()) {
+      auto clone = wb_.clone();
+      plan.apply_bit_widths(*clone);
+      train::calibrate_model(*clone, wb_.data().train, wb_.config().calib_samples, 32,
+                             wb_.config().calibration);
+      it = by_widths_.emplace(sig, std::move(clone)).first;
+    }
+    return *it->second;
+  }
+
+  core::Workbench& wb_;
+  data::Dataset holdout_;
+  std::unique_ptr<nn::Sequential> base_;
+  std::map<std::string, std::unique_ptr<nn::Sequential>> by_widths_;
+  int evals_ = 0;
+};
+
+/// Energy bookkeeping: per-leaf MAC counts crossed with candidate specs.
+/// Bit-widths scale a leaf's approximate energy linearly with the bit
+/// product (a first-order MAC-energy proxy; the multiplier-level figures
+/// stay energy::estimate's).
+class EnergyModel {
+public:
+  EnergyModel(const std::vector<LayerSensitivity>& layers,
+              const std::vector<Candidate>& cands)
+      : exact_spec_(axmul::find_spec("exact").value()) {
+    leaf_energy_.assign(layers.size(), std::vector<double>(cands.size(), 0.0));
+    exact_total_ = 0.0;
+    for (size_t li = 0; li < layers.size(); ++li) {
+      exact_total_ += static_cast<double>(layers[li].macs);
+      for (size_t ci = 0; ci < cands.size(); ++ci) {
+        const Candidate& c = cands[ci];
+        const axmul::MultiplierSpec spec =
+            c.exact() ? exact_spec_ : axmul::find_spec(c.multiplier).value();
+        leaf_energy_[li][ci] =
+            energy::estimate(layers[li].macs, spec).approx_energy * width_scale(c);
+      }
+    }
+  }
+
+  double exact_total() const { return exact_total_; }
+  double leaf(size_t li, int ci) const { return leaf_energy_[li][static_cast<size_t>(ci)]; }
+  double total(const Assignment& a) const {
+    double e = 0.0;
+    for (size_t li = 0; li < a.size(); ++li) e += leaf(li, a[li]);
+    return e;
+  }
+  double savings_pct(double e) const {
+    return exact_total_ > 0.0 ? (1.0 - e / exact_total_) * 100.0 : 0.0;
+  }
+
+private:
+  axmul::MultiplierSpec exact_spec_;
+  std::vector<std::vector<double>> leaf_energy_;
+  double exact_total_ = 0.0;
+};
+
+/// Build the NetPlan for an assignment: the modal candidate becomes the
+/// uniform default (shortest text), every other leaf gets an override.
+nn::NetPlan assignment_plan(const std::vector<LayerSensitivity>& layers,
+                            const std::vector<Candidate>& cands, const Assignment& a) {
+  std::map<int, int> votes;
+  for (int ci : a) ++votes[ci];
+  int modal = a.empty() ? 0 : a.front();
+  for (const auto& [ci, n] : votes)
+    if (n > votes[modal]) modal = ci;
+  nn::NetPlan plan(candidate_layer_plan(cands[static_cast<size_t>(modal)]));
+  for (size_t li = 0; li < a.size(); ++li)
+    if (a[li] != modal)
+      plan.set(layers[li].path, candidate_layer_plan(cands[static_cast<size_t>(a[li])]));
+  return plan;
+}
+
+/// Estimated accuracy loss of an assignment under the additive per-layer
+/// delta model.
+double est_loss(const std::vector<std::vector<double>>& delta, const Assignment& a) {
+  double l = 0.0;
+  for (size_t li = 0; li < a.size(); ++li) l += delta[li][static_cast<size_t>(a[li])];
+  return l;
+}
+
+/// Greedy downgrade: start all-exact, repeatedly take the move with the
+/// best (estimated loss increase) / (energy saved) ratio until the budget
+/// holds. Deterministic: ties break toward larger savings, then lower
+/// (layer, candidate) index.
+Assignment greedy_assign(const EnergyModel& em, const std::vector<std::vector<double>>& delta,
+                         size_t num_layers, size_t num_cands, double budget) {
+  Assignment a(num_layers, 0);
+  double energy = em.total(a);
+  while (energy > budget + 1e-9) {
+    int best_li = -1, best_ci = -1;
+    double best_ratio = std::numeric_limits<double>::infinity(), best_de = 0.0;
+    for (size_t li = 0; li < num_layers; ++li) {
+      const double e_cur = em.leaf(li, a[li]);
+      const double d_cur = delta[li][static_cast<size_t>(a[li])];
+      for (size_t ci = 0; ci < num_cands; ++ci) {
+        const double de = e_cur - em.leaf(li, static_cast<int>(ci));
+        if (de <= 1e-12) continue;  // not a downgrade
+        const double dl = std::max(0.0, delta[li][ci] - d_cur);
+        const double ratio = dl / de;
+        const bool better = ratio < best_ratio - 1e-15 ||
+                            (std::abs(ratio - best_ratio) <= 1e-15 && de > best_de + 1e-12);
+        if (better) {
+          best_ratio = ratio;
+          best_de = de;
+          best_li = static_cast<int>(li);
+          best_ci = static_cast<int>(ci);
+        }
+      }
+    }
+    if (best_li < 0) break;  // already as cheap as the space allows
+    a[static_cast<size_t>(best_li)] = best_ci;
+    energy -= best_de;
+  }
+  return a;
+}
+
+/// Local refinement under the budget: single-candidate moves and pairwise
+/// assignment exchanges that lower the estimated loss.
+void swap_refine(const EnergyModel& em, const std::vector<std::vector<double>>& delta,
+                 double budget, int rounds, Assignment& a) {
+  const size_t n = a.size();
+  const size_t nc = delta.empty() ? 0 : delta.front().size();
+  double energy = em.total(a);
+  for (int r = 0; r < rounds; ++r) {
+    bool improved = false;
+    for (size_t li = 0; li < n; ++li) {
+      for (size_t ci = 0; ci < nc; ++ci) {
+        if (static_cast<int>(ci) == a[li]) continue;
+        const double ne = energy - em.leaf(li, a[li]) + em.leaf(li, static_cast<int>(ci));
+        if (ne > budget + 1e-9) continue;
+        if (delta[li][ci] < delta[li][static_cast<size_t>(a[li])] - 1e-15) {
+          a[li] = static_cast<int>(ci);
+          energy = ne;
+          improved = true;
+        }
+      }
+    }
+    for (size_t i = 0; i + 1 < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (a[i] == a[j]) continue;
+        const double ne = energy - em.leaf(i, a[i]) - em.leaf(j, a[j]) + em.leaf(i, a[j]) +
+                          em.leaf(j, a[i]);
+        if (ne > budget + 1e-9) continue;
+        const double cur = delta[i][static_cast<size_t>(a[i])] + delta[j][static_cast<size_t>(a[j])];
+        const double swapped =
+            delta[i][static_cast<size_t>(a[j])] + delta[j][static_cast<size_t>(a[i])];
+        if (swapped < cur - 1e-15) {
+          std::swap(a[i], a[j]);
+          energy = ne;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+/// Downgrade random layers until the budget holds (evolutionary repair).
+void repair(const EnergyModel& em, size_t num_cands, double budget, Rng& rng, Assignment& a) {
+  double energy = em.total(a);
+  int guard = 0;
+  while (energy > budget + 1e-9 && guard++ < 4096) {
+    const size_t li = static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(a.size())));
+    int cheapest = a[li];
+    for (size_t ci = 0; ci < num_cands; ++ci)
+      if (em.leaf(li, static_cast<int>(ci)) < em.leaf(li, cheapest))
+        cheapest = static_cast<int>(ci);
+    if (cheapest == a[li]) continue;
+    energy += em.leaf(li, cheapest) - em.leaf(li, a[li]);
+    a[li] = cheapest;
+  }
+}
+
+/// Seeded evolutionary pass around a greedy seed: elitist (top half
+/// survives), uniform crossover, single-gene mutation, repair to the
+/// budget. Fully deterministic given the Rng.
+Assignment evolve(const EnergyModel& em, const std::vector<std::vector<double>>& delta,
+                  double budget, const SearchSpec& spec, const Assignment& seed, Rng& rng) {
+  const size_t n = seed.size();
+  const size_t nc = delta.empty() ? 0 : delta.front().size();
+  const int pop_n = std::max(4, spec.population);
+  std::vector<Assignment> pop;
+  pop.push_back(seed);
+  while (static_cast<int>(pop.size()) < pop_n) {
+    Assignment a = seed;
+    const size_t li = static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(n)));
+    a[li] = static_cast<int>(rng.uniform_int(static_cast<int64_t>(nc)));
+    repair(em, nc, budget, rng, a);
+    pop.push_back(std::move(a));
+  }
+  auto fitness = [&](const Assignment& a) { return est_loss(delta, a); };
+  for (int g = 0; g < spec.evolution_generations; ++g) {
+    std::stable_sort(pop.begin(), pop.end(),
+                     [&](const Assignment& x, const Assignment& y) {
+                       return fitness(x) < fitness(y);
+                     });
+    const size_t keep = pop.size() / 2;
+    for (size_t k = keep; k < pop.size(); ++k) {
+      const Assignment& pa = pop[static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(keep)))];
+      const Assignment& pb = pop[static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(keep)))];
+      Assignment child(n);
+      for (size_t li = 0; li < n; ++li) child[li] = rng.uniform() < 0.5 ? pa[li] : pb[li];
+      const size_t li = static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(n)));
+      child[li] = static_cast<int>(rng.uniform_int(static_cast<int64_t>(nc)));
+      repair(em, nc, budget, rng, child);
+      pop[k] = std::move(child);
+    }
+  }
+  Assignment best = pop.front();
+  for (const auto& a : pop)
+    if (fitness(a) < fitness(best)) best = a;
+  return best;
+}
+
+/// Ladder point name: rank plus the measured coordinates, using only
+/// characters the ladder-name grammar admits ([A-Za-z0-9_.-]).
+std::string point_name(size_t rank, const SearchPoint& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "p%zu-acc%.1f-sav%.1f", rank, 100.0 * p.holdout_acc,
+                p.energy_savings_pct);
+  return buf;
+}
+
+}  // namespace
+
+obs::Json SearchPoint::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["name"] = name;
+  j["plan"] = plan_text;
+  j["holdout_acc"] = holdout_acc;
+  j["energy_per_sample"] = energy_per_sample;
+  j["energy_savings_pct"] = energy_savings_pct;
+  j["uniform"] = uniform;
+  return j;
+}
+
+std::string SearchResult::to_ladder_text() const {
+  std::vector<core::plan_io::NamedPlan> named;
+  named.reserve(front.size());
+  for (const auto& p : front) named.push_back({p.name, p.plan_text});
+  return core::plan_io::to_text(named);
+}
+
+obs::Json SearchResult::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["baseline_acc"] = baseline_acc;
+  j["exact_energy"] = exact_energy;
+  j["evals_used"] = static_cast<int64_t>(evals_used);
+  j["front_size"] = static_cast<int64_t>(front.size());
+  obs::Json sens = obs::Json::array();
+  for (const auto& s : sensitivity) {
+    obs::Json e = obs::Json::object();
+    e["path"] = s.path;
+    e["dot_length"] = s.dot_length;
+    e["macs"] = s.macs;
+    e["mac_share"] = s.mac_share;
+    e["clip_rate"] = s.clip_rate;
+    e["max_proxy"] = s.max_proxy;
+    sens.push_back(std::move(e));
+  }
+  j["sensitivity"] = std::move(sens);
+  obs::Json fr = obs::Json::array();
+  for (const auto& p : front) fr.push_back(p.to_json());
+  j["front"] = std::move(fr);
+  obs::Json un = obs::Json::array();
+  for (const auto& p : uniform_baselines) un.push_back(p.to_json());
+  j["uniform_baselines"] = std::move(un);
+  return j;
+}
+
+SearchResult run_search(core::Workbench& wb, const SearchSpec& spec) {
+  const std::vector<std::string>& mults =
+      spec.multipliers.empty() ? default_multipliers() : spec.multipliers;
+  for (const auto& id : mults)
+    if (!axmul::find_spec(id))
+      throw std::invalid_argument("run_search: unknown multiplier '" + id + "'");
+  for (const auto& [w, a] : spec.widths)
+    if (w < 2 || w > 8 || a < 2 || a > 8)
+      throw std::invalid_argument("run_search: bit-widths must be in [2,8]");
+  if (spec.max_points < 1 || spec.max_points > core::plan_io::kMaxLadderPoints)
+    throw std::invalid_argument("run_search: max_points must be in [1, " +
+                                std::to_string(core::plan_io::kMaxLadderPoints) + "]");
+
+  // Candidate set: exact first (index 0), then each multiplier at the
+  // calibrated widths and at every extra width pair.
+  std::vector<Candidate> cands;
+  cands.push_back(Candidate{});  // exact
+  for (const auto& id : mults) {
+    cands.push_back(Candidate{.multiplier = id});
+    for (const auto& [w, a] : spec.widths)
+      if (w != quant::kWeightBits || a != quant::kActivationBits)
+        cands.push_back(Candidate{.multiplier = id, .weight_bits = w, .activation_bits = a});
+  }
+
+  const int min_budget = 2 + static_cast<int>(mults.size());
+  if (spec.budget_evals < min_budget)
+    throw std::invalid_argument("run_search: budget_evals must be >= " +
+                                std::to_string(min_budget) +
+                                " (baseline + uniforms + one searched point)");
+
+  HoldoutEvaluator ev(wb, spec);
+
+  // Sensitivity profiling on a few head samples (the holdout is the tail).
+  const auto& test = wb.data().test;
+  const int64_t profile_n = std::min<int64_t>(4, std::max<int64_t>(1, test.size() - spec.holdout));
+  data::Dataset sample;
+  {
+    auto sl = test.slice(0, profile_n);
+    sample.images = sl.first;
+    sample.labels = std::move(sl.second);
+  }
+  ge::FitRegistry fits;
+  SensitivityModel sens = profile_sensitivity(ev.base_model(), sample, cands, fits);
+  const size_t nl = sens.layers.size();
+  const size_t nc = cands.size();
+
+  EnergyModel em(sens.layers, cands);
+
+  SearchResult result;
+  result.sensitivity = sens.layers;
+  result.exact_energy = em.exact_total();
+
+  // Measured-point archive. Every entry carries a *measured* holdout
+  // accuracy; the emitted front is computed over these only.
+  struct Entry {
+    SearchPoint point;
+  };
+  std::vector<Entry> archive;
+  std::set<std::string> seen_plans;
+  auto measure = [&](const nn::NetPlan& plan, bool uniform) -> const SearchPoint* {
+    const std::string text = plan.to_string();
+    if (!seen_plans.insert(text).second) return nullptr;
+    if (ev.evals_used() >= spec.budget_evals) return nullptr;
+    SearchPoint p;
+    p.plan_text = text;
+    p.uniform = uniform;
+    p.holdout_acc = ev.accuracy(plan);
+    // Energy from the resolved per-leaf assignment implied by the plan.
+    double e = 0.0;
+    for (size_t li = 0; li < nl; ++li) {
+      const nn::LayerPlan& lp = plan.match(sens.layers[li].path);
+      Candidate c{.multiplier = lp.mode && *lp.mode != nn::ExecMode::kQuantApprox
+                                    ? std::string{}
+                                    : lp.multiplier,
+                  .weight_bits = lp.weight_bits,
+                  .activation_bits = lp.activation_bits};
+      const axmul::MultiplierSpec cspec = c.exact()
+                                              ? axmul::find_spec("exact").value()
+                                              : axmul::find_spec(c.multiplier).value();
+      e += energy::estimate(sens.layers[li].macs, cspec).approx_energy * width_scale(c);
+    }
+    p.energy_per_sample = e;
+    p.energy_savings_pct = em.savings_pct(e);
+    archive.push_back(Entry{std::move(p)});
+    return &archive.back().point;
+  };
+
+  // 1. Baseline: the all-exact plan.
+  nn::NetPlan exact_plan(candidate_layer_plan(Candidate{}));
+  const SearchPoint* base = measure(exact_plan, /*uniform=*/false);
+  result.baseline_acc = base != nullptr ? base->holdout_acc : 0.0;
+
+  // 2. Uniform baselines, one per multiplier at the calibrated widths —
+  //    the plans bench_mixed_multipliers compares against.
+  for (const auto& id : mults) {
+    nn::NetPlan up(candidate_layer_plan(Candidate{.multiplier = id}));
+    if (const SearchPoint* p = measure(up, /*uniform=*/true)) {
+      result.uniform_baselines.push_back(*p);
+      result.uniform_baselines.back().name = "uniform-" + id;
+    }
+  }
+
+  // 3. One-shot holdout-delta probes, most-damaging (by proxy) first, to
+  //    calibrate the proxy scale. Reserve evaluations for the final
+  //    searched plans; spend the rest here.
+  std::vector<std::pair<size_t, size_t>> pairs;  // (layer, candidate)
+  for (size_t li = 0; li < nl; ++li)
+    for (size_t ci = 1; ci < nc; ++ci) pairs.emplace_back(li, ci);
+  std::stable_sort(pairs.begin(), pairs.end(), [&](const auto& x, const auto& y) {
+    return sens.proxy[x.first][x.second] > sens.proxy[y.first][y.second];
+  });
+  const int reserved = std::min(spec.max_points, 4) + (spec.evolution_generations > 0 ? 2 : 0);
+  const int probe_budget =
+      std::max(0, spec.budget_evals - ev.evals_used() - reserved);
+  std::vector<std::vector<double>> measured(nl, std::vector<double>(nc, -1.0));
+  double sum_dp = 0.0, sum_pp = 0.0;
+  int probes = 0;
+  for (const auto& [li, ci] : pairs) {
+    if (probes >= probe_budget) break;
+    nn::NetPlan probe(candidate_layer_plan(Candidate{}));
+    probe.set(sens.layers[li].path, candidate_layer_plan(cands[ci]));
+    const SearchPoint* p = measure(probe, /*uniform=*/false);
+    if (p == nullptr) break;
+    ++probes;
+    const double d = std::max(0.0, result.baseline_acc - p->holdout_acc);
+    measured[li][ci] = d;
+    sum_dp += d * sens.proxy[li][ci];
+    sum_pp += sens.proxy[li][ci] * sens.proxy[li][ci];
+  }
+  const double alpha = sum_pp > 0.0 ? std::max(0.0, sum_dp / sum_pp) : 1.0;
+
+  // Per-(layer, candidate) estimated accuracy deltas: measured where
+  // probed, proxy-scaled everywhere else (additivity assumption).
+  std::vector<std::vector<double>> delta(nl, std::vector<double>(nc, 0.0));
+  for (size_t li = 0; li < nl; ++li)
+    for (size_t ci = 1; ci < nc; ++ci)
+      delta[li][ci] = measured[li][ci] >= 0.0 ? measured[li][ci] : alpha * sens.proxy[li][ci];
+
+  // 4. Energy budgets: the uniform candidate energies anchor the sweep
+  //    (each asks "beat this uniform at its own energy"), plus the explicit
+  //    cap when one is set.
+  std::vector<double> budgets;
+  for (size_t ci = 1; ci < nc; ++ci) {
+    Assignment u(nl, static_cast<int>(ci));
+    budgets.push_back(em.total(u));
+  }
+  if (spec.energy_cap > 0.0) budgets.push_back(spec.energy_cap);
+  std::sort(budgets.begin(), budgets.end(), std::greater<double>());
+  budgets.erase(std::unique(budgets.begin(), budgets.end(),
+                            [](double x, double y) { return std::abs(x - y) < 1e-9; }),
+                budgets.end());
+  if (static_cast<int>(budgets.size()) > spec.max_points) {
+    std::vector<double> thinned;
+    const size_t den = static_cast<size_t>(std::max(1, spec.max_points - 1));
+    for (int k = 0; k < spec.max_points; ++k)
+      thinned.push_back(budgets[static_cast<size_t>(k) * (budgets.size() - 1) / den]);
+    budgets = std::move(thinned);
+  }
+
+  // 5. Greedy + swap refinement (+ optional evolution) per budget; every
+  //    resulting plan is measured for real.
+  Rng rng(spec.seed);
+  for (size_t bi = 0; bi < budgets.size(); ++bi) {
+    Assignment a = greedy_assign(em, delta, nl, nc, budgets[bi]);
+    swap_refine(em, delta, budgets[bi], spec.swap_rounds, a);
+    if (spec.verbose)
+      std::printf("search: budget %.0f -> est loss %.4f energy %.0f\n", budgets[bi],
+                  est_loss(delta, a), em.total(a));
+    (void)measure(assignment_plan(sens.layers, cands, a), /*uniform=*/false);
+    if (spec.evolution_generations > 0) {
+      Rng child(spec.seed ^ (0x9E3779B97F4A7C15ull * (bi + 1)));
+      Assignment e = evolve(em, delta, budgets[bi], spec, a, child);
+      if (e != a) (void)measure(assignment_plan(sens.layers, cands, e), /*uniform=*/false);
+    }
+  }
+  result.evals_used = ev.evals_used();
+
+  // 6. Pareto front over the measured archive, constraint filtering,
+  //    dominance-safe thinning, ladder ordering and naming.
+  std::vector<Objective> objs;
+  objs.reserve(archive.size());
+  for (const auto& e : archive) objs.push_back({e.point.holdout_acc, e.point.energy_per_sample});
+  std::vector<size_t> front_idx = pareto_front(objs);
+
+  // Constraint filtering (never below one surviving point).
+  {
+    std::vector<size_t> kept;
+    for (size_t i : front_idx) {
+      if (spec.energy_cap > 0.0 && objs[i].energy > spec.energy_cap + 1e-9) continue;
+      if (spec.accuracy_floor > 0.0 && objs[i].accuracy < spec.accuracy_floor - 1e-12) continue;
+      kept.push_back(i);
+    }
+    if (!kept.empty()) front_idx = std::move(kept);
+  }
+
+  // Ladder order: best accuracy first; ties toward lower energy.
+  std::stable_sort(front_idx.begin(), front_idx.end(), [&](size_t x, size_t y) {
+    if (objs[x].accuracy != objs[y].accuracy) return objs[x].accuracy > objs[y].accuracy;
+    return objs[x].energy < objs[y].energy;
+  });
+
+  // Thin to max_points, keeping (a) for every uniform baseline one point
+  // that weakly dominates it, (b) the accuracy/energy extremes, (c) an
+  // even spread of the rest.
+  if (static_cast<int>(front_idx.size()) > spec.max_points) {
+    std::set<size_t> keep;
+    for (const auto& ub : result.uniform_baselines) {
+      const Objective u{ub.holdout_acc, ub.energy_per_sample};
+      for (size_t i : front_idx)
+        if (weakly_dominates(objs[i], u)) {
+          keep.insert(i);
+          break;
+        }
+    }
+    keep.insert(front_idx.front());
+    keep.insert(front_idx.back());
+    const size_t den = static_cast<size_t>(std::max(1, spec.max_points - 1));
+    for (int s = 0; s < spec.max_points && static_cast<int>(keep.size()) < spec.max_points; ++s)
+      keep.insert(front_idx[static_cast<size_t>(s) * (front_idx.size() - 1) / den]);
+    std::vector<size_t> thinned;
+    for (size_t i : front_idx)
+      if (keep.count(i)) thinned.push_back(i);
+    front_idx = std::move(thinned);
+  }
+
+  for (size_t k = 0; k < front_idx.size(); ++k) {
+    SearchPoint p = archive[front_idx[k]].point;
+    p.name = point_name(k, p);
+    result.front.push_back(std::move(p));
+  }
+  return result;
+}
+
+}  // namespace axnn::search

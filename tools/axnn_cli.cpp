@@ -7,8 +7,9 @@
 //   axnn_cli approximate --multiplier trunc5 --method approxkd+ge --t2 5 ...
 //   axnn_cli sweep       --method approxkd+ge               every paper multiplier
 //   axnn_cli serve       --arrival poisson --rate 500 ...   batched serving runtime
+//   axnn_cli search      --budget-evals 32 --emit out.plan  per-layer plan search
 //   axnn_cli inspect     --multiplier trunc5                model + multiplier stats
-//   axnn_cli list-multipliers                               registry at a glance
+//   axnn_cli list-multipliers [--json]                      registry at a glance
 //
 // Old spellings stay valid: `run` is an alias for `approximate`, a missing
 // verb defaults to `approximate`, and `--list-multipliers` still works as a
@@ -62,6 +63,15 @@ struct CliOptions {
   std::optional<double> energy_cap;  ///< --energy-cap-j: estimated units/s cap
   std::vector<std::string> governor_kv;  ///< --governor key=val,... entries
   bool serve_finetune = false;  ///< --finetune: approximation stage before serving
+  // search verb
+  std::vector<std::string> search_multipliers;  ///< --multipliers a,b,c
+  std::vector<std::pair<int, int>> search_widths;  ///< --widths 3x8,2x8
+  std::optional<double> accuracy_floor;  ///< --accuracy-floor: holdout floor, [0,1]
+  std::optional<int> budget_evals;       ///< --budget-evals: holdout-eval budget
+  std::optional<int> holdout;            ///< --holdout: holdout sample count
+  std::optional<int> evolve;             ///< --evolve: evolutionary generations
+  std::string emit_path;                 ///< --emit: write the ladder file here
+  bool json = false;        ///< --json: machine-readable list-multipliers
   std::string report_path;  ///< --report: write a RunReport JSON here
   bool timing = false;      ///< --timing: attach a telemetry collector
   bool no_simd = false;     ///< --no-simd: pin the scalar kernels (bit-identity checks)
@@ -72,7 +82,7 @@ struct CliOptions {
 
 void print_usage() {
   std::printf(
-      "usage: axnn_cli [train|quantize|approximate|sweep|serve|qos|inspect|list-multipliers] [options]\n"
+      "usage: axnn_cli [train|quantize|approximate|sweep|serve|qos|search|inspect|list-multipliers] [options]\n"
       "  (no verb or 'run' = approximate; the stages nest: quantize runs train's\n"
       "   stage first, approximate runs both)\n"
       "  --model resnet20|resnet32|mobilenetv2   (default resnet20)\n"
@@ -123,6 +133,20 @@ void print_usage() {
       "  --governor <k=v,...>     governor knobs: tick-ms, dwell-ms, recover-ms,\n"
       "                           p95-ms (step down when observed p95 exceeds it),\n"
       "                           queue-high, violation-rate\n"
+      "search options (automated per-layer plan search, DESIGN.md §5j; emits a\n"
+      "Pareto front of accuracy-vs-energy plans as a --qos ladder):\n"
+      "  --multipliers <a,b,..>   candidate registry ids (default trunc2..trunc5)\n"
+      "  --widths <WxA,..>        extra weight-x-activation bit widths per layer,\n"
+      "                           e.g. 3x8,2x8 (default: calibrated widths only;\n"
+      "                           heterogeneous-width plans are not servable)\n"
+      "  --accuracy-floor <p>     drop points below this holdout accuracy in [0,1]\n"
+      "  --energy-cap-j <x>       (reused) drop points above this energy/sample\n"
+      "  --budget-evals <n>       total holdout-evaluation budget (default 32)\n"
+      "  --holdout <n>            holdout samples from the test tail (default 96)\n"
+      "  --evolve <gens>          evolutionary generations per budget (default 0)\n"
+      "  --emit <file>            write the searched ladder here; serve it with\n"
+      "                           axnn_cli serve --qos <file>\n"
+      "  --json                   list-multipliers: machine-readable JSON to stdout\n"
       "  --report <out.json>      write a machine-readable run report (bench-harness\n"
       "                           schema; events also land in <out>.jsonl)\n"
       "  --timing                 collect per-layer telemetry; merged into --report\n"
@@ -156,7 +180,8 @@ bool parse_model(const std::string& s, core::ModelKind& out) {
 
 bool parse_verb(const std::string& s, std::string& out) {
   if (s == "train" || s == "quantize" || s == "approximate" || s == "sweep" ||
-      s == "serve" || s == "qos" || s == "inspect" || s == "list-multipliers") {
+      s == "serve" || s == "qos" || s == "search" || s == "inspect" ||
+      s == "list-multipliers") {
     out = s;
     return true;
   }
@@ -353,6 +378,79 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       }
     } else if (arg == "--finetune") {
       opt.serve_finetune = true;
+    } else if (arg == "--multipliers") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      std::string id;
+      std::istringstream items(v);
+      while (std::getline(items, id, ','))
+        if (!id.empty()) opt.search_multipliers.push_back(id);
+      if (opt.search_multipliers.empty()) {
+        std::fprintf(stderr, "invalid --multipliers '%s': expected id[,id...]\n", v);
+        return std::nullopt;
+      }
+    } else if (arg == "--widths") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      std::string pair;
+      std::istringstream items(v);
+      while (std::getline(items, pair, ',')) {
+        int w = 0, a = 0;
+        char tail = '\0';
+        if (std::sscanf(pair.c_str(), "%dx%d%c", &w, &a, &tail) != 2) {
+          std::fprintf(stderr, "invalid --widths entry '%s': expected WxA, e.g. 3x8\n",
+                       pair.c_str());
+          return std::nullopt;
+        }
+        opt.search_widths.emplace_back(w, a);
+      }
+    } else if (arg == "--accuracy-floor") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      char* end = nullptr;
+      const double floor = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !std::isfinite(floor) || floor < 0.0 || floor > 1.0) {
+        std::fprintf(stderr, "invalid --accuracy-floor '%s': expected a fraction in [0, 1]\n",
+                     v);
+        return std::nullopt;
+      }
+      opt.accuracy_floor = floor;
+    } else if (arg == "--budget-evals") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n <= 0 || n > 100000) {
+        std::fprintf(stderr, "invalid --budget-evals '%s': expected a positive count\n", v);
+        return std::nullopt;
+      }
+      opt.budget_evals = static_cast<int>(n);
+    } else if (arg == "--holdout") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "invalid --holdout '%s': expected a positive count\n", v);
+        return std::nullopt;
+      }
+      opt.holdout = static_cast<int>(n);
+    } else if (arg == "--evolve") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0 || n > 10000) {
+        std::fprintf(stderr, "invalid --evolve '%s': expected a generation count\n", v);
+        return std::nullopt;
+      }
+      opt.evolve = static_cast<int>(n);
+    } else if (arg == "--emit") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.emit_path = v;
+    } else if (arg == "--json") {
+      opt.json = true;
     } else if (arg == "--report") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -422,8 +520,10 @@ void report_table(obs::RunReport* report, const std::string& key, const core::Ta
 // The multiplier registry at a glance: measured MRE (Eq. 14 over the full
 // signed 4x8-bit operand grid), whether the GE fit classifies the error as
 // biased (a non-constant fit => GE has something to compensate) and the
-// per-MAC energy savings. Needs no Workbench, so it runs instantly.
-int cmd_list_multipliers(obs::RunReport* report) {
+// per-MAC energy savings. Needs no Workbench, so it runs instantly. With
+// --json the same facts go to stdout as one machine-readable document
+// (plus the bit widths each id supports in plan specs).
+int cmd_list_multipliers(const CliOptions& opt, obs::RunReport* report) {
   const auto kind_name = [](axmul::MultiplierKind k) {
     switch (k) {
       case axmul::MultiplierKind::kExact: return "exact";
@@ -433,9 +533,26 @@ int cmd_list_multipliers(obs::RunReport* report) {
     return "?";
   };
   core::Table table({"id", "kind", "MRE[%]", "paper[%]", "bias", "savings[%]"});
+  obs::Json list = obs::Json::array();
   for (const auto& spec : axmul::paper_multipliers()) {
+    obs::Json j = obs::Json::object();
+    j["id"] = spec.id;
+    j["kind"] = kind_name(spec.kind);
+    j["paper_mre"] = spec.paper_mre;
+    j["energy_savings_pct"] = spec.energy_savings_pct;
+    // Widths a plan spec may pin with :wN/:aN (search space bounds) and
+    // the calibrated defaults a bare spec means.
+    obs::Json widths = obs::Json::object();
+    widths["weight_bits"] = static_cast<int64_t>(quant::kWeightBits);
+    widths["activation_bits"] = static_cast<int64_t>(quant::kActivationBits);
+    widths["min_bits"] = static_cast<int64_t>(2);
+    widths["max_bits"] = static_cast<int64_t>(8);
+    j["supported_widths"] = std::move(widths);
     if (spec.kind == axmul::MultiplierKind::kExact) {
       table.add_row({spec.id, kind_name(spec.kind), "0.00", "0.0", "unbiased", "0"});
+      j["mre"] = 0.0;
+      j["bias"] = "unbiased";
+      list.push_back(std::move(j));
       continue;
     }
     const auto stats = axmul::compute_error_stats(*axmul::make_multiplier(spec));
@@ -447,8 +564,17 @@ int cmd_list_multipliers(obs::RunReport* report) {
     std::snprintf(savings, sizeof savings, "%.0f", spec.energy_savings_pct);
     table.add_row({spec.id, kind_name(spec.kind), mre, paper,
                    fit.is_constant() ? "unbiased" : "biased", savings});
+    j["mre"] = stats.mre;
+    j["bias"] = fit.is_constant() ? "unbiased" : "biased";
+    list.push_back(std::move(j));
   }
-  table.print();
+  if (opt.json) {
+    obs::Json doc = obs::Json::object();
+    doc["multipliers"] = std::move(list);
+    std::printf("%s\n", doc.dump(2).c_str());
+  } else {
+    table.print();
+  }
   report_table(report, "multipliers", table);
   return 0;
 }
@@ -878,8 +1004,63 @@ int cmd_qos(const CliOptions& opt, obs::RunReport* report) {
   return 0;
 }
 
+// Automated per-layer plan search (DESIGN.md §5j): stage-1 workbench ->
+// search::run_search under a SearchSpec built from the flags -> Pareto
+// front on stdout (+ report), optionally emitted as a --qos ladder file.
+int cmd_search(const CliOptions& opt, obs::RunReport* report) {
+  core::Workbench wb = make_workbench(opt);
+  const auto stage1 = wb.run_quantization_stage(opt.kd_stage1);
+  std::printf("FP %.2f%% | stage-1 %.2f%%\n", 100.0 * wb.fp_accuracy(),
+              100.0 * stage1.final_acc);
+
+  search::SearchSpec spec;
+  if (!opt.search_multipliers.empty()) spec.multipliers = opt.search_multipliers;
+  spec.widths = opt.search_widths;
+  if (opt.accuracy_floor) spec.accuracy_floor = *opt.accuracy_floor;
+  if (opt.energy_cap) spec.energy_cap = *opt.energy_cap;
+  if (opt.budget_evals) spec.budget_evals = *opt.budget_evals;
+  if (opt.holdout) spec.holdout = *opt.holdout;
+  if (opt.seed) spec.seed = *opt.seed;
+  if (opt.evolve) spec.evolution_generations = *opt.evolve;
+  spec.verbose = opt.verbose;
+
+  const search::SearchResult result = search::run_search(wb, spec);
+  std::printf("search: %d holdout evals, exact baseline %.2f%% at %.0f units/sample\n",
+              result.evals_used, 100.0 * result.baseline_acc, result.exact_energy);
+
+  core::Table front({"point", "holdout[%]", "energy[units]", "savings[%]", "plan"});
+  for (const auto& p : result.front)
+    front.add_row({p.name, core::Table::num(100.0 * p.holdout_acc, 2),
+                   core::Table::num(p.energy_per_sample, 0),
+                   core::Table::num(p.energy_savings_pct, 1), p.plan_text});
+  front.print();
+  report_table(report, "search_front", front);
+
+  core::Table uniforms({"baseline", "holdout[%]", "energy[units]", "savings[%]"});
+  for (const auto& p : result.uniform_baselines)
+    uniforms.add_row({p.name, core::Table::num(100.0 * p.holdout_acc, 2),
+                      core::Table::num(p.energy_per_sample, 0),
+                      core::Table::num(p.energy_savings_pct, 1)});
+  std::printf("\n-- uniform baselines (all weakly dominated by the front) --\n");
+  uniforms.print();
+  report_table(report, "search_uniforms", uniforms);
+  if (report != nullptr) report->metric("search", result.to_json());
+
+  if (!opt.emit_path.empty()) {
+    std::ofstream out(opt.emit_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write --emit file '%s'\n", opt.emit_path.c_str());
+      return 1;
+    }
+    out << result.to_ladder_text();
+    std::printf("\nladder: %s (serve it: axnn_cli serve --qos %s)\n", opt.emit_path.c_str(),
+                opt.emit_path.c_str());
+  }
+  return 0;
+}
+
 int dispatch(const CliOptions& opt, obs::RunReport* report) {
-  if (opt.verb == "list-multipliers") return cmd_list_multipliers(report);
+  if (opt.verb == "list-multipliers") return cmd_list_multipliers(opt, report);
   if (opt.verb == "inspect") return cmd_inspect(opt, report);
   if (opt.verb == "train") return cmd_train(opt, report);
   if (opt.verb == "quantize") return cmd_quantize(opt, report);
@@ -887,6 +1068,7 @@ int dispatch(const CliOptions& opt, obs::RunReport* report) {
   if (opt.verb == "sweep") return cmd_sweep(opt, report);
   if (opt.verb == "serve") return cmd_serve(opt, report);
   if (opt.verb == "qos") return cmd_qos(opt, report);
+  if (opt.verb == "search") return cmd_search(opt, report);
   std::fprintf(stderr, "unknown command '%s'\n", opt.verb.c_str());
   print_usage();
   return 1;

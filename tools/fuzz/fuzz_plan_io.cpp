@@ -1,0 +1,33 @@
+// axnn — fuzz harness for the unified plan-spec parser (core::plan_io).
+//
+// plan_io::parse auto-detects the grammar (plan document vs 'point' ladder),
+// must reject malformed input with std::invalid_argument, and guarantees
+// parse(to_text(doc)) == doc for every accepted input — ladder entries keep
+// their raw trimmed plan text, plan documents canonicalise to one "; "-joined
+// entry. A round trip that throws or drifts means the text form and the
+// parser disagree on the grammar.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "axnn/core/plan_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const axnn::core::plan_io::PlanDocument doc = axnn::core::plan_io::parse(text);
+    // Accepted input: the canonical form must survive a second parse
+    // identically and serialize back to itself.
+    const std::string canon = axnn::core::plan_io::to_text(doc);
+    const axnn::core::plan_io::PlanDocument again = axnn::core::plan_io::parse(canon);
+    if (!(again == doc)) __builtin_trap();
+    if (axnn::core::plan_io::to_text(again) != canon) __builtin_trap();
+    // Every accepted entry's plan text must be a valid single-entry plan.
+    for (const auto& e : doc.entries)
+      (void)axnn::core::plan_io::parse_plan(e.plan_text);
+  } catch (const std::invalid_argument&) {
+    // expected rejection path
+  }
+  return 0;
+}

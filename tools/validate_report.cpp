@@ -235,6 +235,69 @@ void check_qos(const std::string& file, const Json& qos) {
   }
 }
 
+void check_search(const std::string& file, const Json& search) {
+  static const char* kPointNumeric[] = {"holdout_acc", "energy_per_sample",
+                                        "energy_savings_pct"};
+  for (const char* key : {"baseline_acc", "exact_energy", "evals_used", "front_size"}) {
+    const Json* v = search.find(key);
+    if (v == nullptr || !v->is_number())
+      fail(file, std::string("search.") + key, "expected number");
+  }
+  const Json* sens = search.find("sensitivity");
+  if (sens == nullptr || !sens->is_array() || sens->items().empty()) {
+    fail(file, "search.sensitivity", "expected non-empty array of layer profiles");
+  } else {
+    for (size_t i = 0; i < sens->items().size(); ++i) {
+      const Json& s = sens->items()[i];
+      const std::string where = "search.sensitivity[" + std::to_string(i) + "]";
+      if (!s.is_object()) {
+        fail(file, where, "expected a layer-sensitivity object");
+        continue;
+      }
+      const Json* path = s.find("path");
+      if (path == nullptr || !path->is_string() || path->str().empty())
+        fail(file, where + ".path", "expected non-empty string");
+      for (const char* key : {"dot_length", "macs", "mac_share", "clip_rate", "max_proxy"}) {
+        const Json* v = s.find(key);
+        if (v == nullptr || !v->is_number()) fail(file, where + "." + key, "expected number");
+      }
+    }
+  }
+  for (const char* list : {"front", "uniform_baselines"}) {
+    const Json* pts = search.find(list);
+    if (pts == nullptr || !pts->is_array() ||
+        (std::string(list) == "front" && pts->items().empty())) {
+      fail(file, std::string("search.") + list, "expected non-empty array of search points");
+      continue;
+    }
+    for (size_t i = 0; i < pts->items().size(); ++i) {
+      const Json& p = pts->items()[i];
+      const std::string where =
+          std::string("search.") + list + "[" + std::to_string(i) + "]";
+      if (!p.is_object()) {
+        fail(file, where, "expected a search-point object");
+        continue;
+      }
+      for (const char* key : {"name", "plan"}) {
+        const Json* v = p.find(key);
+        if (v == nullptr || !v->is_string() || v->str().empty())
+          fail(file, where + "." + key, "expected non-empty string");
+      }
+      for (const char* key : kPointNumeric) {
+        const Json* v = p.find(key);
+        if (v == nullptr)
+          fail(file, where, std::string("missing key '") + key + "'");
+        else if (!v->is_number())
+          fail(file, where + "." + key,
+               std::string("expected number, got ") + type_name(v->type()));
+      }
+      const Json* uniform = p.find("uniform");
+      if (uniform == nullptr || uniform->type() != Json::Type::kBool)
+        fail(file, where + ".uniform", "expected boolean");
+    }
+  }
+}
+
 void validate(const std::string& file, const Json& schema, const Json& report) {
   if (!report.is_object()) {
     fail(file, "$", "report root must be an object");
@@ -253,7 +316,7 @@ void validate(const std::string& file, const Json& schema, const Json& report) {
         fail(file, key, "expected " + want->str() + ", got " + type_name(value->type()));
     }
   }
-  for (const char* section : {"metrics", "tables", "telemetry", "serving", "qos"})
+  for (const char* section : {"metrics", "tables", "telemetry", "serving", "qos", "search"})
     if (const Json* v = report.find(section)) reject_nulls(file, section, *v);
   if (const Json* tel = report.find("telemetry"); tel != nullptr && tel->is_object())
     check_telemetry(file, *tel);
@@ -263,6 +326,8 @@ void validate(const std::string& file, const Json& schema, const Json& report) {
     check_serving(file, *serving);
   if (const Json* qos = report.find("qos"); qos != nullptr && qos->is_object())
     check_qos(file, *qos);
+  if (const Json* search = report.find("search"); search != nullptr && search->is_object())
+    check_search(file, *search);
 }
 
 }  // namespace
