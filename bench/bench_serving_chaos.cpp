@@ -1,0 +1,323 @@
+// Deterministic serving chaos harness (DESIGN.md §5k, CI job chaos-smoke).
+//
+// Brings up a two-lane engine on a micro model (the harness gates lifecycle
+// invariants, not kernel throughput — a small model keeps the ASan/UBSan CI
+// run in seconds) and walks it through five phases:
+//
+//   baseline  — clean closed-loop traffic; nothing may shed or reject.
+//   stall     — a ChaosInjector stalls every lane-0 batch past the watchdog
+//               budget: the batch must be abandoned, re-run on lane 1, the
+//               lane quarantined, the straggler's late result discarded, and
+//               the lane readmitted after golden-probe probation.
+//   fault     — lane-0 batches throw ChaosFault: requeue with bounded
+//               retries, quarantine, probation, zero failed requests.
+//   reload    — mid-traffic save_checkpoint() + reload(from_checkpoint):
+//               the epoch flip may not fail or lose a single in-flight
+//               request.
+//   overload  — admission flipped to shed-newest, the slot pool pinned full:
+//               overflow submits must shed instantly, expired / infeasible
+//               deadlines must reject without consuming a slot.
+//
+// Every ticket is awaited, so the gates below can insist on exact outcome
+// accounting: submitted == served + shed + rejected, shed > 0 only during
+// the injected overload, and the engine ends fully healthy. The chaos
+// schedule is batch-indexed (not wall-clock), so the same spec trips the
+// same failures under sanitizers or at -O3; exit is nonzero on any gate
+// violation. The run lands one chaosReport under "chaos" in
+// BENCH_serving_chaos.json (schema: definitions.chaosReport).
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+constexpr uint64_t kSeed = 0xC4A05;
+constexpr int kLanes = 2;
+constexpr int kMaxBatch = 4;
+constexpr int kQueueCapacity = 16;
+constexpr int64_t kBudgetMs = 300;    ///< watchdog budget (explicit, pinned)
+constexpr int64_t kStallMs = 1500;    ///< injected stall, >> budget
+constexpr int kOverflow = 8;          ///< submits beyond the pinned-full pool
+
+}  // namespace
+
+AXNN_BENCH_CASE(serving_chaos, "Serving: deterministic chaos (stall / fault / reload / overload)") {
+  using namespace axnn;
+  namespace fs = std::filesystem;
+
+  const fs::path ckpt_dir = fs::temp_directory_path() / "axnn_chaos_ckpt";
+  fs::remove_all(ckpt_dir);
+
+  serve::ModelSpec spec;
+  spec.model = core::ModelKind::kResNet20;
+  spec.profile = core::BenchProfile::from_env();
+  // Micro model scale regardless of profile: lifecycle behavior is
+  // model-size-independent and the chaos phases must stay cheap under
+  // sanitizers (threads / cache dir still follow the environment).
+  spec.profile.image_size = 8;
+  spec.profile.train_size = 160;
+  spec.profile.test_size = 80;
+  spec.profile.resnet_width = 0.25f;
+  spec.profile.fp_epochs = 4;
+  spec.profile.ft_epochs = 2;
+  spec.profile.ft_batch = 40;
+  spec.profile.quant_epochs = 1;
+  spec.profile.decay_every = 2;
+  spec.use_cache = false;
+  spec.plan = "default=trunc5";
+  spec.finetune = false;
+  spec.batching.max_batch = kMaxBatch;
+  spec.batching.max_delay_us = 20000;
+  spec.batching.queue_capacity = kQueueCapacity;
+  spec.lanes = kLanes;
+  spec.watchdog.budget_ms = kBudgetMs;
+  spec.watchdog.probation_interval_ms = 25;
+  spec.watchdog.probation_passes = 2;
+  spec.watchdog.max_retries = 2;
+  spec.checkpoint_dir = ckpt_dir.string();
+  spec.checkpoint_keep = 2;
+
+  auto engine = serve::Engine::load(spec);
+  serve::Session& session = engine->session();
+  const data::Dataset& pool = engine->data().test;
+  const int requests = ctx.full ? 96 : 32;
+
+  int failures = 0;
+  const auto gate = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::printf("FAIL: %s\n", what.c_str());
+      ++failures;
+    }
+  };
+
+  // Quiescence helper: the chaos hook may only be swapped while no batch is
+  // executing, and readmission is itself a gated invariant. Returns false
+  // if a quarantined lane never comes back.
+  const auto wait_all_healthy = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (engine->healthy_lanes() < kLanes) {
+      if (std::chrono::steady_clock::now() - t0 > std::chrono::seconds(30)) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return true;
+  };
+
+  obs::Json phases = obs::Json::array();
+  core::Table t({"phase", "req", "served", "shed", "rejected", "p99 [ms]", "quar", "readmit",
+                 "requeue", "fail"});
+  int64_t tot_requests = 0, tot_served = 0, tot_shed = 0, tot_rejected = 0;
+  const serve::EngineStats base = engine->stats();
+  serve::EngineStats prev = base;
+  const auto record = [&](const char* name, int64_t req, int64_t served, int64_t shed,
+                          int64_t rejected, double p99_ms) {
+    const serve::EngineStats now = engine->stats();
+    obs::Json j;
+    j["phase"] = name;
+    j["requests"] = req;
+    j["served"] = served;
+    j["shed"] = shed;
+    j["rejected"] = rejected;
+    j["p99_ms"] = p99_ms;
+    j["quarantines"] = now.quarantines - prev.quarantines;
+    j["readmissions"] = now.readmissions - prev.readmissions;
+    j["requeued_batches"] = now.requeued_batches - prev.requeued_batches;
+    j["failed_requests"] = now.failed_requests - prev.failed_requests;
+    phases.push_back(j);
+    t.add_row({name, core::Table::num(static_cast<double>(req), 0),
+               core::Table::num(static_cast<double>(served), 0),
+               core::Table::num(static_cast<double>(shed), 0),
+               core::Table::num(static_cast<double>(rejected), 0),
+               core::Table::num(p99_ms, 2),
+               core::Table::num(static_cast<double>(now.quarantines - prev.quarantines), 0),
+               core::Table::num(static_cast<double>(now.readmissions - prev.readmissions), 0),
+               core::Table::num(static_cast<double>(now.requeued_batches - prev.requeued_batches), 0),
+               core::Table::num(static_cast<double>(now.failed_requests - prev.failed_requests), 0)});
+    tot_requests += req;
+    tot_served += served;
+    tot_shed += shed;
+    tot_rejected += rejected;
+    prev = now;
+  };
+
+  serve::LoadSpec traffic;
+  traffic.arrival = serve::Arrival::kClosed;
+  traffic.requests = requests;
+  traffic.clients = 4;
+
+  // -- phase 1: baseline ----------------------------------------------------
+  traffic.seed = kSeed;
+  {
+    const serve::LoadReport r = serve::run_load(*engine, session, pool, traffic);
+    record("baseline", r.requests, r.served, r.shed, r.rejected, r.latency.p99);
+    gate(r.served == requests, "baseline: not every request served");
+    gate(r.shed == 0 && r.rejected == 0, "baseline: shed/rejected without injected overload");
+  }
+
+  // -- phase 2: lane stall --------------------------------------------------
+  serve::ChaosSpec stall_spec;
+  stall_spec.seed = kSeed;
+  stall_spec.stalls.push_back({0, 0, std::numeric_limits<int64_t>::max(), kStallMs});
+  serve::ChaosInjector stall_chaos(stall_spec);
+  engine->set_chaos(std::ref(stall_chaos));
+  traffic.seed = kSeed + 1;
+  {
+    const serve::LoadReport r = serve::run_load(*engine, session, pool, traffic);
+    const bool readmitted = wait_all_healthy();
+    engine->set_chaos(nullptr);
+    record("stall", r.requests, r.served, r.shed, r.rejected, r.latency.p99);
+    gate(r.served == requests, "stall: abandoned batch lost requests");
+    gate(r.shed == 0 && r.rejected == 0, "stall: shed/rejected during stall phase");
+    gate(stall_chaos.stalls_fired() >= 1, "stall: injector never fired");
+    gate(readmitted, "stall: lane 0 not readmitted within 30s");
+    gate(r.latency.p99 < 30000.0, "stall: p99 unbounded during quarantine");
+  }
+  const serve::EngineStats after_stall = engine->stats();
+  gate(after_stall.quarantines - base.quarantines >= 1, "stall: lane never quarantined");
+  gate(after_stall.requeued_batches - base.requeued_batches >= 1,
+       "stall: abandoned batch not requeued");
+  gate(after_stall.discarded_batches - base.discarded_batches >= 1,
+       "stall: straggler result not discarded");
+
+  // -- phase 3: lane fault --------------------------------------------------
+  serve::ChaosSpec fault_spec;
+  fault_spec.seed = kSeed;
+  fault_spec.faults.push_back({0, 0, std::numeric_limits<int64_t>::max()});
+  serve::ChaosInjector fault_chaos(fault_spec);
+  engine->set_chaos(std::ref(fault_chaos));
+  traffic.seed = kSeed + 2;
+  {
+    const serve::LoadReport r = serve::run_load(*engine, session, pool, traffic);
+    const bool readmitted = wait_all_healthy();
+    engine->set_chaos(nullptr);
+    record("fault", r.requests, r.served, r.shed, r.rejected, r.latency.p99);
+    gate(r.served == requests, "fault: faulted batch lost requests");
+    gate(r.shed == 0 && r.rejected == 0, "fault: shed/rejected during fault phase");
+    gate(fault_chaos.faults_fired() >= 1, "fault: injector never fired");
+    gate(readmitted, "fault: lane 0 not readmitted within 30s");
+  }
+  const serve::EngineStats after_fault = engine->stats();
+  gate(after_fault.quarantines - after_stall.quarantines >= 1, "fault: lane never quarantined");
+  gate(after_fault.failed_requests - base.failed_requests == 0,
+       "fault: requests failed back to clients despite a healthy lane");
+
+  // -- phase 4: hot reload under live traffic -------------------------------
+  traffic.seed = kSeed + 3;
+  {
+    serve::LoadReport r;
+    std::thread load([&] { r = serve::run_load(*engine, session, pool, traffic); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const std::string saved = engine->save_checkpoint();
+    gate(fs::exists(saved), "reload: save_checkpoint produced no file");
+    serve::ReloadSpec rs;
+    rs.from_checkpoint = true;
+    engine->reload(rs);
+    load.join();
+    record("reload", r.requests, r.served, r.shed, r.rejected, r.latency.p99);
+    gate(r.served == requests, "reload: epoch flip lost in-flight requests");
+    gate(r.shed == 0 && r.rejected == 0, "reload: shed/rejected during reload phase");
+    gate(r.latency.p99 < 60000.0, "reload: p99 unbounded across the dispatch pause");
+  }
+  const serve::EngineStats after_reload = engine->stats();
+  gate(after_reload.reloads - base.reloads == 1, "reload: reload() did not complete");
+  gate(after_reload.failed_requests - base.failed_requests == 0,
+       "reload: requests failed during the swap");
+
+  // -- phase 5: admission overload ------------------------------------------
+  {
+    serve::AdmissionConfig shed_cfg;
+    shed_cfg.policy = serve::AdmissionPolicy::kShedNewest;
+    engine->set_admission(shed_cfg);
+    const Tensor sample = pool.slice(0, 1).first;
+    // Pin the pool full: slots stay owned until awaited, so the overflow
+    // submits below shed deterministically instead of racing the dispatcher.
+    std::vector<serve::Ticket> held;
+    held.reserve(kQueueCapacity);
+    for (int i = 0; i < kQueueCapacity; ++i) held.push_back(session.submit(sample));
+    int64_t served = 0, shed = 0, rejected = 0;
+    for (int i = 0; i < kOverflow; ++i) {
+      const serve::Result r = session.await(session.submit(sample));
+      if (r.outcome == serve::Outcome::kShed) ++shed;
+    }
+    gate(shed == kOverflow, "overload: overflow submits did not shed instantly");
+
+    // Expired and infeasible deadlines reject without touching the pool.
+    serve::AdmissionConfig strict;
+    strict.reject_infeasible = true;
+    engine->set_admission(strict);
+    gate(engine->service_floor_ns() > 0, "overload: no calibrated service floor");
+    if (session.await(session.submit(sample, -1)).outcome == serve::Outcome::kRejected)
+      ++rejected;
+    if (session.await(session.submit(sample, 1)).outcome == serve::Outcome::kRejected)
+      ++rejected;
+    gate(rejected == 2, "overload: expired/infeasible deadline not rejected");
+
+    for (const serve::Ticket& h : held)
+      if (session.await(h).outcome == serve::Outcome::kServed) ++served;
+    gate(served == kQueueCapacity, "overload: held requests lost under shedding");
+    engine->set_admission(serve::AdmissionConfig{});
+    record("overload", kQueueCapacity + kOverflow + 2, served, shed, rejected, 0.0);
+  }
+
+  engine->drain();
+  const serve::EngineStats fin = engine->stats();
+
+  // -- cross-phase invariants ------------------------------------------------
+  const int64_t lost = tot_requests - tot_served - tot_shed - tot_rejected;
+  gate(lost == 0, "chaos: tickets lost (submitted != served + shed + rejected)");
+  gate(fin.requests - base.requests == tot_served, "chaos: engine served count disagrees");
+  gate(fin.shed - base.shed == tot_shed, "chaos: engine shed count disagrees");
+  gate(fin.rejected - base.rejected == tot_rejected, "chaos: engine rejected count disagrees");
+  gate(tot_shed == kOverflow, "chaos: shed outside the injected overload");
+  gate(fin.failed_requests - base.failed_requests == 0, "chaos: failed requests leaked");
+  gate(fin.quarantines - base.quarantines >= 2, "chaos: expected >= 2 quarantine events");
+  gate(fin.readmissions - base.readmissions >= 2, "chaos: expected >= 2 readmissions");
+  gate(fin.probes - base.probes >= 4, "chaos: probation probes never ran");
+  gate(engine->healthy_lanes() == kLanes, "chaos: engine ends with unhealthy lanes");
+  gate(fin.lanes_quarantined == 0, "chaos: quarantine gauge nonzero at exit");
+
+  std::printf("\n-- chaos phases (budget=%lldms, stall=%lldms, lanes=%d) --\n",
+              static_cast<long long>(kBudgetMs), static_cast<long long>(kStallMs), kLanes);
+  bench::emit_table(ctx, "serving_chaos", t);
+
+  obs::Json chaos;
+  chaos["seed"] = static_cast<int64_t>(kSeed);
+  chaos["lanes"] = kLanes;
+  chaos["budget_ms"] = kBudgetMs;
+  chaos["stall_ms"] = kStallMs;
+  chaos["phases"] = std::move(phases);
+  chaos["submitted"] = tot_requests;
+  chaos["served"] = tot_served;
+  chaos["shed"] = tot_shed;
+  chaos["rejected"] = tot_rejected;
+  chaos["lost"] = lost;
+  chaos["stalls_fired"] = stall_chaos.stalls_fired();
+  chaos["faults_fired"] = fault_chaos.faults_fired();
+  chaos["quarantines"] = fin.quarantines - base.quarantines;
+  chaos["readmissions"] = fin.readmissions - base.readmissions;
+  chaos["requeued_batches"] = fin.requeued_batches - base.requeued_batches;
+  chaos["discarded_batches"] = fin.discarded_batches - base.discarded_batches;
+  chaos["probes"] = fin.probes - base.probes;
+  chaos["reloads"] = fin.reloads - base.reloads;
+  chaos["failed_requests"] = fin.failed_requests - base.failed_requests;
+  ctx.report.set("chaos", std::move(chaos));
+
+  ctx.metric("submitted", tot_requests);
+  ctx.metric("served", tot_served);
+  ctx.metric("shed", tot_shed);
+  ctx.metric("rejected", tot_rejected);
+  ctx.metric("lost", lost);
+  ctx.metric("quarantines", fin.quarantines - base.quarantines);
+  ctx.metric("readmissions", fin.readmissions - base.readmissions);
+  ctx.metric("reloads", fin.reloads - base.reloads);
+  ctx.metric("gate_failures", failures);
+
+  engine.reset();
+  fs::remove_all(ckpt_dir);
+  return failures == 0 ? 0 : 1;
+}

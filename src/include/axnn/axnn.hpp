@@ -70,14 +70,18 @@
 #include "axnn/qos/operating_point.hpp"
 #include "axnn/quant/calibration.hpp"
 #include "axnn/quant/quantizer.hpp"
+#include "axnn/resilience/checkpoint.hpp"
 #include "axnn/resilience/crc32.hpp"
 #include "axnn/resilience/fault.hpp"
 #include "axnn/resilience/guard.hpp"
 #include "axnn/search/pareto.hpp"
 #include "axnn/search/search.hpp"
 #include "axnn/sentinel/sentinel.hpp"
+#include "axnn/serve/admission.hpp"
+#include "axnn/serve/chaos.hpp"
 #include "axnn/serve/engine.hpp"
 #include "axnn/serve/loadgen.hpp"
+#include "axnn/serve/watchdog.hpp"
 #include "axnn/tensor/gemm.hpp"
 #include "axnn/tensor/ops.hpp"
 #include "axnn/tensor/rng.hpp"

@@ -65,6 +65,10 @@ struct GovernorConfig {
   double violation_rate_high = 0.0;
   /// Health: step down whenever the tick window saw newly degraded leaves.
   bool step_down_on_degraded = true;
+  /// Health: treat quarantined serving lanes (watchdog, DESIGN.md §5k) as
+  /// sustained pressure — capacity has shrunk, so the session sheds
+  /// accuracy for headroom until every lane is readmitted.
+  bool step_down_on_quarantine = true;
 
   void validate() const;  ///< throws std::invalid_argument on nonsense
 };
@@ -79,6 +83,7 @@ struct GovernorSignals {
   double energy_rate = 0.0;       ///< estimated units/s since last tick
   double violation_rate = 0.0;    ///< sentinel violations/checks since last tick
   int64_t new_degraded = 0;       ///< leaves degraded since last tick
+  int lanes_quarantined = 0;      ///< serving lanes currently quarantined
 };
 
 /// One ladder move.

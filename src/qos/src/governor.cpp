@@ -81,6 +81,11 @@ std::optional<Transition> Governor::update(const GovernorSignals& s) {
     std::snprintf(buf, sizeof buf, "%lld leaves newly degraded",
                   static_cast<long long>(s.new_degraded));
     detail = buf;
+  } else if (cfg_.step_down_on_quarantine && s.lanes_quarantined > 0) {
+    pressure = true;
+    cause = Cause::kHealth;
+    std::snprintf(buf, sizeof buf, "%d lanes quarantined", s.lanes_quarantined);
+    detail = buf;
   } else if (cfg_.violation_rate_high > 0 && s.violation_rate > cfg_.violation_rate_high) {
     pressure = true;
     cause = Cause::kHealth;

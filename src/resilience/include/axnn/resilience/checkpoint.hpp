@@ -1,0 +1,60 @@
+// axnn — crash-safe checkpoint rotation (keep-N generations with fallback).
+//
+// A CheckpointSet manages a directory of numbered checkpoint generations
+// (`<stem>-<gen>.axnp`). save() hands the writer a fresh generation path
+// (the writer is expected to write atomically — nn::save_params already
+// does tmp+rename with a CRC32 footer) and prunes to the newest `keep`
+// generations. load_latest() walks generations newest-first and returns the
+// first one the caller's loader accepts; a corrupt or truncated newest file
+// (detected by the loader — the AXNP CRC check throws) falls back to the
+// previous generation instead of taking the deployment down.
+//
+// The rotation is deliberately format-agnostic (callbacks, not nn types):
+// resilience sits *below* nn in the dependency order, and the same rotation
+// serves any artifact with an atomic writer and a validating loader.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace axnn::resilience {
+
+struct CheckpointConfig {
+  std::string dir;           ///< directory (created on first save)
+  std::string stem = "model";
+  int keep = 3;              ///< generations retained after each save
+
+  void validate() const;  ///< throws std::invalid_argument on nonsense
+};
+
+class CheckpointSet {
+public:
+  explicit CheckpointSet(CheckpointConfig cfg);
+
+  const CheckpointConfig& config() const { return cfg_; }
+
+  /// Write the next generation: calls `writer(path)` with the new file's
+  /// path (the writer must create it atomically and may throw — a failed
+  /// write leaves the set unchanged), then prunes old generations down to
+  /// `keep`. Returns the path written.
+  std::string save(const std::function<void(const std::string& path)>& writer);
+
+  /// Existing generation paths, newest first.
+  std::vector<std::string> generations() const;
+  /// The newest generation number on disk (-1 when none).
+  int64_t latest_generation() const;
+
+  /// Walk generations newest-first and return the path of the first one
+  /// `loader(path)` accepts (loader throws to reject — e.g. the AXNP CRC
+  /// or shape check). Older generations are the fallback for a corrupt
+  /// newest file. Throws std::runtime_error when no generation loads,
+  /// with every per-generation failure in the message.
+  std::string load_latest(const std::function<void(const std::string& path)>& loader) const;
+
+private:
+  CheckpointConfig cfg_;
+};
+
+}  // namespace axnn::resilience

@@ -1,0 +1,104 @@
+#include "axnn/resilience/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace axnn::resilience {
+
+namespace fs = std::filesystem;
+
+void CheckpointConfig::validate() const {
+  if (dir.empty()) throw std::invalid_argument("CheckpointConfig: dir must be non-empty");
+  if (stem.empty()) throw std::invalid_argument("CheckpointConfig: stem must be non-empty");
+  if (keep < 1) throw std::invalid_argument("CheckpointConfig: keep must be >= 1");
+}
+
+CheckpointSet::CheckpointSet(CheckpointConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+}
+
+namespace {
+
+/// Parse "<stem>-<gen>.axnp" -> gen, or -1 when the name does not match.
+int64_t parse_generation(const std::string& filename, const std::string& stem) {
+  const std::string prefix = stem + "-";
+  const std::string suffix = ".axnp";
+  if (filename.size() <= prefix.size() + suffix.size()) return -1;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(), suffix) != 0) return -1;
+  const std::string digits =
+      filename.substr(prefix.size(), filename.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return -1;
+  for (char c : digits)
+    if (c < '0' || c > '9') return -1;
+  char* end = nullptr;
+  const long long gen = std::strtoll(digits.c_str(), &end, 10);
+  return (end && *end == '\0' && gen >= 0) ? static_cast<int64_t>(gen) : -1;
+}
+
+/// (generation, path) pairs sorted newest first.
+std::vector<std::pair<int64_t, std::string>> list_generations(const CheckpointConfig& cfg) {
+  std::vector<std::pair<int64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cfg.dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const int64_t gen = parse_generation(entry.path().filename().string(), cfg.stem);
+    if (gen >= 0) out.emplace_back(gen, entry.path().string());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
+}
+
+}  // namespace
+
+std::string CheckpointSet::save(const std::function<void(const std::string&)>& writer) {
+  if (!writer) throw std::invalid_argument("CheckpointSet::save: null writer");
+  fs::create_directories(cfg_.dir);
+  const int64_t gen = latest_generation() + 1;
+  const std::string path =
+      (fs::path(cfg_.dir) / (cfg_.stem + "-" + std::to_string(gen) + ".axnp")).string();
+  writer(path);  // a throw here leaves the set unchanged
+  // Prune: keep the newest `keep` generations, delete the rest. Deletion
+  // failures are non-fatal — a stale generation is wasted disk, not a
+  // correctness problem.
+  const auto gens = list_generations(cfg_);
+  for (size_t i = static_cast<size_t>(cfg_.keep); i < gens.size(); ++i) {
+    std::error_code ec;
+    fs::remove(gens[i].second, ec);
+  }
+  return path;
+}
+
+std::vector<std::string> CheckpointSet::generations() const {
+  std::vector<std::string> out;
+  for (const auto& [gen, path] : list_generations(cfg_)) out.push_back(path);
+  return out;
+}
+
+int64_t CheckpointSet::latest_generation() const {
+  const auto gens = list_generations(cfg_);
+  return gens.empty() ? -1 : gens.front().first;
+}
+
+std::string CheckpointSet::load_latest(
+    const std::function<void(const std::string&)>& loader) const {
+  if (!loader) throw std::invalid_argument("CheckpointSet::load_latest: null loader");
+  const auto gens = list_generations(cfg_);
+  std::string errors;
+  for (const auto& [gen, path] : gens) {
+    try {
+      loader(path);
+      return path;
+    } catch (const std::exception& ex) {
+      errors += "\n  gen " + std::to_string(gen) + " (" + path + "): " + ex.what();
+    }
+  }
+  throw std::runtime_error("CheckpointSet::load_latest: no loadable generation in '" +
+                           cfg_.dir + "'" + (errors.empty() ? " (empty set)" : errors));
+}
+
+}  // namespace axnn::resilience

@@ -1,0 +1,76 @@
+// axnn — serving admission control and load shedding (DESIGN.md §5k).
+//
+// The slot pool bounds how much work the engine accepts; AdmissionConfig
+// decides what happens at the bound. kBlock is classic backpressure (the
+// PR 6 behavior): submit() parks the caller until a slot frees. Under real
+// overload that turns every client into a queue, so the shedding policies
+// resolve the conflict immediately instead:
+//
+//   * kShedNewest    — the incoming request is shed: submit() returns an
+//                      instant ticket whose await() yields Outcome::kShed.
+//                      No slot is consumed, the caller never blocks.
+//   * kShedByDeadline — EDF-flavored: the *queued* request with the least
+//                      deadline slack (the one most likely to miss anyway)
+//                      is shed to make room, and the incoming submit waits
+//                      for the freed slot. A queued request without a
+//                      deadline is never the victim; when the incoming
+//                      request is itself the least viable (or nothing is
+//                      pending), it is shed instead, as under kShedNewest.
+//
+// Orthogonally, reject_infeasible refuses deadlines the engine already
+// knows it cannot meet: if `deadline_us` is below the calibrated service
+// floor (the fastest operating point's latency probe) times service_margin,
+// submit() resolves the request instantly as Outcome::kRejected — a distinct
+// outcome so clients can tell "you asked the impossible" from "we were too
+// busy" from "the batch failed".
+//
+// decide() is a pure function of plain numbers so admission policy is unit
+// testable without an engine; the engine calls it under its mutex.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace axnn::serve {
+
+/// What submit() does when the slot pool is exhausted.
+enum class AdmissionPolicy { kBlock, kShedNewest, kShedByDeadline };
+
+const char* to_string(AdmissionPolicy p);
+/// Parse "block" | "shed-newest" | "shed-deadline" (CLI --admission values).
+/// Returns false on unknown text.
+bool parse_admission_policy(const std::string& text, AdmissionPolicy& out);
+
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kBlock;
+  /// Reject submits whose deadline is below the calibrated service floor
+  /// (they cannot be met even by the fastest operating point). Off by
+  /// default: tight-deadline best-effort submission stays legal.
+  bool reject_infeasible = false;
+  /// Feasibility margin: reject when deadline < service_floor * margin.
+  /// > 1 rejects earlier (headroom for queueing), < 1 is optimistic.
+  double service_margin = 1.0;
+
+  void validate() const;  ///< throws std::invalid_argument on nonsense
+};
+
+/// What submit() should do with one request (pure admission decision).
+enum class AdmissionAction {
+  kAdmit,        ///< take a free slot and enqueue
+  kBlock,        ///< pool full: wait for a slot, then admit
+  kShedIncoming, ///< resolve the incoming request instantly as kShed
+  kEvictQueued,  ///< shed the least-viable queued request, then block briefly
+  kReject,       ///< resolve instantly as kRejected (infeasible deadline)
+};
+
+/// Decide admission for one submit. All times are nanoseconds on the same
+/// monotonic clock. `deadline_ns` is the request's absolute deadline (0 =
+/// none); `victim_deadline_ns` is the earliest deadline among queued
+/// requests that have one (0 = no such victim); `service_floor_ns` is the
+/// calibrated single-request service estimate (0 = uncalibrated, feasibility
+/// is not checked).
+AdmissionAction decide(const AdmissionConfig& cfg, int free_slots, int64_t now_ns,
+                       int64_t deadline_ns, int64_t victim_deadline_ns,
+                       int64_t service_floor_ns);
+
+}  // namespace axnn::serve

@@ -1,0 +1,82 @@
+// axnn — deterministic chaos injection for the serving engine
+// (DESIGN.md §5k, bench_serving_chaos).
+//
+// A ChaosSpec is a *schedule*, not a random process: windows of per-lane
+// batch indices during which the injector stalls the lane (sleeps before
+// the forward) or faults it (throws ChaosFault in place of the forward).
+// Batch indices count batches *executed by that lane*, so the schedule is
+// independent of wall-clock speed — the same spec trips the same failures
+// under ASan, on a loaded CI box, or at -O3. The seed is carried for
+// report provenance and for harnesses that derive their traffic schedules
+// from it; the injector itself is a pure function of the spec.
+//
+// Wiring: Engine::set_chaos(std::ref(injector)) installs the injector as
+// the engine's chaos hook; the lane worker calls it right before each batch
+// forward. A stall makes the lane a straggler (the watchdog's budget check
+// fires, the batch is abandoned and re-run elsewhere, the lane is
+// quarantined); a fault exercises the batch-failure path (requeue with
+// bounded retries, lane quarantine). Probation probes bypass the hook —
+// chaos models a sick *lane*, and a stalled lane that has drained its
+// schedule really is healthy again.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace axnn::serve {
+
+/// Thrown by the injector inside a fault window; the engine treats it like
+/// any other forward failure (this is the point).
+struct ChaosFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct ChaosSpec {
+  /// Provenance / harness-side schedule seed (the injector is deterministic
+  /// given the windows below; harnesses seed their load generators with it).
+  uint64_t seed = 0;
+
+  /// Stall `lane` for `stall_ms` before executing its batches in
+  /// [from_batch, to_batch] (inclusive, counted per lane from 0).
+  struct Stall {
+    int lane = 0;
+    int64_t from_batch = 0;
+    int64_t to_batch = 0;
+    int64_t stall_ms = 0;
+  };
+  /// Throw ChaosFault in place of `lane`'s batches in [from_batch, to_batch].
+  struct Fault {
+    int lane = 0;
+    int64_t from_batch = 0;
+    int64_t to_batch = 0;
+  };
+
+  std::vector<Stall> stalls;
+  std::vector<Fault> faults;
+};
+
+/// Callable chaos hook: sleeps through matching stall windows, throws
+/// ChaosFault in matching fault windows, does nothing otherwise. Safe to
+/// invoke concurrently from multiple lane workers.
+class ChaosInjector {
+public:
+  explicit ChaosInjector(ChaosSpec spec);
+
+  const ChaosSpec& spec() const { return spec_; }
+
+  /// The engine's chaos hook: `lane_batch` is the count of batches this
+  /// lane has started (0-based).
+  void operator()(int lane, int64_t lane_batch);
+
+  int64_t stalls_fired() const { return stalls_fired_.load(std::memory_order_relaxed); }
+  int64_t faults_fired() const { return faults_fired_.load(std::memory_order_relaxed); }
+
+private:
+  ChaosSpec spec_;
+  std::atomic<int64_t> stalls_fired_{0};
+  std::atomic<int64_t> faults_fired_{0};
+};
+
+}  // namespace axnn::serve

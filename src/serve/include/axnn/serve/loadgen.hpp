@@ -44,11 +44,15 @@ struct LoadSpec {
   uint64_t seed = 0xC1AE27;
 };
 
-/// One load run's results. Latencies are milliseconds; batching counters
-/// are deltas of the engine stats over the run.
+/// One load run's results. Latencies are milliseconds (served requests
+/// only); batching counters are deltas of the engine stats over the run.
+/// requests = served + shed + rejected — every submit resolves somewhere.
 struct LoadReport {
   std::string scenario;
   int64_t requests = 0;
+  int64_t served = 0;
+  int64_t shed = 0;      ///< admission-policy drops (Outcome::kShed)
+  int64_t rejected = 0;  ///< expired/infeasible deadlines (Outcome::kRejected)
   int64_t batches = 0;
   double mean_batch = 0.0;
   double wall_s = 0.0;

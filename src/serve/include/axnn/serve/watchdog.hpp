@@ -1,0 +1,122 @@
+// axnn — lane watchdog: straggler detection, quarantine, probation
+// (DESIGN.md §5k).
+//
+// Each serving lane is one model replica driven by its own worker thread. A
+// lane can go bad two ways: it *hangs* (a batch blows through its execution
+// budget — scheduler pathology, a stuck kernel, injected chaos) or it keeps
+// *faulting* (forward throws, or its sentinel reports violations batch after
+// batch — corrupted weights or LUTs on that replica). The Watchdog is the
+// dispatcher-side state machine that tracks this per lane:
+//
+//   kHealthy ──(budget overrun / fault / violation strikes)──▶ kQuarantined
+//   kQuarantined ──(probation_passes consecutive golden probes)──▶ kHealthy
+//
+// A quarantined lane takes no traffic (capacity shrinks; the governor sees
+// `lanes_quarantined` as health pressure). Its abandoned in-flight batch is
+// re-queued and re-run on a healthy lane. While quarantined, the dispatcher
+// schedules *probation probes* — golden-input forwards on the lane's own
+// worker, compared bit-exact against the reference captured at load — every
+// probation_interval_ms; `probation_passes` consecutive passes readmit it.
+// A lane whose replica is genuinely corrupted keeps failing the probe and
+// stays out.
+//
+// Like qos::Governor, this is a pure state machine: no threads, no clocks,
+// no engine types. The engine samples and drives it under its dispatch
+// mutex; unit tests drive it with a synthetic clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace axnn::serve {
+
+struct WatchdogConfig {
+  /// Master switch: off = no budget checks, no quarantine, no probes.
+  bool enabled = true;
+  /// Per-batch execution budget = budget_factor * calibrated single-request
+  /// latency * max_batch, floored at min_budget_ms. The generous default
+  /// absorbs scheduler noise and sanitizer overhead; only a genuinely stuck
+  /// lane trips it.
+  double budget_factor = 16.0;
+  int64_t min_budget_ms = 50;
+  /// Explicit budget override in ms (0 = use the calibrated formula). The
+  /// chaos harness pins this for determinism.
+  int64_t budget_ms = 0;
+  /// Quarantine a lane after this many *consecutive* batches with sentinel
+  /// violations (0 = never quarantine on violations).
+  int violation_strikes = 3;
+  /// Probation probe cadence for quarantined lanes.
+  int64_t probation_interval_ms = 50;
+  /// Consecutive golden-probe passes required for readmission.
+  int probation_passes = 2;
+  /// Times one request may be re-dispatched after its batch was abandoned
+  /// (stall) or faulted before it is failed back to the client.
+  int max_retries = 2;
+
+  void validate() const;  ///< throws std::invalid_argument on nonsense
+};
+
+enum class LaneHealth { kHealthy, kQuarantined };
+
+const char* to_string(LaneHealth h);
+
+/// Per-lane watchdog state (snapshot for reports/tests).
+struct LaneStatus {
+  LaneHealth health = LaneHealth::kHealthy;
+  int64_t quarantines = 0;      ///< times this lane was quarantined
+  int strikes = 0;              ///< consecutive violation batches so far
+  int probe_passes = 0;         ///< consecutive probation passes so far
+  int64_t last_probe_ns = 0;
+  int64_t quarantined_at_ns = 0;
+  std::string reason;           ///< last quarantine trigger (human-readable)
+};
+
+class Watchdog {
+public:
+  Watchdog(WatchdogConfig cfg, int lanes);
+
+  const WatchdogConfig& config() const { return cfg_; }
+  void set_config(const WatchdogConfig& cfg);  ///< validates; keeps lane state
+
+  /// Install the calibrated per-batch budget (cfg.budget_ms overrides it).
+  void set_calibrated_budget_ns(int64_t budget_ns);
+  int64_t budget_ns() const;
+
+  int lanes() const { return static_cast<int>(lanes_.size()); }
+  int healthy() const;
+  int quarantined() const { return lanes() - healthy(); }
+  const LaneStatus& lane(int i) const { return lanes_.at(static_cast<size_t>(i)); }
+  LaneHealth health(int i) const { return lane(i).health; }
+
+  /// Has the batch running on `lane` since `busy_since_ns` overrun its
+  /// budget? Always false when disabled.
+  bool overdue(int64_t busy_since_ns, int64_t now_ns) const;
+
+  /// Quarantine `lane` (no-op when already quarantined or disabled).
+  /// Returns true when the lane transitioned kHealthy -> kQuarantined.
+  bool quarantine(int lane, int64_t now_ns, std::string reason);
+
+  /// A batch finished on `lane` with `violations` new sentinel violations.
+  /// Tracks consecutive-violation strikes; returns true when the strike
+  /// budget tripped and the lane was quarantined.
+  bool on_batch_violations(int lane, int64_t violations, int64_t now_ns);
+
+  /// Should the dispatcher schedule a probation probe on `lane` now?
+  bool probe_due(int lane, int64_t now_ns) const;
+  void probe_started(int lane, int64_t now_ns);
+  /// Fold one probe result; returns true when the lane was readmitted.
+  bool on_probe_result(int lane, bool pass, int64_t now_ns);
+
+  int64_t quarantines_total() const { return quarantines_total_; }
+  int64_t readmissions_total() const { return readmissions_total_; }
+
+private:
+  WatchdogConfig cfg_;
+  std::vector<LaneStatus> lanes_;
+  int64_t calibrated_budget_ns_ = 0;
+  int64_t quarantines_total_ = 0;
+  int64_t readmissions_total_ = 0;
+};
+
+}  // namespace axnn::serve

@@ -1,0 +1,60 @@
+#include "axnn/serve/admission.hpp"
+
+#include <stdexcept>
+
+namespace axnn::serve {
+
+const char* to_string(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kBlock: return "block";
+    case AdmissionPolicy::kShedNewest: return "shed-newest";
+    case AdmissionPolicy::kShedByDeadline: return "shed-deadline";
+  }
+  return "?";
+}
+
+bool parse_admission_policy(const std::string& text, AdmissionPolicy& out) {
+  if (text == "block") {
+    out = AdmissionPolicy::kBlock;
+  } else if (text == "shed-newest") {
+    out = AdmissionPolicy::kShedNewest;
+  } else if (text == "shed-deadline") {
+    out = AdmissionPolicy::kShedByDeadline;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void AdmissionConfig::validate() const {
+  if (service_margin <= 0)
+    throw std::invalid_argument("AdmissionConfig: service_margin must be > 0");
+}
+
+AdmissionAction decide(const AdmissionConfig& cfg, int free_slots, int64_t now_ns,
+                       int64_t deadline_ns, int64_t victim_deadline_ns,
+                       int64_t service_floor_ns) {
+  // Feasibility first: an impossible deadline is rejected whether or not the
+  // pool has room — executing it would only burn a batch slot on a certain
+  // miss.
+  if (cfg.reject_infeasible && deadline_ns > 0 && service_floor_ns > 0) {
+    const double slack = static_cast<double>(deadline_ns - now_ns);
+    if (slack < static_cast<double>(service_floor_ns) * cfg.service_margin)
+      return AdmissionAction::kReject;
+  }
+  if (free_slots > 0) return AdmissionAction::kAdmit;
+  switch (cfg.policy) {
+    case AdmissionPolicy::kBlock: return AdmissionAction::kBlock;
+    case AdmissionPolicy::kShedNewest: return AdmissionAction::kShedIncoming;
+    case AdmissionPolicy::kShedByDeadline:
+      // Evict the queued request with the least slack — but only when it is
+      // no more viable than the incoming one. Deadline-free queued requests
+      // are never victims (they asked for best-effort, they get it).
+      if (victim_deadline_ns != 0 && (deadline_ns == 0 || victim_deadline_ns <= deadline_ns))
+        return AdmissionAction::kEvictQueued;
+      return AdmissionAction::kShedIncoming;
+  }
+  return AdmissionAction::kBlock;
+}
+
+}  // namespace axnn::serve

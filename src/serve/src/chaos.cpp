@@ -1,0 +1,36 @@
+#include "axnn/serve/chaos.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace axnn::serve {
+
+ChaosInjector::ChaosInjector(ChaosSpec spec) : spec_(std::move(spec)) {
+  for (const auto& s : spec_.stalls)
+    if (s.lane < 0 || s.from_batch > s.to_batch || s.stall_ms < 0)
+      throw std::invalid_argument("ChaosSpec: malformed stall window");
+  for (const auto& f : spec_.faults)
+    if (f.lane < 0 || f.from_batch > f.to_batch)
+      throw std::invalid_argument("ChaosSpec: malformed fault window");
+}
+
+void ChaosInjector::operator()(int lane, int64_t lane_batch) {
+  for (const auto& s : spec_.stalls) {
+    if (s.lane == lane && lane_batch >= s.from_batch && lane_batch <= s.to_batch) {
+      stalls_fired_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(s.stall_ms));
+      break;  // one stall per batch is enough chaos
+    }
+  }
+  for (const auto& f : spec_.faults) {
+    if (f.lane == lane && lane_batch >= f.from_batch && lane_batch <= f.to_batch) {
+      faults_fired_.fetch_add(1, std::memory_order_relaxed);
+      throw ChaosFault("chaos: injected fault on lane " + std::to_string(lane) +
+                       " batch " + std::to_string(lane_batch));
+    }
+  }
+}
+
+}  // namespace axnn::serve

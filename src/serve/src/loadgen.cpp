@@ -25,10 +25,36 @@ std::string to_string(Arrival a) {
 
 namespace {
 
+/// Per-run accumulator: latencies of *served* requests plus the outcome
+/// tallies (shed / rejected requests resolve without a latency worth
+/// summarizing — they never executed).
+struct Tally {
+  std::vector<double> latencies_ms;
+  int64_t served = 0;
+  int64_t shed = 0;
+  int64_t rejected = 0;
+
+  void fold(const Result& r) {
+    switch (r.outcome) {
+      case Outcome::kServed:
+        ++served;
+        latencies_ms.push_back(r.latency_ms);
+        break;
+      case Outcome::kShed: ++shed; break;
+      case Outcome::kRejected: ++rejected; break;
+    }
+  }
+  void merge(const Tally& o) {
+    latencies_ms.insert(latencies_ms.end(), o.latencies_ms.begin(), o.latencies_ms.end());
+    served += o.served;
+    shed += o.shed;
+    rejected += o.rejected;
+  }
+};
+
 /// Closed loop: each client thread owns an equal share of the request count
 /// and cycles submit→await, so in-flight concurrency == clients.
-void run_closed(Session& s, const data::Dataset& pool, const LoadSpec& spec,
-                std::vector<double>& latencies_ms) {
+void run_closed(Session& s, const data::Dataset& pool, const LoadSpec& spec, Tally& tally) {
   std::mutex mu;
   std::vector<std::thread> clients;
   const int nclients = std::max(1, spec.clients);
@@ -36,15 +62,15 @@ void run_closed(Session& s, const data::Dataset& pool, const LoadSpec& spec,
     const int share = spec.requests / nclients + (c < spec.requests % nclients ? 1 : 0);
     clients.emplace_back([&, c, share] {
       Rng rng(spec.seed + static_cast<uint64_t>(c) * 0x9E37u);
-      std::vector<double> local;
-      local.reserve(static_cast<size_t>(share));
+      Tally local;
+      local.latencies_ms.reserve(static_cast<size_t>(share));
       for (int i = 0; i < share; ++i) {
         const int64_t idx = rng.uniform_int(pool.size());
         const Ticket t = s.submit(pool.slice(idx, 1).first, spec.deadline_us);
-        local.push_back(s.await(t).latency_ms);
+        local.fold(s.await(t));
       }
       std::lock_guard<std::mutex> lk(mu);
-      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+      tally.merge(local);
     });
   }
   for (auto& t : clients) t.join();
@@ -52,8 +78,7 @@ void run_closed(Session& s, const data::Dataset& pool, const LoadSpec& spec,
 
 /// Open loop: a submitter launches requests on the Poisson schedule and a
 /// collector awaits them in order. Latency = intended arrival → completion.
-void run_poisson(Session& s, const data::Dataset& pool, const LoadSpec& spec,
-                 std::vector<double>& latencies_ms) {
+void run_poisson(Session& s, const data::Dataset& pool, const LoadSpec& spec, Tally& tally) {
   struct Launched {
     Ticket ticket;
     double queue_ms;  ///< intended arrival -> slot acquisition
@@ -64,7 +89,7 @@ void run_poisson(Session& s, const data::Dataset& pool, const LoadSpec& spec,
   bool submit_done = false;
 
   std::thread collector([&] {
-    latencies_ms.reserve(static_cast<size_t>(spec.requests));
+    tally.latencies_ms.reserve(static_cast<size_t>(spec.requests));
     for (int i = 0; i < spec.requests; ++i) {
       Launched l;
       {
@@ -74,7 +99,11 @@ void run_poisson(Session& s, const data::Dataset& pool, const LoadSpec& spec,
         l = launched.front();
         launched.pop_front();
       }
-      latencies_ms.push_back(l.queue_ms + s.await(l.ticket).latency_ms);
+      const Result r = s.await(l.ticket);
+      tally.fold(r);
+      // Queueing delay ahead of slot acquisition is part of a served
+      // request's latency (coordinated omission), not of a shed one's.
+      if (r.outcome == Outcome::kServed) tally.latencies_ms.back() += l.queue_ms;
     }
   });
 
@@ -106,12 +135,11 @@ void run_poisson(Session& s, const data::Dataset& pool, const LoadSpec& spec,
 }
 
 /// Bursts: submit `burst` requests back-to-back, then await the whole wave.
-void run_burst(Session& s, const data::Dataset& pool, const LoadSpec& spec,
-               std::vector<double>& latencies_ms) {
+void run_burst(Session& s, const data::Dataset& pool, const LoadSpec& spec, Tally& tally) {
   Rng rng(spec.seed);
   const int burst = std::max(1, spec.burst);
   std::vector<Ticket> wave(static_cast<size_t>(burst));
-  latencies_ms.reserve(static_cast<size_t>(spec.requests));
+  tally.latencies_ms.reserve(static_cast<size_t>(spec.requests));
   int remaining = spec.requests;
   while (remaining > 0) {
     const int n = std::min(burst, remaining);
@@ -119,8 +147,7 @@ void run_burst(Session& s, const data::Dataset& pool, const LoadSpec& spec,
       const int64_t idx = rng.uniform_int(pool.size());
       wave[static_cast<size_t>(i)] = s.submit(pool.slice(idx, 1).first, spec.deadline_us);
     }
-    for (int i = 0; i < n; ++i)
-      latencies_ms.push_back(s.await(wave[static_cast<size_t>(i)]).latency_ms);
+    for (int i = 0; i < n; ++i) tally.fold(s.await(wave[static_cast<size_t>(i)]));
     remaining -= n;
   }
 }
@@ -133,12 +160,12 @@ LoadReport run_load(Engine& engine, Session& session, const data::Dataset& pool,
   if (pool.size() < 1) throw std::invalid_argument("run_load: empty sample pool");
 
   const EngineStats before = engine.stats();
-  std::vector<double> latencies_ms;
+  Tally tally;
   const int64_t t0 = obs::now_ns();
   switch (spec.arrival) {
-    case Arrival::kClosed: run_closed(session, pool, spec, latencies_ms); break;
-    case Arrival::kPoisson: run_poisson(session, pool, spec, latencies_ms); break;
-    case Arrival::kBurst: run_burst(session, pool, spec, latencies_ms); break;
+    case Arrival::kClosed: run_closed(session, pool, spec, tally); break;
+    case Arrival::kPoisson: run_poisson(session, pool, spec, tally); break;
+    case Arrival::kBurst: run_burst(session, pool, spec, tally); break;
   }
   engine.drain();
   const double wall_s = static_cast<double>(obs::now_ns() - t0) / 1e9;
@@ -146,15 +173,18 @@ LoadReport run_load(Engine& engine, Session& session, const data::Dataset& pool,
 
   LoadReport r;
   r.scenario = to_string(spec.arrival);
-  r.requests = static_cast<int64_t>(latencies_ms.size());
+  r.requests = tally.served + tally.shed + tally.rejected;
+  r.served = tally.served;
+  r.shed = tally.shed;
+  r.rejected = tally.rejected;
   r.batches = after.batches - before.batches;
   r.mean_batch =
       r.batches > 0 ? static_cast<double>(after.requests - before.requests) /
                           static_cast<double>(r.batches)
                     : 0.0;
   r.wall_s = wall_s;
-  r.throughput_rps = wall_s > 0 ? static_cast<double>(r.requests) / wall_s : 0.0;
-  r.latency = obs::summarize_latencies(std::move(latencies_ms));
+  r.throughput_rps = wall_s > 0 ? static_cast<double>(r.served) / wall_s : 0.0;
+  r.latency = obs::summarize_latencies(std::move(tally.latencies_ms));
   r.deadline_misses = after.deadline_misses - before.deadline_misses;
   r.queue_full_waits = after.queue_full_waits - before.queue_full_waits;
   return r;
@@ -164,6 +194,9 @@ obs::Json LoadReport::to_json() const {
   obs::Json j;
   j["scenario"] = scenario;
   j["requests"] = requests;
+  j["served"] = served;
+  j["shed"] = shed;
+  j["rejected"] = rejected;
   j["batches"] = batches;
   j["mean_batch"] = mean_batch;
   j["wall_s"] = wall_s;

@@ -1,0 +1,122 @@
+#include "axnn/serve/watchdog.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace axnn::serve {
+
+const char* to_string(LaneHealth h) {
+  switch (h) {
+    case LaneHealth::kHealthy: return "healthy";
+    case LaneHealth::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+void WatchdogConfig::validate() const {
+  if (budget_factor <= 0)
+    throw std::invalid_argument("WatchdogConfig: budget_factor must be > 0");
+  if (min_budget_ms < 1)
+    throw std::invalid_argument("WatchdogConfig: min_budget_ms must be >= 1");
+  if (budget_ms < 0)
+    throw std::invalid_argument("WatchdogConfig: budget_ms must be >= 0");
+  if (violation_strikes < 0)
+    throw std::invalid_argument("WatchdogConfig: violation_strikes must be >= 0");
+  if (probation_interval_ms < 1)
+    throw std::invalid_argument("WatchdogConfig: probation_interval_ms must be >= 1");
+  if (probation_passes < 1)
+    throw std::invalid_argument("WatchdogConfig: probation_passes must be >= 1");
+  if (max_retries < 0)
+    throw std::invalid_argument("WatchdogConfig: max_retries must be >= 0");
+}
+
+Watchdog::Watchdog(WatchdogConfig cfg, int lanes) : cfg_(cfg) {
+  cfg_.validate();
+  if (lanes < 1) throw std::invalid_argument("Watchdog: lanes must be >= 1");
+  lanes_.resize(static_cast<size_t>(lanes));
+}
+
+void Watchdog::set_config(const WatchdogConfig& cfg) {
+  cfg.validate();
+  cfg_ = cfg;
+}
+
+void Watchdog::set_calibrated_budget_ns(int64_t budget_ns) {
+  calibrated_budget_ns_ = budget_ns;
+}
+
+int64_t Watchdog::budget_ns() const {
+  if (cfg_.budget_ms > 0) return cfg_.budget_ms * 1'000'000;
+  const int64_t floor_ns = cfg_.min_budget_ms * 1'000'000;
+  return calibrated_budget_ns_ > floor_ns ? calibrated_budget_ns_ : floor_ns;
+}
+
+int Watchdog::healthy() const {
+  int n = 0;
+  for (const auto& l : lanes_)
+    if (l.health == LaneHealth::kHealthy) ++n;
+  return n;
+}
+
+bool Watchdog::overdue(int64_t busy_since_ns, int64_t now_ns) const {
+  if (!cfg_.enabled) return false;
+  return now_ns - busy_since_ns > budget_ns();
+}
+
+bool Watchdog::quarantine(int lane, int64_t now_ns, std::string reason) {
+  if (!cfg_.enabled) return false;
+  LaneStatus& l = lanes_.at(static_cast<size_t>(lane));
+  if (l.health == LaneHealth::kQuarantined) return false;
+  l.health = LaneHealth::kQuarantined;
+  l.quarantined_at_ns = now_ns;
+  l.last_probe_ns = now_ns;  // first probe waits a full probation interval
+  l.probe_passes = 0;
+  l.strikes = 0;
+  l.reason = std::move(reason);
+  ++l.quarantines;
+  ++quarantines_total_;
+  return true;
+}
+
+bool Watchdog::on_batch_violations(int lane, int64_t violations, int64_t now_ns) {
+  if (!cfg_.enabled || cfg_.violation_strikes <= 0) return false;
+  LaneStatus& l = lanes_.at(static_cast<size_t>(lane));
+  if (l.health == LaneHealth::kQuarantined) return false;
+  if (violations <= 0) {
+    l.strikes = 0;  // strikes are consecutive: one clean batch resets them
+    return false;
+  }
+  if (++l.strikes < cfg_.violation_strikes) return false;
+  return quarantine(lane, now_ns,
+                    "sentinel violations on " + std::to_string(l.strikes) +
+                        " consecutive batches");
+}
+
+bool Watchdog::probe_due(int lane, int64_t now_ns) const {
+  const LaneStatus& l = lanes_.at(static_cast<size_t>(lane));
+  if (!cfg_.enabled || l.health != LaneHealth::kQuarantined) return false;
+  return now_ns - l.last_probe_ns >= cfg_.probation_interval_ms * 1'000'000;
+}
+
+void Watchdog::probe_started(int lane, int64_t now_ns) {
+  lanes_.at(static_cast<size_t>(lane)).last_probe_ns = now_ns;
+}
+
+bool Watchdog::on_probe_result(int lane, bool pass, int64_t now_ns) {
+  LaneStatus& l = lanes_.at(static_cast<size_t>(lane));
+  if (l.health != LaneHealth::kQuarantined) return false;
+  if (!pass) {
+    l.probe_passes = 0;
+    return false;
+  }
+  if (++l.probe_passes < cfg_.probation_passes) return false;
+  l.health = LaneHealth::kHealthy;
+  l.probe_passes = 0;
+  l.strikes = 0;
+  l.quarantined_at_ns = 0;
+  (void)now_ns;
+  ++readmissions_total_;
+  return true;
+}
+
+}  // namespace axnn::serve

@@ -16,6 +16,7 @@
 #include "axnn/nn/pooling.hpp"
 #include "axnn/nn/sequential.hpp"
 #include "axnn/nn/serialize.hpp"
+#include "axnn/resilience/checkpoint.hpp"
 #include "axnn/tensor/rng.hpp"
 
 namespace axnn::nn {
@@ -184,6 +185,112 @@ TEST_F(CheckpointFile, IsParamFileSafeOnGarbage) {
   EXPECT_FALSE(is_param_file(path_));
   write_file(path_, "NOPE1234");
   EXPECT_FALSE(is_param_file(path_));
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointSet rotation: keep-N generations with corrupt-newest fallback
+// (the serving engine's crash-safety store, DESIGN.md §5k).
+
+class CheckpointRotation : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "axnn_ckpt_rotation").string();
+    fs::remove_all(dir_);
+    cfg_.dir = dir_;
+    cfg_.stem = "model";
+    cfg_.keep = 3;
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+  resilience::CheckpointConfig cfg_;
+};
+
+TEST_F(CheckpointRotation, ConfigValidation) {
+  resilience::CheckpointConfig bad = cfg_;
+  bad.dir = "";
+  EXPECT_THROW(resilience::CheckpointSet{bad}, std::invalid_argument);
+  bad = cfg_;
+  bad.keep = 0;
+  EXPECT_THROW(resilience::CheckpointSet{bad}, std::invalid_argument);
+  bad = cfg_;
+  bad.stem = "";
+  EXPECT_THROW(resilience::CheckpointSet{bad}, std::invalid_argument);
+}
+
+TEST_F(CheckpointRotation, KeepsNewestNGenerations) {
+  resilience::CheckpointSet set(cfg_);
+  EXPECT_EQ(set.latest_generation(), -1);
+  EXPECT_TRUE(set.generations().empty());
+
+  std::vector<std::string> written;
+  for (int i = 0; i < 5; ++i)
+    written.push_back(set.save([&](const std::string& p) { write_file(p, "gen"); }));
+  EXPECT_EQ(set.latest_generation(), 4);
+
+  // Only the 3 newest survive, listed newest first.
+  const auto gens = set.generations();
+  ASSERT_EQ(gens.size(), 3u);
+  EXPECT_EQ(gens[0], written[4]);
+  EXPECT_EQ(gens[1], written[3]);
+  EXPECT_EQ(gens[2], written[2]);
+  EXPECT_FALSE(fs::exists(written[0]));
+  EXPECT_FALSE(fs::exists(written[1]));
+}
+
+TEST_F(CheckpointRotation, FailedWriterLeavesSetUnchanged) {
+  resilience::CheckpointSet set(cfg_);
+  (void)set.save([&](const std::string& p) { write_file(p, "ok"); });
+  EXPECT_THROW(set.save([](const std::string&) { throw std::runtime_error("disk full"); }),
+               std::runtime_error);
+  EXPECT_EQ(set.generations().size(), 1u);
+  EXPECT_EQ(set.latest_generation(), 0);
+}
+
+TEST_F(CheckpointRotation, LoadLatestFallsBackPastCorruptGenerations) {
+  resilience::CheckpointSet set(cfg_);
+  const std::string good = set.save([&](const std::string& p) { write_file(p, "good"); });
+  const std::string corrupt = set.save([&](const std::string& p) { write_file(p, "bad"); });
+
+  // The loader rejects the newest generation; the previous one is used.
+  const std::string loaded = set.load_latest([&](const std::string& p) {
+    if (read_file(p) != "good") throw std::runtime_error("checksum mismatch");
+  });
+  EXPECT_EQ(loaded, good);
+  (void)corrupt;
+
+  // No loadable generation: the error names every rejected one.
+  const std::string msg = message_of([&] {
+    set.load_latest([](const std::string&) { throw std::runtime_error("checksum mismatch"); });
+  });
+  EXPECT_NE(msg.find("no loadable generation"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("gen 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("gen 1"), std::string::npos) << msg;
+}
+
+TEST_F(CheckpointRotation, RotatesRealParamFilesWithCrcFallback) {
+  // The engine's actual wiring: nn::save_params as the writer, a CRC-checked
+  // nn::load_params as the loader. Corrupting the newest generation falls
+  // back to the previous weights instead of failing the reload.
+  auto gen0 = tiny_net(5);
+  auto gen1 = tiny_net(11);
+  resilience::CheckpointSet set(cfg_);
+  (void)set.save([&](const std::string& p) { save_params(*gen0, p); });
+  const std::string newest = set.save([&](const std::string& p) { save_params(*gen1, p); });
+
+  std::string buf = read_file(newest);
+  buf[buf.size() / 2] ^= 0x10;
+  write_file(newest, buf);
+
+  auto restored = tiny_net(99);
+  const std::string loaded =
+      set.load_latest([&](const std::string& p) { load_params(*restored, p); });
+  EXPECT_NE(loaded, newest);
+  const auto ps = collect_params(*gen0), pr = collect_params(*restored);
+  ASSERT_EQ(ps.size(), pr.size());
+  for (size_t i = 0; i < ps.size(); ++i)
+    for (int64_t j = 0; j < ps[i]->value.numel(); ++j)
+      EXPECT_EQ(ps[i]->value[j], pr[i]->value[j]);
 }
 
 // ---------------------------------------------------------------------------

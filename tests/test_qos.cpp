@@ -186,6 +186,41 @@ TEST(Governor, SignalPriorityHealthOverLoad) {
   EXPECT_NE(m->detail.find("degraded"), std::string::npos);
 }
 
+TEST(Governor, QuarantinedLanesAreHealthPressure) {
+  // A quarantined serving lane shrinks capacity: the watchdog gauge feeds
+  // the governor as sustained health pressure until readmission.
+  Governor g(quick_cfg(), ladder3());
+  (void)g.update(at(0));
+  GovernorSignals s = at(200);
+  s.lanes_quarantined = 1;
+  auto m = g.update(s);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->cause, Cause::kHealth);
+  EXPECT_NE(m->detail.find("1 lanes quarantined"), std::string::npos) << m->detail;
+
+  // Still quarantined after the dwell: keeps walking down the ladder.
+  s = at(400);
+  s.lanes_quarantined = 1;
+  m = g.update(s);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(g.active(), 2);
+
+  // Readmission clears the pressure; a full calm window steps back up.
+  for (int64_t t = 410; t < 400 + 300; t += 10) EXPECT_FALSE(g.update(at(t)).has_value());
+  auto up = g.update(at(710));
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->cause, Cause::kRecovery);
+
+  // The knob can be disabled.
+  GovernorConfig off = quick_cfg();
+  off.step_down_on_quarantine = false;
+  Governor g2(off, ladder3());
+  (void)g2.update(at(0));
+  GovernorSignals q = at(200);
+  q.lanes_quarantined = 2;
+  EXPECT_FALSE(g2.update(q).has_value());
+}
+
 TEST(Governor, BackpressureAndQueueDepthAreLoadSignals) {
   GovernorConfig cfg = quick_cfg();
   cfg.queue_high = 8;
@@ -456,7 +491,7 @@ TEST_F(QosEngineFixture, OpenSessionFailuresNameLanePointAndStage) {
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string what = e.what();
-    EXPECT_NE(what.find("open_session('bad-widths')"), std::string::npos) << what;
+    EXPECT_NE(what.find("session 'bad-widths'"), std::string::npos) << what;
     EXPECT_NE(what.find("lane 0"), std::string::npos) << what;
     EXPECT_NE(what.find("validate"), std::string::npos) << what;
   }

@@ -22,9 +22,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <chrono>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "axnn/axnn.hpp"
@@ -63,6 +65,10 @@ struct CliOptions {
   std::optional<double> energy_cap;  ///< --energy-cap-j: estimated units/s cap
   std::vector<std::string> governor_kv;  ///< --governor key=val,... entries
   bool serve_finetune = false;  ///< --finetune: approximation stage before serving
+  std::string admission_policy;  ///< --admission: block | shed-newest | shed-deadline
+  bool reject_infeasible = false;  ///< --reject-infeasible: deadline feasibility gate
+  std::string checkpoint_dir;    ///< --checkpoint-dir: crash-safe weight rotation
+  bool hot_reload = false;       ///< --reload: exercise the mid-traffic epoch flip
   // search verb
   std::vector<std::string> search_multipliers;  ///< --multipliers a,b,c
   std::vector<std::pair<int, int>> search_widths;  ///< --widths 3x8,2x8
@@ -122,6 +128,16 @@ void print_usage() {
       "  --seed <n>               load-generator seed (arrival schedule + sample\n"
       "                           selection) for reproducible load runs\n"
       "  --finetune               run the approximation stage before serving\n"
+      "  --admission <policy>     full-pool admission: block (default, backpressure),\n"
+      "                           shed-newest (drop the incoming request), or\n"
+      "                           shed-deadline (evict the least-viable queued one)\n"
+      "  --reject-infeasible      reject submits whose deadline sits below the\n"
+      "                           calibrated service floor instead of serving late\n"
+      "  --checkpoint-dir <dir>   keep crash-safe AXNP generations of the served\n"
+      "                           weights here (CRC-verified, keep-N rotation)\n"
+      "  --reload                 mid-traffic, save a checkpoint and atomically\n"
+      "                           reload from it (hot-reload smoke; defaults\n"
+      "                           --checkpoint-dir to <cache-dir>/serve_ckpt)\n"
       "qos options (adaptive operating points, DESIGN.md §5h; also the 'qos' verb,\n"
       "which loads the engine and prints the calibrated ladder without traffic):\n"
       "  --qos <file>             operating-point ladder ('point <name> = <plan>'\n"
@@ -378,6 +394,24 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       }
     } else if (arg == "--finetune") {
       opt.serve_finetune = true;
+    } else if (arg == "--admission") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      serve::AdmissionPolicy p;
+      if (!serve::parse_admission_policy(v, p)) {
+        std::fprintf(stderr,
+                     "invalid --admission '%s': expected block|shed-newest|shed-deadline\n", v);
+        return std::nullopt;
+      }
+      opt.admission_policy = v;
+    } else if (arg == "--reject-infeasible") {
+      opt.reject_infeasible = true;
+    } else if (arg == "--checkpoint-dir") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.checkpoint_dir = v;
+    } else if (arg == "--reload") {
+      opt.hot_reload = true;
     } else if (arg == "--multipliers") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -902,6 +936,12 @@ int cmd_serve(const CliOptions& opt, obs::RunReport* report) {
   if (opt.lanes) spec.lanes = *opt.lanes;
   spec.batching.queue_capacity =
       std::max(spec.batching.queue_capacity, spec.batching.max_batch);
+  if (!opt.admission_policy.empty())
+    serve::parse_admission_policy(opt.admission_policy, spec.admission.policy);
+  spec.admission.reject_infeasible = opt.reject_infeasible;
+  spec.checkpoint_dir = opt.checkpoint_dir;
+  if (opt.hot_reload && spec.checkpoint_dir.empty())
+    spec.checkpoint_dir = spec.profile.cache_dir + "/serve_ckpt";
   if (!apply_qos_flags(opt, spec)) return 1;
 
   auto engine = serve::Engine::load(spec);
@@ -928,7 +968,26 @@ int cmd_serve(const CliOptions& opt, obs::RunReport* report) {
   core::Table table({"session", "plan", "scenario", "req", "mean batch", "thr [req/s]",
                      "p50 [ms]", "p99 [ms]", "misses"});
   for (serve::Session* s : sessions) {
+    // --reload: while the first session's traffic is live, save a checkpoint
+    // and atomically restore from it — the epoch flip may not lose a request
+    // (the served/shed/rejected tallies below account for every submit).
+    std::thread reloader;
+    if (opt.hot_reload && s == sessions.front()) {
+      reloader = std::thread([&engine] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        try {
+          const std::string saved = engine->save_checkpoint();
+          serve::ReloadSpec rs;
+          rs.from_checkpoint = true;
+          engine->reload(rs);
+          std::printf("hot reload: restored %s under live traffic\n", saved.c_str());
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "hot reload failed: %s\n", e.what());
+        }
+      });
+    }
     const serve::LoadReport r = serve::run_load(*engine, *s, engine->data().test, load);
+    if (reloader.joinable()) reloader.join();
     std::printf("%s (%s): %.1f req/s, p50 %.2fms p95 %.2fms p99 %.2fms, mean batch %.2f\n",
                 s->name().c_str(), r.scenario.c_str(), r.throughput_rps, r.latency.p50,
                 r.latency.p95, r.latency.p99, r.mean_batch);
@@ -960,12 +1019,19 @@ int cmd_serve(const CliOptions& opt, obs::RunReport* report) {
               static_cast<long long>(stats.requests), static_cast<long long>(stats.batches),
               stats.mean_batch, static_cast<long long>(stats.max_batch),
               static_cast<long long>(stats.flush_timer));
+  if (stats.shed + stats.rejected + stats.reloads > 0)
+    std::printf("lifecycle: %lld shed, %lld rejected, %lld reload(s)\n",
+                static_cast<long long>(stats.shed), static_cast<long long>(stats.rejected),
+                static_cast<long long>(stats.reloads));
   if (report != nullptr) {
     report->set("serving", std::move(serving));
     report->metric("requests", stats.requests);
     report->metric("batches", stats.batches);
     report->metric("mean_batch", stats.mean_batch);
     report->metric("deadline_misses", stats.deadline_misses);
+    report->metric("shed", stats.shed);
+    report->metric("rejected", stats.rejected);
+    report->metric("reloads", stats.reloads);
   }
   if (engine->qos_enabled()) {
     const qos::QosReport qr = engine->qos_report();

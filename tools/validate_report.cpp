@@ -129,7 +129,8 @@ void check_tables(const std::string& file, const Json& tables) {
 }
 
 void check_serving(const std::string& file, const Json& serving) {
-  static const char* kNumericKeys[] = {"requests",   "batches",        "mean_batch",
+  static const char* kNumericKeys[] = {"requests",   "served",         "shed",
+                                       "rejected",   "batches",        "mean_batch",
                                        "wall_s",     "throughput_rps", "p50_ms",
                                        "p95_ms",     "p99_ms",         "max_ms",
                                        "mean_ms",    "deadline_misses", "queue_full_waits"};
@@ -145,6 +146,56 @@ void check_serving(const std::string& file, const Json& serving) {
       fail(file, where + ".scenario", "expected string");
     for (const char* key : kNumericKeys) {
       const Json* v = entry.find(key);
+      if (v == nullptr)
+        fail(file, where, std::string("missing key '") + key + "'");
+      else if (!v->is_number())
+        fail(file, where + "." + key,
+             std::string("expected number, got ") + type_name(v->type()));
+    }
+  }
+}
+
+void check_chaos(const std::string& file, const Json& chaos) {
+  static const char* kNumericKeys[] = {
+      "seed",         "lanes",        "budget_ms",    "stall_ms",
+      "submitted",    "served",       "shed",         "rejected",
+      "lost",         "stalls_fired", "faults_fired", "quarantines",
+      "readmissions", "requeued_batches", "discarded_batches",
+      "probes",       "reloads",      "failed_requests"};
+  static const char* kPhaseNumeric[] = {"requests",     "served",
+                                        "shed",         "rejected",
+                                        "p99_ms",       "quarantines",
+                                        "readmissions", "requeued_batches",
+                                        "failed_requests"};
+  for (const char* key : kNumericKeys) {
+    const Json* v = chaos.find(key);
+    if (v == nullptr)
+      fail(file, "chaos", std::string("missing key '") + key + "'");
+    else if (!v->is_number())
+      fail(file, std::string("chaos.") + key,
+           std::string("expected number, got ") + type_name(v->type()));
+  }
+  // The harness's core invariant: every submitted ticket resolved.
+  if (const Json* lost = chaos.find("lost"); lost != nullptr && lost->is_number() &&
+      lost->number() != 0.0)
+    fail(file, "chaos.lost", "tickets lost (submitted != served + shed + rejected)");
+  const Json* phases = chaos.find("phases");
+  if (phases == nullptr || !phases->is_array() || phases->items().empty()) {
+    fail(file, "chaos.phases", "expected non-empty array of phase rows");
+    return;
+  }
+  for (size_t i = 0; i < phases->items().size(); ++i) {
+    const Json& p = phases->items()[i];
+    const std::string where = "chaos.phases[" + std::to_string(i) + "]";
+    if (!p.is_object()) {
+      fail(file, where, "expected a phase object");
+      continue;
+    }
+    const Json* name = p.find("phase");
+    if (name == nullptr || !name->is_string() || name->str().empty())
+      fail(file, where + ".phase", "expected non-empty string");
+    for (const char* key : kPhaseNumeric) {
+      const Json* v = p.find(key);
       if (v == nullptr)
         fail(file, where, std::string("missing key '") + key + "'");
       else if (!v->is_number())
@@ -316,7 +367,8 @@ void validate(const std::string& file, const Json& schema, const Json& report) {
         fail(file, key, "expected " + want->str() + ", got " + type_name(value->type()));
     }
   }
-  for (const char* section : {"metrics", "tables", "telemetry", "serving", "qos", "search"})
+  for (const char* section :
+       {"metrics", "tables", "telemetry", "serving", "qos", "search", "chaos"})
     if (const Json* v = report.find(section)) reject_nulls(file, section, *v);
   if (const Json* tel = report.find("telemetry"); tel != nullptr && tel->is_object())
     check_telemetry(file, *tel);
@@ -326,6 +378,8 @@ void validate(const std::string& file, const Json& schema, const Json& report) {
     check_serving(file, *serving);
   if (const Json* qos = report.find("qos"); qos != nullptr && qos->is_object())
     check_qos(file, *qos);
+  if (const Json* chaos = report.find("chaos"); chaos != nullptr && chaos->is_object())
+    check_chaos(file, *chaos);
   if (const Json* search = report.find("search"); search != nullptr && search->is_object())
     check_search(file, *search);
 }
